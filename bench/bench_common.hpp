@@ -1,0 +1,62 @@
+// Shared plumbing for the APCC benchmark binaries.
+//
+// Every binary reproduces one paper artifact (figure or implied
+// experiment): it prints the regenerated table/series to stdout, then
+// runs its google-benchmark timing registrations. Tables use the same
+// renderer as the library reports so EXPERIMENTS.md can quote them
+// verbatim.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/report.hpp"
+#include "core/system.hpp"
+#include "support/strings.hpp"
+#include "workloads/suite.hpp"
+
+namespace apcc::bench {
+
+/// Build-once cache of the six suite workloads (interpreter runs are the
+/// expensive part; the benches reuse them across tables and timings).
+inline const workloads::Workload& cached_workload(workloads::WorkloadKind kind) {
+  static auto* cache = new std::map<workloads::WorkloadKind,
+                                    workloads::Workload>();
+  auto it = cache->find(kind);
+  if (it == cache->end()) {
+    it = cache->emplace(kind, workloads::make_workload(kind)).first;
+  }
+  return it->second;
+}
+
+/// Run one policy configuration on a workload.
+inline sim::RunResult run_config(const workloads::Workload& workload,
+                                 const core::SystemConfig& config) {
+  return core::CodeCompressionSystem::from_workload(workload, config).run();
+}
+
+/// Banner separating the reproduced artifact from benchmark timing noise.
+inline void print_header(const std::string& artifact,
+                         const std::string& what) {
+  std::cout << "==================================================\n"
+            << "APCC reproduction -- " << artifact << '\n'
+            << what << '\n'
+            << "==================================================\n\n";
+}
+
+/// Standard main body: print tables, then run timings.
+#define APCC_BENCH_MAIN(print_tables_fn)                       \
+  int main(int argc, char** argv) {                            \
+    print_tables_fn();                                         \
+    ::benchmark::Initialize(&argc, argv);                      \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {\
+      return 1;                                                \
+    }                                                          \
+    ::benchmark::RunSpecifiedBenchmarks();                     \
+    return 0;                                                  \
+  }
+
+}  // namespace apcc::bench

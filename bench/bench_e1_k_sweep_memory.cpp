@@ -1,0 +1,61 @@
+// E1: memory saving vs the compression-side k, across the suite.
+//
+// The paper (§3): "if we use a very small k value, we aggressively
+// compress basic blocks ... beneficial from a memory space viewpoint";
+// "a very large k value ... increases the memory space consumption."
+// This bench quantifies that curve per workload: peak and time-averaged
+// occupancy relative to the uncompressed image.
+#include "bench/bench_common.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace apcc;
+
+void print_tables() {
+  bench::print_header("E1 (implied by S3)",
+                      "memory saving vs k, on-demand decompression,\n"
+                      "shared-huffman codec; saving is vs the uncompressed"
+                      " image");
+  TextTable table;
+  table.row()
+      .cell("workload")
+      .cell("k=1 avg")
+      .cell("k=2 avg")
+      .cell("k=8 avg")
+      .cell("k=32 avg")
+      .cell("k=128 avg")
+      .cell("k=128 peak");
+  for (const auto kind : workloads::all_workload_kinds()) {
+    const auto& workload = bench::cached_workload(kind);
+    auto& row = table.row().cell(workload.name);
+    sim::RunResult last;
+    for (const std::uint32_t k : {1u, 2u, 8u, 32u, 128u}) {
+      core::SystemConfig config;
+      config.policy.compress_k = k;
+      last = bench::run_config(workload, config);
+      row.cell(percent(last.avg_saving()));
+    }
+    row.cell(percent(last.peak_saving()));
+  }
+  std::cout << table.render() << '\n';
+  std::cout << "Shape check: average saving decreases monotonically with k\n"
+               "(aggressive compression keeps fewer copies resident).\n\n";
+}
+
+void bm_k_sweep(benchmark::State& state) {
+  const auto& workload =
+      bench::cached_workload(workloads::WorkloadKind::kAdpcmLike);
+  core::SystemConfig config;
+  config.policy.compress_k = static_cast<std::uint32_t>(state.range(0));
+  const auto system =
+      core::CodeCompressionSystem::from_workload(workload, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.run());
+  }
+}
+BENCHMARK(bm_k_sweep)->Arg(1)->Arg(8)->Arg(32);
+
+}  // namespace
+
+APCC_BENCH_MAIN(print_tables)

@@ -1,0 +1,61 @@
+// E2: performance overhead vs the compression-side k, across the suite.
+//
+// The dual of E1 (paper §3): small k causes "frequent compressions and
+// decompressions ... a large performance penalty for blocks with high
+// temporal reuse"; large k "is preferable from the performance angle".
+#include "bench/bench_common.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace apcc;
+
+void print_tables() {
+  bench::print_header("E2 (implied by S3)",
+                      "execution slowdown vs k (on-demand decompression);\n"
+                      "1.000 = the uncompressed-image baseline");
+  TextTable table;
+  table.row()
+      .cell("workload")
+      .cell("k=1")
+      .cell("k=2")
+      .cell("k=8")
+      .cell("k=32")
+      .cell("k=128")
+      .cell("k=128 re-decomp");
+  for (const auto kind : workloads::all_workload_kinds()) {
+    const auto& workload = bench::cached_workload(kind);
+    auto& row = table.row().cell(workload.name);
+    sim::RunResult last;
+    for (const std::uint32_t k : {1u, 2u, 8u, 32u, 128u}) {
+      core::SystemConfig config;
+      config.policy.compress_k = k;
+      last = bench::run_config(workload, config);
+      row.cell(last.slowdown(), 3);
+    }
+    row.cell(last.demand_decompressions);
+  }
+  std::cout << table.render() << '\n';
+  std::cout << "Shape check: slowdown decreases monotonically with k; the\n"
+               "k=1 column pays a decompression on nearly every revisit.\n\n";
+}
+
+void bm_slowdown_extremes(benchmark::State& state) {
+  const auto& workload =
+      bench::cached_workload(workloads::WorkloadKind::kG721Like);
+  core::SystemConfig config;
+  config.policy.compress_k = static_cast<std::uint32_t>(state.range(0));
+  const auto system =
+      core::CodeCompressionSystem::from_workload(workload, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.run());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(workload.trace.size()));
+}
+BENCHMARK(bm_slowdown_extremes)->Arg(1)->Arg(32);
+
+}  // namespace
+
+APCC_BENCH_MAIN(print_tables)

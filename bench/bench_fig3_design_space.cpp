@@ -1,0 +1,65 @@
+// Figure 3 reproduction: the decompression design space.
+//
+// The paper's Figure 3 is the taxonomy {on-demand} vs {k-edge pre-
+// decompress-all, k-edge pre-decompress-single}; this bench instantiates
+// every point of that space (x a k sweep) on one workload and prints the
+// memory/performance grid, which is the quantitative content the taxonomy
+// implies. Compression always uses the k-edge algorithm, as in the paper.
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace apcc;
+
+void print_tables() {
+  bench::print_header("Figure 3",
+                      "the decompression design space, instantiated on the\n"
+                      "gsm-like workload (codec: shared huffman)");
+  const auto& workload =
+      bench::cached_workload(workloads::WorkloadKind::kGsmLike);
+
+  std::vector<core::ReportRow> rows;
+  for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
+                              runtime::DecompressionStrategy::kPreAll,
+                              runtime::DecompressionStrategy::kPreSingle}) {
+    for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+      core::SystemConfig config;
+      config.policy.strategy = strategy;
+      config.policy.compress_k = k;
+      config.policy.predecompress_k = k;
+      rows.push_back({std::string(runtime::strategy_name(strategy)) +
+                          "/k=" + std::to_string(k),
+                      bench::run_config(workload, config)});
+    }
+  }
+  std::cout << core::render_comparison(rows) << '\n';
+  std::cout << "Shape check (paper S4): pre-all favours performance over\n"
+               "memory, pre-single favours memory over performance, and\n"
+               "on-demand pays the most critical-path decompression.\n\n";
+}
+
+void bm_strategy(benchmark::State& state) {
+  const auto& workload =
+      bench::cached_workload(workloads::WorkloadKind::kGsmLike);
+  core::SystemConfig config;
+  config.policy.strategy =
+      static_cast<runtime::DecompressionStrategy>(state.range(0));
+  config.policy.compress_k = 2;
+  config.policy.predecompress_k = 2;
+  const auto system =
+      core::CodeCompressionSystem::from_workload(workload, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system.run());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(workload.trace.size()));
+}
+BENCHMARK(bm_strategy)
+    ->Arg(0)   // on-demand
+    ->Arg(1)   // pre-all
+    ->Arg(2);  // pre-single
+
+}  // namespace
+
+APCC_BENCH_MAIN(print_tables)

@@ -1,0 +1,76 @@
+// Scratchpad budget planner: the §2 memory-budget mode.
+//
+//   $ ./scratchpad_budget [workload]
+//
+// Embedded scenario: code executes from a small software-managed
+// scratchpad (SPM). This example sweeps the decompressed-area budget from
+// generous to barely-fits and reports the cycle cost of each cap --
+// exactly the curve a designer sizing an SPM needs. LRU eviction keeps
+// execution under the cap (paper §2: "one could use LRU or a similar
+// strategy to select the victim basic block").
+#include <algorithm>
+#include <iostream>
+
+#include "core/system.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace apcc;
+
+  const auto kind = (argc > 1 && std::string(argv[1]) == "mpeg2")
+                        ? workloads::WorkloadKind::kMpeg2Like
+                        : workloads::WorkloadKind::kJpegLike;
+  const workloads::Workload workload = workloads::make_workload(kind);
+
+  // Find the unbounded working set first.
+  core::SystemConfig unbounded;
+  unbounded.policy.compress_k = 8;
+  unbounded.policy.strategy = runtime::DecompressionStrategy::kPreSingle;
+  const auto free_run =
+      core::CodeCompressionSystem::from_workload(workload, unbounded).run();
+  const std::uint64_t ws =
+      free_run.peak_occupancy_bytes - free_run.compressed_area_bytes;
+
+  std::uint64_t largest_executed = 0;
+  for (const auto b : workload.trace) {
+    largest_executed =
+        std::max(largest_executed, workload.cfg.block(b).size_bytes());
+  }
+
+  std::cout << "workload " << workload.name << ": unbounded working set "
+            << human_bytes(ws) << ", largest executed block "
+            << human_bytes(largest_executed) << "\n\n";
+
+  TextTable table;
+  table.row()
+      .cell("budget")
+      .cell("cycles")
+      .cell("slowdown")
+      .cell("evictions")
+      .cell("peak-mem")
+      .cell("fits?");
+  for (const double fraction : {1.0, 0.75, 0.5, 0.35, 0.25}) {
+    const auto budget = std::max(
+        static_cast<std::uint64_t>(static_cast<double>(ws) * fraction),
+        largest_executed + 8);
+    core::SystemConfig config = unbounded;
+    config.policy.memory_budget = budget;
+    const auto r =
+        core::CodeCompressionSystem::from_workload(workload, config).run();
+    table.row()
+        .cell(human_bytes(budget))
+        .cell(r.total_cycles)
+        .cell(r.slowdown(), 3)
+        .cell(r.evictions)
+        .cell(human_bytes(r.peak_occupancy_bytes))
+        .cell(r.peak_occupancy_bytes <=
+                      r.compressed_area_bytes + budget
+                  ? "yes"
+                  : "NO");
+  }
+  std::cout << table.render();
+  std::cout << "\nEach halving of the budget buys memory with cycles:\n"
+               "evictions rise and more entries pay the decompression.\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Whole-image baselines the paper's scheme is judged against.
+//
+//  * no-compression: the conventional system; defines baseline cycles and
+//    the uncompressed memory footprint.
+//  * load-time decompression: image stored compressed, decompressed in
+//    full at startup (classic flash-to-RAM); RAM cost equals the
+//    uncompressed image, the startup delay is the entire codec cost.
+#pragma once
+
+#include "cfg/trace.hpp"
+#include "runtime/block_image.hpp"
+#include "runtime/policy.hpp"
+#include "sim/result.hpp"
+
+namespace apcc::baselines {
+
+/// Execute `trace` with the whole image resident and uncompressed.
+[[nodiscard]] sim::RunResult run_no_compression(
+    const cfg::Cfg& cfg, const cfg::BlockTrace& trace,
+    const runtime::CostModel& costs);
+
+/// Execute `trace` after decompressing the whole image at startup.
+[[nodiscard]] sim::RunResult run_load_time_decompression(
+    const cfg::Cfg& cfg, const runtime::BlockImage& image,
+    const cfg::BlockTrace& trace, const runtime::CostModel& costs);
+
+}  // namespace apcc::baselines

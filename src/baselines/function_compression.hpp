@@ -1,0 +1,44 @@
+// Function-granularity compression baselines (paper §6 related work).
+//
+//  * Cold-code compression (Debray & Evans [6]): a training profile marks
+//    functions hot or cold. Hot functions are stored uncompressed; cold
+//    functions stay compressed and are decompressed on first entry into a
+//    one-way buffer (never recompressed). The paper contrasts its
+//    basic-block granularity against exactly this scheme.
+//
+//  * Procedure cache (Kirovski et al. [15]): every function is stored
+//    compressed; decompressed copies live in a fixed-size procedure
+//    cache with whole-function LRU eviction.
+//
+// Both run on assembled workloads (they need function extents); block
+// traces are mapped to function entry sequences internally.
+#pragma once
+
+#include "runtime/policy.hpp"
+#include "sim/result.hpp"
+#include "workloads/suite.hpp"
+
+namespace apcc::baselines {
+
+struct FunctionCompressionConfig {
+  enum class Mode : std::uint8_t { kColdOnly, kProcedureCache };
+  Mode mode = Mode::kColdOnly;
+
+  /// Procedure-cache capacity (kProcedureCache only).
+  std::uint64_t cache_bytes = 16 * 1024;
+
+  /// Fraction of the trace used as the training profile for hot/cold
+  /// classification (kColdOnly). 1.0 trains on the full run, which is the
+  /// most favourable case for the baseline.
+  double train_fraction = 1.0;
+
+  runtime::CostModel costs{};
+  compress::CodecKind codec = compress::CodecKind::kLzss;
+};
+
+/// Simulate `workload.trace` under a function-granularity scheme.
+[[nodiscard]] sim::RunResult run_function_compression(
+    const workloads::Workload& workload,
+    const FunctionCompressionConfig& config);
+
+}  // namespace apcc::baselines

@@ -1,0 +1,257 @@
+#include "cfg/analysis.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace apcc::cfg {
+
+std::vector<BlockId> reverse_post_order(const Cfg& cfg) {
+  const std::size_t n = cfg.block_count();
+  std::vector<BlockId> order;
+  if (n == 0) return order;
+  std::vector<bool> visited(n, false);
+
+  // Iterative DFS with an explicit stack of (block, next-successor-index).
+  std::vector<BlockId> post;
+  post.reserve(n);
+  auto dfs = [&](BlockId root) {
+    if (visited[root]) return;
+    std::vector<std::pair<BlockId, std::size_t>> stack;
+    stack.emplace_back(root, 0);
+    visited[root] = true;
+    while (!stack.empty()) {
+      auto& [b, next] = stack.back();
+      const auto& out = cfg.block(b).out_edges;
+      if (next < out.size()) {
+        const BlockId succ = cfg.edge(out[next]).to;
+        ++next;
+        if (!visited[succ]) {
+          visited[succ] = true;
+          stack.emplace_back(succ, 0);
+        }
+      } else {
+        post.push_back(b);
+        stack.pop_back();
+      }
+    }
+  };
+
+  if (cfg.entry() != kInvalidBlock) dfs(cfg.entry());
+  order.assign(post.rbegin(), post.rend());
+  // Unreachable blocks, in id order, so callers see every block once.
+  for (BlockId b = 0; b < n; ++b) {
+    if (!visited[b]) order.push_back(b);
+  }
+  return order;
+}
+
+std::vector<BlockId> immediate_dominators(const Cfg& cfg) {
+  const std::size_t n = cfg.block_count();
+  std::vector<BlockId> idom(n, kInvalidBlock);
+  if (n == 0 || cfg.entry() == kInvalidBlock) return idom;
+
+  const std::vector<BlockId> rpo = reverse_post_order(cfg);
+  std::vector<std::size_t> rpo_index(n, SIZE_MAX);
+  for (std::size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index[rpo[i]] = i;
+  }
+
+  const BlockId entry = cfg.entry();
+  idom[entry] = entry;
+
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const BlockId b : rpo) {
+      if (b == entry) continue;
+      BlockId new_idom = kInvalidBlock;
+      for (const BlockId p : cfg.predecessor_ids(b)) {
+        if (idom[p] == kInvalidBlock) continue;  // not yet processed
+        new_idom = (new_idom == kInvalidBlock) ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kInvalidBlock && idom[b] != new_idom) {
+        idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+bool dominates(const std::vector<BlockId>& idom, BlockId a, BlockId b) {
+  APCC_CHECK(a < idom.size() && b < idom.size(), "block id out of range");
+  if (idom[b] == kInvalidBlock) return false;  // b unreachable
+  BlockId x = b;
+  while (true) {
+    if (x == a) return true;
+    if (idom[x] == x) return false;  // reached the entry
+    x = idom[x];
+    if (x == kInvalidBlock) return false;
+  }
+}
+
+bool NaturalLoop::contains(BlockId b) const {
+  return std::binary_search(body.begin(), body.end(), b);
+}
+
+std::vector<NaturalLoop> natural_loops(const Cfg& cfg) {
+  const auto idom = immediate_dominators(cfg);
+  std::map<BlockId, std::set<BlockId>> bodies;  // header -> body
+  for (const auto& e : cfg.edges()) {
+    if (!dominates(idom, e.to, e.from)) continue;  // not a back edge
+    auto& body = bodies[e.to];
+    body.insert(e.to);
+    // Walk predecessors backwards from the latch, staying off the header.
+    std::vector<BlockId> work;
+    if (body.insert(e.from).second) work.push_back(e.from);
+    while (!work.empty()) {
+      const BlockId b = work.back();
+      work.pop_back();
+      if (b == e.to) continue;
+      for (const BlockId p : cfg.predecessor_ids(b)) {
+        if (body.insert(p).second) work.push_back(p);
+      }
+    }
+  }
+  std::vector<NaturalLoop> loops;
+  loops.reserve(bodies.size());
+  for (auto& [header, body] : bodies) {
+    NaturalLoop loop;
+    loop.header = header;
+    loop.body.assign(body.begin(), body.end());
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+std::vector<unsigned> loop_depths(const Cfg& cfg) {
+  std::vector<unsigned> depth(cfg.block_count(), 0);
+  for (const auto& loop : natural_loops(cfg)) {
+    for (const BlockId b : loop.body) {
+      ++depth[b];
+    }
+  }
+  return depth;
+}
+
+std::vector<BlockId> frontier_within(const Cfg& cfg, BlockId from,
+                                     unsigned k) {
+  APCC_CHECK(from < cfg.block_count(), "block id out of range");
+  std::vector<BlockId> result;
+  if (k == 0) return result;
+  // BFS bounded to depth k. `from` enters the result only if re-reached.
+  std::vector<unsigned> dist(cfg.block_count(), UINT_MAX);
+  std::deque<BlockId> queue;
+  std::set<BlockId> reached;
+  // Seed with direct successors at distance 1.
+  for (const BlockId s : cfg.successor_ids(from)) {
+    if (dist[s] == UINT_MAX) {
+      dist[s] = 1;
+      queue.push_back(s);
+      reached.insert(s);
+    } else if (s == from) {
+      reached.insert(s);  // self-loop
+    }
+  }
+  while (!queue.empty()) {
+    const BlockId b = queue.front();
+    queue.pop_front();
+    if (dist[b] >= k) continue;
+    for (const BlockId s : cfg.successor_ids(b)) {
+      if (dist[s] == UINT_MAX) {
+        dist[s] = dist[b] + 1;
+        queue.push_back(s);
+        reached.insert(s);
+      } else {
+        reached.insert(s);  // already seen; still within k via this path
+      }
+    }
+  }
+  // `reached` may contain blocks first seen beyond k through the final
+  // relaxation; filter by recorded distance.
+  for (const BlockId b : reached) {
+    if (dist[b] != UINT_MAX && dist[b] <= k) {
+      result.push_back(b);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::optional<unsigned> edge_distance(const Cfg& cfg, BlockId from,
+                                      BlockId to) {
+  APCC_CHECK(from < cfg.block_count() && to < cfg.block_count(),
+             "block id out of range");
+  if (from == to) return 0u;
+  std::vector<unsigned> dist(cfg.block_count(), UINT_MAX);
+  std::deque<BlockId> queue;
+  dist[from] = 0;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    const BlockId b = queue.front();
+    queue.pop_front();
+    for (const BlockId s : cfg.successor_ids(b)) {
+      if (dist[s] == UINT_MAX) {
+        dist[s] = dist[b] + 1;
+        if (s == to) return dist[s];
+        queue.push_back(s);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<ReachScore> reach_scores(const Cfg& cfg, BlockId from,
+                                     unsigned k) {
+  APCC_CHECK(from < cfg.block_count(), "block id out of range");
+  const std::size_t n = cfg.block_count();
+  // Markov chain power iteration: mass[t][b] = probability the walk is at
+  // b after t steps. score(b) = sum over t in [1,k] of mass[t][b], an
+  // expected-visit count within k steps.
+  std::vector<double> mass(n, 0.0);
+  std::vector<double> score(n, 0.0);
+  std::vector<unsigned> min_dist(n, UINT_MAX);
+  mass[from] = 1.0;
+  for (unsigned step = 1; step <= k; ++step) {
+    std::vector<double> next(n, 0.0);
+    for (BlockId b = 0; b < n; ++b) {
+      if (mass[b] <= 0.0) continue;
+      for (const EdgeId e : cfg.block(b).out_edges) {
+        const auto& edge = cfg.edge(e);
+        next[edge.to] += mass[b] * edge.probability;
+      }
+    }
+    for (BlockId b = 0; b < n; ++b) {
+      if (next[b] > 0.0) {
+        score[b] += next[b];
+        if (min_dist[b] == UINT_MAX) min_dist[b] = step;
+      }
+    }
+    mass = std::move(next);
+  }
+  std::vector<ReachScore> out;
+  for (BlockId b = 0; b < n; ++b) {
+    if (score[b] > 0.0) {
+      out.push_back(ReachScore{b, score[b], min_dist[b]});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ReachScore& a,
+                                       const ReachScore& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.block < b.block;
+  });
+  return out;
+}
+
+}  // namespace apcc::cfg

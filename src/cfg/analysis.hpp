@@ -1,0 +1,69 @@
+// Graph analyses over the CFG.
+//
+// The load-bearing primitive for the paper is `frontier_within`: the set
+// of blocks whose entry is at most k edges away from the exit of a given
+// block. It drives both k-edge pre-decompression variants (§4). The rest
+// (RPO, dominators, natural loops) supports workload characterisation,
+// static prediction and tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cfg/cfg.hpp"
+
+namespace apcc::cfg {
+
+/// Blocks in reverse post-order from the entry. Unreachable blocks are
+/// appended at the end in id order so every block appears exactly once.
+[[nodiscard]] std::vector<BlockId> reverse_post_order(const Cfg& cfg);
+
+/// Immediate dominators (Cooper–Harvey–Kennedy iterative algorithm).
+/// idom[entry] == entry; unreachable blocks get kInvalidBlock.
+[[nodiscard]] std::vector<BlockId> immediate_dominators(const Cfg& cfg);
+
+/// True if `a` dominates `b` under the given idom tree.
+[[nodiscard]] bool dominates(const std::vector<BlockId>& idom, BlockId a,
+                             BlockId b);
+
+/// A natural loop: back edge target (header) plus its body blocks.
+struct NaturalLoop {
+  BlockId header = kInvalidBlock;
+  std::vector<BlockId> body;  // sorted, includes header
+
+  [[nodiscard]] bool contains(BlockId b) const;
+};
+
+/// All natural loops (one per back edge, loops with the same header are
+/// merged).
+[[nodiscard]] std::vector<NaturalLoop> natural_loops(const Cfg& cfg);
+
+/// Loop nesting depth per block (0 = not in any loop).
+[[nodiscard]] std::vector<unsigned> loop_depths(const Cfg& cfg);
+
+/// Blocks whose entry is reachable from the exit of `from` by traversing
+/// between 1 and k edges (paper §4: "at most k edges away from the exit of
+/// the currently processed block"). `from` itself is included only if a
+/// cycle of length <= k returns to it. Sorted by block id.
+[[nodiscard]] std::vector<BlockId> frontier_within(const Cfg& cfg,
+                                                   BlockId from, unsigned k);
+
+/// Minimum number of edges on a path from `from` to `to`; nullopt if
+/// unreachable. Distance 0 means from == to.
+[[nodiscard]] std::optional<unsigned> edge_distance(const Cfg& cfg,
+                                                    BlockId from, BlockId to);
+
+/// Expected-visit score of each block within k steps of a Markov walk
+/// starting at `from` (edge probabilities must be normalised). Used by the
+/// profile-guided predictor of pre-decompress-single: the block with the
+/// highest score among the frontier is the predicted next decompression
+/// target. Scores can exceed 1 for blocks revisited by short cycles.
+struct ReachScore {
+  BlockId block = kInvalidBlock;
+  double score = 0.0;
+  unsigned min_distance = 0;
+};
+[[nodiscard]] std::vector<ReachScore> reach_scores(const Cfg& cfg,
+                                                   BlockId from, unsigned k);
+
+}  // namespace apcc::cfg

@@ -1,0 +1,23 @@
+// CFG construction from an assembled program (leader algorithm).
+//
+// Produces an interprocedural CFG: call sites get kCall edges to callee
+// entries, and every return block of a callee gets kReturn edges back to
+// the blocks following each of its call sites. Blocks whose terminator is
+// an indirect jump other than `ret` are flagged has_indirect_successors.
+#pragma once
+
+#include "cfg/cfg.hpp"
+#include "isa/program.hpp"
+
+namespace apcc::cfg {
+
+/// CFG plus the word->block mapping for the image it was built from.
+struct BuildResult {
+  Cfg cfg;
+  std::vector<BlockId> word_to_block;  // one entry per program word
+};
+
+/// Build the interprocedural CFG of `program`.
+[[nodiscard]] BuildResult build_cfg(const isa::Program& program);
+
+}  // namespace apcc::cfg

@@ -1,0 +1,165 @@
+#include "cfg/cfg.hpp"
+
+#include <cmath>
+
+namespace apcc::cfg {
+
+const char* edge_kind_name(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kFallThrough: return "fallthrough";
+    case EdgeKind::kBranchTaken: return "taken";
+    case EdgeKind::kJump: return "jump";
+    case EdgeKind::kCall: return "call";
+    case EdgeKind::kReturn: return "return";
+  }
+  return "?";
+}
+
+BlockId Cfg::add_block(std::uint32_t first_word, std::uint32_t word_count,
+                       std::string note) {
+  const auto id = static_cast<BlockId>(blocks_.size());
+  BasicBlock b;
+  b.id = id;
+  b.first_word = first_word;
+  b.word_count = word_count;
+  b.note = std::move(note);
+  blocks_.push_back(std::move(b));
+  if (entry_ == kInvalidBlock) {
+    entry_ = id;
+  }
+  return id;
+}
+
+EdgeId Cfg::add_edge(BlockId from, BlockId to, EdgeKind kind,
+                     double probability) {
+  APCC_CHECK(from < blocks_.size() && to < blocks_.size(),
+             "edge endpoint out of range");
+  for (const EdgeId e : blocks_[from].out_edges) {
+    APCC_CHECK(!(edges_[e].to == to && edges_[e].kind == kind),
+               "duplicate edge");
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{from, to, kind, probability});
+  blocks_[from].out_edges.push_back(id);
+  blocks_[to].in_edges.push_back(id);
+  return id;
+}
+
+const BasicBlock& Cfg::block(BlockId id) const {
+  APCC_CHECK(id < blocks_.size(), "block id out of range");
+  return blocks_[id];
+}
+
+BasicBlock& Cfg::block(BlockId id) {
+  APCC_CHECK(id < blocks_.size(), "block id out of range");
+  return blocks_[id];
+}
+
+const Edge& Cfg::edge(EdgeId id) const {
+  APCC_CHECK(id < edges_.size(), "edge id out of range");
+  return edges_[id];
+}
+
+Edge& Cfg::edge(EdgeId id) {
+  APCC_CHECK(id < edges_.size(), "edge id out of range");
+  return edges_[id];
+}
+
+void Cfg::set_entry(BlockId id) {
+  APCC_CHECK(id < blocks_.size(), "entry id out of range");
+  entry_ = id;
+}
+
+std::vector<BlockId> Cfg::successor_ids(BlockId id) const {
+  std::vector<BlockId> out;
+  out.reserve(block(id).out_edges.size());
+  for (const EdgeId e : block(id).out_edges) {
+    out.push_back(edges_[e].to);
+  }
+  return out;
+}
+
+std::vector<BlockId> Cfg::predecessor_ids(BlockId id) const {
+  std::vector<BlockId> out;
+  out.reserve(block(id).in_edges.size());
+  for (const EdgeId e : block(id).in_edges) {
+    out.push_back(edges_[e].from);
+  }
+  return out;
+}
+
+EdgeId Cfg::find_edge(BlockId from, BlockId to) const {
+  for (const EdgeId e : block(from).out_edges) {
+    if (edges_[e].to == to) return e;
+  }
+  return kNoEdge;
+}
+
+void Cfg::normalize_probabilities() {
+  for (auto& b : blocks_) {
+    if (b.out_edges.empty()) continue;
+    double assigned = 0.0;
+    std::size_t unset = 0;
+    for (const EdgeId e : b.out_edges) {
+      if (edges_[e].probability > 0.0) {
+        assigned += edges_[e].probability;
+      } else {
+        ++unset;
+      }
+    }
+    if (unset > 0) {
+      const double residual = assigned < 1.0 ? (1.0 - assigned) : 0.0;
+      const double each = residual / static_cast<double>(unset);
+      for (const EdgeId e : b.out_edges) {
+        if (edges_[e].probability <= 0.0) {
+          edges_[e].probability = each;
+        }
+      }
+      assigned += residual;
+    }
+    // Rescale so probabilities sum to exactly 1.
+    if (assigned > 0.0) {
+      for (const EdgeId e : b.out_edges) {
+        edges_[e].probability /= assigned;
+      }
+    } else {
+      const double each = 1.0 / static_cast<double>(b.out_edges.size());
+      for (const EdgeId e : b.out_edges) {
+        edges_[e].probability = each;
+      }
+    }
+  }
+}
+
+std::uint64_t Cfg::total_code_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& b : blocks_) {
+    total += b.size_bytes();
+  }
+  return total;
+}
+
+void Cfg::validate() const {
+  APCC_ASSERT(entry_ == kInvalidBlock || entry_ < blocks_.size(),
+              "entry out of range");
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const auto& b = blocks_[i];
+    APCC_ASSERT(b.id == i, "block id mismatch");
+    for (const EdgeId e : b.out_edges) {
+      APCC_ASSERT(e < edges_.size(), "out-edge id out of range");
+      APCC_ASSERT(edges_[e].from == b.id, "out-edge from mismatch");
+    }
+    for (const EdgeId e : b.in_edges) {
+      APCC_ASSERT(e < edges_.size(), "in-edge id out of range");
+      APCC_ASSERT(edges_[e].to == b.id, "in-edge to mismatch");
+    }
+  }
+  for (const auto& e : edges_) {
+    APCC_ASSERT(e.from < blocks_.size() && e.to < blocks_.size(),
+                "edge endpoint out of range");
+    APCC_ASSERT(std::isfinite(e.probability) && e.probability >= 0.0,
+                "edge probability must be finite and non-negative");
+  }
+}
+
+}  // namespace apcc::cfg

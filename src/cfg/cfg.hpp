@@ -1,0 +1,116 @@
+// Control flow graph representation (paper §2).
+//
+// Each node is a basic block: a straight-line run of instructions with a
+// single entry (jump target) and single exit (jump). Directed edges model
+// every potential control transfer; probabilities annotate edges for the
+// profile-driven predictor used by pre-decompress-single.
+//
+// A Cfg can be built from an assembled isa::Program (cfg::build_cfg) or
+// constructed directly for synthetic graphs (the paper's Figures 1/2/5).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace apcc::cfg {
+
+using BlockId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr BlockId kInvalidBlock =
+    std::numeric_limits<BlockId>::max();
+
+/// What kind of control transfer an edge models.
+enum class EdgeKind : std::uint8_t {
+  kFallThrough,  // sequential flow / branch not taken
+  kBranchTaken,  // conditional branch taken
+  kJump,         // unconditional direct jump
+  kCall,         // call-site block -> callee entry block
+  kReturn,       // callee return block -> block after the call site
+};
+
+[[nodiscard]] const char* edge_kind_name(EdgeKind kind);
+
+/// A directed CFG edge.
+struct Edge {
+  BlockId from = kInvalidBlock;
+  BlockId to = kInvalidBlock;
+  EdgeKind kind = EdgeKind::kFallThrough;
+  /// Probability that control leaving `from` takes this edge. Out-edge
+  /// probabilities of a block sum to 1 after normalize_probabilities().
+  double probability = 0.0;
+};
+
+/// A basic block node.
+struct BasicBlock {
+  BlockId id = kInvalidBlock;
+  std::uint32_t first_word = 0;   // word index in the program image
+  std::uint32_t word_count = 0;   // straight-line length
+  std::string note;               // display name ("B3", function name, ...)
+  std::vector<EdgeId> out_edges;  // indices into Cfg::edges()
+  std::vector<EdgeId> in_edges;
+  bool has_indirect_successors = false;  // jr through unknown target
+  bool is_exit = false;                  // ends in halt (program exit)
+
+  [[nodiscard]] std::uint64_t size_bytes() const {
+    return std::uint64_t{word_count} * 4;
+  }
+};
+
+/// The graph. Blocks and edges are stored in flat vectors; ids are stable.
+class Cfg {
+ public:
+  /// Append a block; returns its id.
+  BlockId add_block(std::uint32_t first_word, std::uint32_t word_count,
+                    std::string note = {});
+
+  /// Append an edge; returns its id. Duplicate (from,to,kind) pairs are
+  /// rejected -- the builder must merge parallel edges itself.
+  EdgeId add_edge(BlockId from, BlockId to, EdgeKind kind,
+                  double probability = 0.0);
+
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] const BasicBlock& block(BlockId id) const;
+  [[nodiscard]] BasicBlock& block(BlockId id);
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const {
+    return blocks_;
+  }
+
+  [[nodiscard]] const Edge& edge(EdgeId id) const;
+  [[nodiscard]] Edge& edge(EdgeId id);
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  [[nodiscard]] BlockId entry() const { return entry_; }
+  void set_entry(BlockId id);
+
+  /// Successor block ids of `id` (one per out-edge, in insertion order).
+  [[nodiscard]] std::vector<BlockId> successor_ids(BlockId id) const;
+  [[nodiscard]] std::vector<BlockId> predecessor_ids(BlockId id) const;
+
+  /// Edge from `from` to `to` if one exists (first match).
+  [[nodiscard]] EdgeId find_edge(BlockId from, BlockId to) const;
+  inline static constexpr EdgeId kNoEdge = std::numeric_limits<EdgeId>::max();
+
+  /// Give every block's out-edges probabilities summing to 1. Edges whose
+  /// probability is unset (0) share the residual mass uniformly.
+  void normalize_probabilities();
+
+  /// Total image size covered by the blocks.
+  [[nodiscard]] std::uint64_t total_code_bytes() const;
+
+  /// Structural sanity checks; throws AssertionError on corruption.
+  void validate() const;
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<Edge> edges_;
+  BlockId entry_ = kInvalidBlock;
+};
+
+}  // namespace apcc::cfg

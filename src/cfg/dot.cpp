@@ -1,0 +1,50 @@
+#include "cfg/dot.hpp"
+
+#include <sstream>
+
+namespace apcc::cfg {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const Cfg& cfg, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const auto& b : cfg.blocks()) {
+    os << "  n" << b.id << " [label=\"";
+    if (!b.note.empty()) {
+      os << escape(b.note);
+    } else {
+      os << 'B' << b.id;
+    }
+    if (options.show_sizes) {
+      os << "\\n" << b.size_bytes() << " B";
+    }
+    os << '"';
+    if (b.id == cfg.entry()) os << ", penwidth=2";
+    if (b.is_exit) os << ", peripheries=2";
+    os << "];\n";
+  }
+  for (const auto& e : cfg.edges()) {
+    os << "  n" << e.from << " -> n" << e.to << " [label=\""
+       << edge_kind_name(e.kind);
+    if (options.show_probabilities) {
+      os << "\\np=" << e.probability;
+    }
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace apcc::cfg

@@ -1,0 +1,19 @@
+// Graphviz DOT export of CFGs for debugging and documentation.
+#pragma once
+
+#include <string>
+
+#include "cfg/cfg.hpp"
+
+namespace apcc::cfg {
+
+struct DotOptions {
+  bool show_probabilities = true;
+  bool show_sizes = true;
+  const char* graph_name = "cfg";
+};
+
+/// Render the CFG as a DOT digraph.
+[[nodiscard]] std::string to_dot(const Cfg& cfg, const DotOptions& options = {});
+
+}  // namespace apcc::cfg

@@ -1,0 +1,54 @@
+// The example CFG fragments from the paper's figures, reconstructed so
+// that every property the prose asserts holds:
+//
+// Figure 1 (six blocks, two loops): after visiting B1, traversing edges
+//   a (B1->B3) and b (B3->B4) makes the 2-edge algorithm compress B1 just
+//   before execution enters B4.
+//
+// Figure 2 (ten blocks): the minimum edge distance from the exit of B1 to
+//   the entry of B7 is exactly 3, so with k=3 pre-decompression of B7
+//   starts when execution leaves B1. Blocks B4, B5, B8 and B9 are all
+//   within 2 edges of the exit of B0, so pre-decompress-all with k=2
+//   requests exactly those four when they are the compressed ones.
+//   (The scanned figure does not fully determine the edge set; this
+//   reconstruction satisfies every constraint stated in the text.)
+//
+// Figure 5 (four blocks): supports the access pattern B0,B1,B0,B1,B3 whose
+//   nine-step memory-image evolution §5 traces with k=2.
+#pragma once
+
+#include "cfg/cfg.hpp"
+#include "cfg/trace.hpp"
+
+namespace apcc::cfg {
+
+/// Options shared by the figure builders.
+struct PaperGraphOptions {
+  /// Instruction words per block. Blocks get slightly different sizes
+  /// (base + id) so memory numbers are distinguishable in tests.
+  std::uint32_t base_words_per_block = 12;
+  bool vary_sizes = true;
+};
+
+/// Figure 1: B0 {B1|B2} -> B3 -> {B4|B5}; B4->B3 back edge (inner loop),
+/// B5->B0 back edge (outer loop). Edge a = B1->B3, edge b = B3->B4.
+[[nodiscard]] Cfg figure1_cfg(const PaperGraphOptions& options = {});
+
+/// The execution path discussed for Figure 1: B0, B1, B3, B4.
+[[nodiscard]] BlockTrace figure1_trace();
+
+/// Figure 2/4 graph: diamond ladder B0..B9 with early-exit edges
+/// B2->B8 and B2->B9 (see header comment for the constraints).
+[[nodiscard]] Cfg figure2_cfg(const PaperGraphOptions& options = {});
+
+/// The highlighted Figure 4 path through the Figure 2 graph:
+/// B0, B2, B5, B6, B8, B9.
+[[nodiscard]] BlockTrace figure4_trace();
+
+/// Figure 5: B0 -> {B1|B2} -> B3, plus back edge B1->B0.
+[[nodiscard]] Cfg figure5_cfg(const PaperGraphOptions& options = {});
+
+/// The Figure 5 access pattern: B0, B1, B0, B1, B3.
+[[nodiscard]] BlockTrace figure5_trace();
+
+}  // namespace apcc::cfg

@@ -1,0 +1,59 @@
+// Edge profiles: execution-frequency annotations on the CFG.
+//
+// The pre-decompress-single strategy predicts "the block most likely to be
+// reached" (paper §4); with a profile, likelihood comes from observed edge
+// frequencies. A profile is gathered from one or more block traces
+// (training inputs) and can then be applied to the CFG's edge
+// probabilities for use on other inputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/cfg.hpp"
+#include "cfg/trace.hpp"
+
+namespace apcc::cfg {
+
+/// Accumulates block and edge execution counts from traces.
+class EdgeProfile {
+ public:
+  explicit EdgeProfile(const Cfg& cfg);
+
+  /// Record every transition of `trace`.
+  void add_trace(const BlockTrace& trace);
+
+  /// Record a single observed transition. Transitions with no matching
+  /// CFG edge are counted separately (indirect control).
+  void record_transition(BlockId from, BlockId to);
+
+  [[nodiscard]] std::uint64_t edge_count(EdgeId e) const;
+  [[nodiscard]] std::uint64_t block_count(BlockId b) const;
+  [[nodiscard]] std::uint64_t unmatched_transitions() const {
+    return unmatched_;
+  }
+
+  /// Total block entries observed.
+  [[nodiscard]] std::uint64_t total_entries() const { return total_; }
+
+  /// Overwrite `cfg`'s edge probabilities with the observed frequencies
+  /// (blocks never observed keep their existing probabilities), then
+  /// re-normalise.
+  void apply_to(Cfg& cfg) const;
+
+  /// Most frequently taken out-edge of `b`; Cfg::kNoEdge if unobserved.
+  [[nodiscard]] EdgeId hottest_out_edge(BlockId b) const;
+
+  /// Fraction of block entries attributable to the `n` hottest blocks --
+  /// a hot/cold skew measure used in workload characterisation.
+  [[nodiscard]] double hot_block_coverage(std::size_t n) const;
+
+ private:
+  const Cfg& cfg_;
+  std::vector<std::uint64_t> edge_counts_;
+  std::vector<std::uint64_t> block_counts_;
+  std::uint64_t unmatched_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace apcc::cfg

@@ -1,0 +1,99 @@
+// Canonical Huffman coding over the byte alphabet.
+//
+// Two operating modes:
+//
+//  * Per-stream (HuffmanCodec): each compressed stream carries its own
+//    code-length table (256 x 4-bit lengths = 128 bytes). Correct but the
+//    header dominates for small basic blocks.
+//
+//  * Shared model (SharedHuffmanCodec): one table is trained over the
+//    whole program image at build time and held by both compressor and
+//    decompressor, so streams carry no header. This matches how embedded
+//    code compressors deploy Huffman tables in ROM and is the default
+//    codec for APCC experiments.
+//
+// Codes are canonical (sorted by (length, symbol)), length-limited to
+// kMaxCodeLength bits, and decoded with the first-code/offset method.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "compress/codec.hpp"
+#include "support/bitstream.hpp"
+
+namespace apcc::compress {
+
+inline constexpr unsigned kMaxCodeLength = 15;
+inline constexpr std::size_t kAlphabetSize = 256;
+
+/// Code lengths per symbol; 0 means the symbol does not occur.
+using CodeLengths = std::array<std::uint8_t, kAlphabetSize>;
+
+/// Build length-limited Huffman code lengths from symbol frequencies.
+/// Symbols with zero frequency get length 0. If only one distinct symbol
+/// occurs it gets length 1.
+[[nodiscard]] CodeLengths build_code_lengths(
+    const std::array<std::uint64_t, kAlphabetSize>& freqs);
+
+/// A realised canonical code: encode and decode tables.
+class CanonicalCode {
+ public:
+  explicit CanonicalCode(const CodeLengths& lengths);
+
+  /// Encode one symbol into the writer.
+  void encode(apcc::BitWriter& writer, std::uint8_t symbol) const;
+
+  /// Decode one symbol from the reader. Throws CheckError on invalid
+  /// prefixes (corrupt stream).
+  [[nodiscard]] std::uint8_t decode(apcc::BitReader& reader) const;
+
+  [[nodiscard]] const CodeLengths& lengths() const { return lengths_; }
+
+  /// Expected bits/symbol under the given frequency distribution.
+  [[nodiscard]] double expected_bits(
+      const std::array<std::uint64_t, kAlphabetSize>& freqs) const;
+
+ private:
+  CodeLengths lengths_{};
+  std::array<std::uint16_t, kAlphabetSize> codes_{};   // left-aligned? no: value
+  // Decode tables, indexed by code length 1..kMaxCodeLength.
+  std::array<std::uint16_t, kMaxCodeLength + 1> first_code_{};
+  std::array<std::uint16_t, kMaxCodeLength + 1> first_index_{};
+  std::array<std::uint16_t, kMaxCodeLength + 1> count_{};
+  std::array<std::uint8_t, kAlphabetSize> sorted_symbols_{};
+  std::size_t symbol_count_ = 0;
+};
+
+/// Per-stream canonical Huffman codec (self-describing streams).
+class HuffmanCodec final : public Codec {
+ public:
+  HuffmanCodec();
+
+  [[nodiscard]] std::string_view name() const override { return "huffman"; }
+  [[nodiscard]] Bytes compress(ByteView input) const override;
+  [[nodiscard]] Bytes decompress(ByteView input,
+                                 std::size_t original_size) const override;
+};
+
+/// Shared-model canonical Huffman codec (table trained over the image).
+class SharedHuffmanCodec final : public Codec {
+ public:
+  /// Train the shared table over `training_blocks`. If no training data
+  /// is supplied, falls back to a uniform table (8-bit codes).
+  explicit SharedHuffmanCodec(std::span<const Bytes> training_blocks);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "huffman-shared";
+  }
+  [[nodiscard]] Bytes compress(ByteView input) const override;
+  [[nodiscard]] Bytes decompress(ByteView input,
+                                 std::size_t original_size) const override;
+
+  [[nodiscard]] const CanonicalCode& code() const { return code_; }
+
+ private:
+  CanonicalCode code_;
+};
+
+}  // namespace apcc::compress

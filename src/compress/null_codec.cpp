@@ -1,0 +1,24 @@
+#include "compress/null_codec.hpp"
+
+#include "support/assert.hpp"
+
+namespace apcc::compress {
+
+NullCodec::NullCodec() {
+  costs_ = CodecCosts{.decompress_cycles_per_byte = 0.25,
+                      .compress_cycles_per_byte = 0.25,
+                      .decompress_fixed_cycles = 8,
+                      .compress_fixed_cycles = 8};
+}
+
+Bytes NullCodec::compress(ByteView input) const {
+  return Bytes(input.begin(), input.end());
+}
+
+Bytes NullCodec::decompress(ByteView input, std::size_t original_size) const {
+  APCC_CHECK(input.size() == original_size,
+             "null codec stream size mismatch");
+  return Bytes(input.begin(), input.end());
+}
+
+}  // namespace apcc::compress

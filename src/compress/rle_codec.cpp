@@ -1,0 +1,133 @@
+#include "compress/rle_codec.hpp"
+
+#include <array>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace apcc::compress {
+
+namespace {
+
+/// Move-to-front transform state.
+class MtfTable {
+ public:
+  MtfTable() { std::iota(order_.begin(), order_.end(), 0); }
+
+  /// Encode: value -> current index, then move to front.
+  std::uint8_t encode(std::uint8_t value) {
+    std::size_t index = 0;
+    while (order_[index] != value) ++index;
+    move_to_front(index);
+    return static_cast<std::uint8_t>(index);
+  }
+
+  /// Decode: index -> value, then move to front.
+  std::uint8_t decode(std::uint8_t index) {
+    const std::uint8_t value = order_[index];
+    move_to_front(index);
+    return value;
+  }
+
+ private:
+  void move_to_front(std::size_t index) {
+    const std::uint8_t value = order_[index];
+    for (std::size_t i = index; i > 0; --i) {
+      order_[i] = order_[i - 1];
+    }
+    order_[0] = value;
+  }
+
+  std::array<std::uint8_t, 256> order_{};
+};
+
+constexpr std::uint8_t kLiteralTag = 0x00;
+constexpr std::uint8_t kRunTag = 0x01;
+constexpr std::size_t kMaxRun = 256;
+
+}  // namespace
+
+MtfRleCodec::MtfRleCodec() {
+  costs_ = CodecCosts{.decompress_cycles_per_byte = 1.5,
+                      .compress_cycles_per_byte = 3.0,
+                      .decompress_fixed_cycles = 24,
+                      .compress_fixed_cycles = 24};
+}
+
+Bytes MtfRleCodec::compress(ByteView input) const {
+  MtfTable mtf;
+  Bytes transformed;
+  transformed.reserve(input.size());
+  for (const std::uint8_t b : input) {
+    transformed.push_back(mtf.encode(b));
+  }
+
+  Bytes out;
+  std::size_t i = 0;
+  std::size_t literal_start = 0;  // pending literals in [literal_start, i)
+  auto flush_literals = [&](std::size_t end) {
+    std::size_t pos = literal_start;
+    while (pos < end) {
+      const std::size_t count = std::min(end - pos, kMaxRun);
+      out.push_back(kLiteralTag);
+      out.push_back(static_cast<std::uint8_t>(count - 1));
+      out.insert(out.end(), transformed.begin() + static_cast<std::ptrdiff_t>(pos),
+                 transformed.begin() + static_cast<std::ptrdiff_t>(pos + count));
+      pos += count;
+    }
+  };
+  while (i < transformed.size()) {
+    std::size_t run = 1;
+    while (i + run < transformed.size() && run < kMaxRun &&
+           transformed[i + run] == transformed[i]) {
+      ++run;
+    }
+    if (run >= 3) {
+      flush_literals(i);
+      out.push_back(kRunTag);
+      out.push_back(static_cast<std::uint8_t>(run - 1));
+      out.push_back(transformed[i]);
+      i += run;
+      literal_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(transformed.size());
+  return out;
+}
+
+Bytes MtfRleCodec::decompress(ByteView input, std::size_t original_size) const {
+  MtfTable mtf;
+  Bytes out;
+  out.reserve(original_size);
+  std::size_t i = 0;
+  while (out.size() < original_size) {
+    APCC_CHECK(i < input.size(), "mtf-rle stream truncated");
+    const std::uint8_t tag = input[i++];
+    if (tag == kRunTag) {
+      APCC_CHECK(i + 1 < input.size(), "mtf-rle run truncated");
+      const std::size_t run = std::size_t{input[i]} + 1;
+      const std::uint8_t index = input[i + 1];
+      i += 2;
+      // A run is `run` copies of the same MTF *index*. Decoding each
+      // element through the table is the exact inverse of encoding; note
+      // an index-X run with X != 0 decodes to alternating values.
+      for (std::size_t r = 0; r < run; ++r) {
+        out.push_back(mtf.decode(index));
+      }
+    } else {
+      APCC_CHECK(tag == kLiteralTag, "mtf-rle bad tag");
+      APCC_CHECK(i < input.size(), "mtf-rle literal header truncated");
+      const std::size_t count = std::size_t{input[i++]} + 1;
+      APCC_CHECK(i + count <= input.size(), "mtf-rle literals truncated");
+      for (std::size_t r = 0; r < count; ++r) {
+        out.push_back(mtf.decode(input[i++]));
+      }
+    }
+  }
+  APCC_CHECK(out.size() == original_size, "mtf-rle size overrun");
+  return out;
+}
+
+}  // namespace apcc::compress

@@ -1,0 +1,40 @@
+#include "core/csv.hpp"
+
+#include <sstream>
+
+namespace apcc::core {
+
+namespace {
+std::string escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string to_csv(const std::vector<ReportRow>& rows) {
+  std::ostringstream os;
+  os << "label,total_cycles,baseline_cycles,slowdown,peak_bytes,avg_bytes,"
+        "compressed_area_bytes,original_bytes,codec_ratio,exceptions,"
+        "demand_decompressions,predecompressions,deletions,evictions,"
+        "stall_cycles\n";
+  for (const auto& row : rows) {
+    const auto& r = row.result;
+    os << escape(row.label) << ',' << r.total_cycles << ','
+       << r.baseline_cycles << ',' << r.slowdown() << ','
+       << r.peak_occupancy_bytes << ',' << r.avg_occupancy_bytes << ','
+       << r.compressed_area_bytes << ',' << r.original_image_bytes << ','
+       << r.codec_ratio << ',' << r.exceptions << ','
+       << r.demand_decompressions << ',' << r.predecompressions << ','
+       << r.deletions << ',' << r.evictions << ',' << r.stall_cycles
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace apcc::core

@@ -1,0 +1,18 @@
+// CSV export of experiment results, for plotting outside the repo.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+
+namespace apcc::core {
+
+/// Render rows as CSV with a fixed header:
+/// label,total_cycles,baseline_cycles,slowdown,peak_bytes,avg_bytes,
+/// compressed_area_bytes,original_bytes,codec_ratio,exceptions,
+/// demand_decompressions,predecompressions,deletions,evictions,
+/// stall_cycles
+[[nodiscard]] std::string to_csv(const std::vector<ReportRow>& rows);
+
+}  // namespace apcc::core

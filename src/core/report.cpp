@@ -1,0 +1,60 @@
+#include "core/report.hpp"
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace apcc::core {
+
+std::string render_comparison(const std::vector<ReportRow>& rows) {
+  TextTable t;
+  t.row()
+      .cell("config")
+      .cell("cycles")
+      .cell("slowdown")
+      .cell("peak-mem")
+      .cell("peak-saving")
+      .cell("avg-saving")
+      .cell("excepts")
+      .cell("decomp")
+      .cell("deletes")
+      .cell("stall-cyc");
+  for (const auto& row : rows) {
+    const auto& r = row.result;
+    t.row()
+        .cell(row.label)
+        .cell(r.total_cycles)
+        .cell(r.slowdown(), 3)
+        .cell(human_bytes(r.peak_occupancy_bytes))
+        .cell(percent(r.peak_saving()))
+        .cell(percent(r.avg_saving()))
+        .cell(r.exceptions)
+        .cell(r.demand_decompressions + r.predecompressions)
+        .cell(r.deletions)
+        .cell(r.stall_cycles);
+  }
+  return t.render();
+}
+
+std::string render_memory_sweep(const std::vector<ReportRow>& rows) {
+  TextTable t;
+  t.row()
+      .cell("config")
+      .cell("peak-mem")
+      .cell("avg-mem")
+      .cell("peak-saving")
+      .cell("avg-saving")
+      .cell("slowdown");
+  for (const auto& row : rows) {
+    const auto& r = row.result;
+    t.row()
+        .cell(row.label)
+        .cell(human_bytes(r.peak_occupancy_bytes))
+        .cell(human_bytes(static_cast<std::uint64_t>(r.avg_occupancy_bytes)))
+        .cell(percent(r.peak_saving()))
+        .cell(percent(r.avg_saving()))
+        .cell(r.slowdown(), 3);
+  }
+  return t.render();
+}
+
+}  // namespace apcc::core

@@ -1,0 +1,65 @@
+#include "core/system.hpp"
+
+#include "memory/layout.hpp"
+#include "support/assert.hpp"
+
+namespace apcc::core {
+
+CodeCompressionSystem::CodeCompressionSystem(cfg::Cfg cfg,
+                                             runtime::BlockImage image,
+                                             SystemConfig config,
+                                             cfg::BlockTrace default_trace)
+    : cfg_(std::move(cfg)),
+      image_(std::make_unique<runtime::BlockImage>(std::move(image))),
+      config_(config),
+      default_trace_(std::move(default_trace)) {}
+
+CodeCompressionSystem CodeCompressionSystem::from_workload(
+    const workloads::Workload& workload, SystemConfig config) {
+  std::vector<compress::Bytes> bytes = workload.block_bytes;
+  auto codec = compress::make_codec(config.codec, bytes);
+  runtime::BlockImage image(workload.cfg, std::move(bytes), std::move(codec));
+  return CodeCompressionSystem(workload.cfg, std::move(image), config,
+                               workload.trace);
+}
+
+CodeCompressionSystem CodeCompressionSystem::from_cfg(
+    cfg::Cfg cfg,
+    const std::function<compress::Bytes(const cfg::BasicBlock&)>& provider,
+    SystemConfig config) {
+  runtime::BlockImage image =
+      runtime::make_block_image(cfg, provider, config.codec);
+  return CodeCompressionSystem(std::move(cfg), std::move(image), config, {});
+}
+
+sim::RunResult CodeCompressionSystem::run() const {
+  APCC_CHECK(!default_trace_.empty(),
+             "no default trace; pass one to run(trace)");
+  return run(default_trace_);
+}
+
+sim::RunResult CodeCompressionSystem::run(const cfg::BlockTrace& trace) const {
+  sim::EngineConfig ec{config_.policy, config_.costs, config_.fit};
+  sim::Engine engine(cfg_, *image_, ec);
+  return engine.run(trace);
+}
+
+sim::RunResult CodeCompressionSystem::run_with_events(
+    const cfg::BlockTrace& trace, sim::EventSink sink) const {
+  sim::EngineConfig ec{config_.policy, config_.costs, config_.fit};
+  sim::Engine engine(cfg_, *image_, ec);
+  engine.set_event_sink(std::move(sink));
+  return engine.run(trace);
+}
+
+std::uint64_t CodeCompressionSystem::compressed_image_bytes() const {
+  const memory::MemoryLayout layout(memory::layout_slots(image_->slot_sizes()),
+                                    memory::MemoryLayout::kUnbounded);
+  return layout.compressed_area_bytes();
+}
+
+std::uint64_t CodeCompressionSystem::original_image_bytes() const {
+  return cfg_.total_code_bytes();
+}
+
+}  // namespace apcc::core

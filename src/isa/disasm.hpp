@@ -1,0 +1,18 @@
+// Disassembler for ERISC-32 words and program images.
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace apcc::isa {
+
+/// Render one instruction. `word_index` is used to display branch targets
+/// as absolute word indices (pass 0 if unknown).
+[[nodiscard]] std::string disassemble(const Instruction& inst,
+                                      std::uint32_t word_index = 0);
+
+/// Render the whole program, one line per word, with labels interleaved.
+[[nodiscard]] std::string disassemble(const Program& program);
+
+}  // namespace apcc::isa

@@ -1,0 +1,170 @@
+#include "isa/isa.hpp"
+
+#include "support/assert.hpp"
+
+namespace apcc::isa {
+
+namespace {
+
+constexpr std::array<OpcodeInfo, kNumOpcodes> make_table() {
+  std::array<OpcodeInfo, kNumOpcodes> t{};
+  auto set = [&t](Opcode op, std::string_view m, Format f) -> OpcodeInfo& {
+    auto& e = t[static_cast<std::size_t>(op)];
+    e.mnemonic = m;
+    e.format = f;
+    return e;
+  };
+  set(Opcode::kAdd, "add", Format::kR);
+  set(Opcode::kSub, "sub", Format::kR);
+  set(Opcode::kAnd, "and", Format::kR);
+  set(Opcode::kOr, "or", Format::kR);
+  set(Opcode::kXor, "xor", Format::kR);
+  set(Opcode::kSll, "sll", Format::kR);
+  set(Opcode::kSrl, "srl", Format::kR);
+  set(Opcode::kSra, "sra", Format::kR);
+  set(Opcode::kMul, "mul", Format::kR);
+  set(Opcode::kDiv, "div", Format::kR);
+  set(Opcode::kSlt, "slt", Format::kR);
+  set(Opcode::kAddi, "addi", Format::kI);
+  set(Opcode::kAndi, "andi", Format::kI);
+  set(Opcode::kOri, "ori", Format::kI);
+  set(Opcode::kXori, "xori", Format::kI);
+  set(Opcode::kSlli, "slli", Format::kI);
+  set(Opcode::kSrli, "srli", Format::kI);
+  set(Opcode::kLui, "lui", Format::kI);
+  set(Opcode::kLw, "lw", Format::kI).is_load = true;
+  set(Opcode::kSw, "sw", Format::kI).is_store = true;
+  set(Opcode::kLb, "lb", Format::kI).is_load = true;
+  set(Opcode::kSb, "sb", Format::kI).is_store = true;
+  set(Opcode::kBeq, "beq", Format::kB).is_branch = true;
+  set(Opcode::kBne, "bne", Format::kB).is_branch = true;
+  set(Opcode::kBlt, "blt", Format::kB).is_branch = true;
+  set(Opcode::kBge, "bge", Format::kB).is_branch = true;
+  set(Opcode::kJmp, "jmp", Format::kJ).is_jump = true;
+  {
+    auto& e = set(Opcode::kJal, "jal", Format::kJ);
+    e.is_jump = true;
+    e.is_call = true;
+  }
+  set(Opcode::kJr, "jr", Format::kR).is_indirect = true;
+  {
+    auto& e = set(Opcode::kRet, "ret", Format::kNone);
+    e.is_indirect = true;
+    e.is_return = true;
+  }
+  set(Opcode::kNop, "nop", Format::kNone);
+  set(Opcode::kHalt, "halt", Format::kNone).is_halt = true;
+  return t;
+}
+
+constexpr auto kOpcodeTable = make_table();
+
+constexpr std::uint32_t kFieldMask18 = (1u << 18) - 1;
+constexpr std::uint32_t kFieldMask26 = (1u << 26) - 1;
+
+std::uint32_t check_reg(std::uint8_t r, const char* which) {
+  APCC_CHECK(r < kNumRegisters, std::string("register out of range: ") + which);
+  return r;
+}
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  const auto index = static_cast<std::size_t>(op);
+  APCC_ASSERT(index < kNumOpcodes, "invalid opcode enumerator");
+  return kOpcodeTable[index];
+}
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view m) {
+  for (unsigned i = 0; i < kNumOpcodes; ++i) {
+    if (kOpcodeTable[i].mnemonic == m) {
+      return static_cast<Opcode>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+bool Instruction::is_control() const {
+  const auto& info = opcode_info(opcode);
+  return info.is_branch || info.is_jump || info.is_indirect || info.is_halt;
+}
+
+bool Instruction::can_fall_through() const {
+  const auto& info = opcode_info(opcode);
+  if (info.is_branch) return true;  // not-taken path
+  if (info.is_call) return true;    // execution resumes after the call
+  return !(info.is_jump || info.is_indirect || info.is_halt);
+}
+
+std::uint32_t encode(const Instruction& inst) {
+  const auto& info = opcode_info(inst.opcode);
+  std::uint32_t word = static_cast<std::uint32_t>(inst.opcode) << 26;
+  switch (info.format) {
+    case Format::kR:
+      word |= check_reg(inst.rd, "rd") << 22;
+      word |= check_reg(inst.rs1, "rs1") << 18;
+      word |= check_reg(inst.rs2, "rs2") << 14;
+      break;
+    case Format::kI:
+      APCC_CHECK(inst.imm >= kImmMin && inst.imm <= kImmMax,
+                 "I-type immediate out of range");
+      word |= check_reg(inst.rd, "rd") << 22;
+      word |= check_reg(inst.rs1, "rs1") << 18;
+      word |= static_cast<std::uint32_t>(inst.imm) & kFieldMask18;
+      break;
+    case Format::kB:
+      APCC_CHECK(inst.imm >= kImmMin && inst.imm <= kImmMax,
+                 "branch offset out of range");
+      word |= check_reg(inst.rs1, "rs1") << 22;
+      word |= check_reg(inst.rs2, "rs2") << 18;
+      word |= static_cast<std::uint32_t>(inst.imm) & kFieldMask18;
+      break;
+    case Format::kJ:
+      APCC_CHECK(inst.imm >= 0 &&
+                     static_cast<std::uint32_t>(inst.imm) <= kJumpTargetMax,
+                 "jump target out of range");
+      word |= static_cast<std::uint32_t>(inst.imm) & kFieldMask26;
+      break;
+    case Format::kNone:
+      break;
+  }
+  return word;
+}
+
+Instruction decode(std::uint32_t word) {
+  const std::uint32_t op_field = word >> 26;
+  APCC_CHECK(op_field < kNumOpcodes, "invalid opcode field in word");
+  Instruction inst;
+  inst.opcode = static_cast<Opcode>(op_field);
+  const auto& info = opcode_info(inst.opcode);
+  auto sign_extend18 = [](std::uint32_t v) {
+    return (v & (1u << 17)) != 0
+               ? static_cast<std::int32_t>(v | ~kFieldMask18)
+               : static_cast<std::int32_t>(v);
+  };
+  switch (info.format) {
+    case Format::kR:
+      inst.rd = static_cast<std::uint8_t>((word >> 22) & 0xf);
+      inst.rs1 = static_cast<std::uint8_t>((word >> 18) & 0xf);
+      inst.rs2 = static_cast<std::uint8_t>((word >> 14) & 0xf);
+      break;
+    case Format::kI:
+      inst.rd = static_cast<std::uint8_t>((word >> 22) & 0xf);
+      inst.rs1 = static_cast<std::uint8_t>((word >> 18) & 0xf);
+      inst.imm = sign_extend18(word & kFieldMask18);
+      break;
+    case Format::kB:
+      inst.rs1 = static_cast<std::uint8_t>((word >> 22) & 0xf);
+      inst.rs2 = static_cast<std::uint8_t>((word >> 18) & 0xf);
+      inst.imm = sign_extend18(word & kFieldMask18);
+      break;
+    case Format::kJ:
+      inst.imm = static_cast<std::int32_t>(word & kFieldMask26);
+      break;
+    case Format::kNone:
+      break;
+  }
+  return inst;
+}
+
+}  // namespace apcc::isa

@@ -1,0 +1,81 @@
+#include "memory/layout.hpp"
+
+namespace apcc::memory {
+
+namespace {
+std::uint64_t align4(std::uint64_t v) { return (v + 3) & ~std::uint64_t{3}; }
+}  // namespace
+
+std::vector<CompressedSlot> layout_slots(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+        compressed_and_original_sizes) {
+  std::vector<CompressedSlot> slots;
+  slots.reserve(compressed_and_original_sizes.size());
+  std::uint64_t cursor = 0;
+  for (const auto& [compressed, original] : compressed_and_original_sizes) {
+    CompressedSlot slot;
+    slot.address = cursor;
+    slot.compressed_size = compressed;
+    slot.original_size = original;
+    cursor += align4(compressed);
+    slots.push_back(slot);
+  }
+  return slots;
+}
+
+MemoryLayout::MemoryLayout(std::vector<CompressedSlot> slots,
+                           std::uint64_t decompressed_capacity,
+                           FitPolicy fit)
+    : slots_(std::move(slots)),
+      allocator_(decompressed_capacity == kUnbounded
+                     ? [&] {
+                         // "Unbounded" still needs a finite region; the
+                         // whole image decompressed at once is the upper
+                         // bound, padded for allocator alignment.
+                         std::uint64_t total = 0;
+                         for (const auto& s : slots_) {
+                           total += align4(s.original_size);
+                         }
+                         return total + 4096;
+                       }()
+                     : decompressed_capacity,
+                 fit) {
+  for (const auto& s : slots_) {
+    compressed_area_bytes_ =
+        std::max(compressed_area_bytes_, s.address + align4(s.compressed_size));
+    original_image_bytes_ += s.original_size;
+  }
+  compressed_area_bytes_ += index_bytes();
+  peak_occupancy_ = occupancy_bytes();
+  occupancy_series_.sample(0, static_cast<double>(peak_occupancy_));
+}
+
+const CompressedSlot& MemoryLayout::slot(std::size_t block) const {
+  APCC_CHECK(block < slots_.size(), "block index out of range");
+  return slots_[block];
+}
+
+std::optional<std::uint64_t> MemoryLayout::place_decompressed(
+    std::size_t block, std::uint64_t now) {
+  const auto address = allocator_.allocate(slot(block).original_size);
+  if (address) sample(now);
+  return address;
+}
+
+void MemoryLayout::drop_decompressed(std::uint64_t address,
+                                     std::uint64_t now) {
+  allocator_.release(address);
+  sample(now);
+}
+
+std::uint64_t MemoryLayout::occupancy_bytes() const {
+  return compressed_area_bytes_ + allocator_.used_bytes();
+}
+
+void MemoryLayout::sample(std::uint64_t now) {
+  const std::uint64_t occupancy = occupancy_bytes();
+  peak_occupancy_ = std::max(peak_occupancy_, occupancy);
+  occupancy_series_.sample(now, static_cast<double>(occupancy));
+}
+
+}  // namespace apcc::memory

@@ -1,0 +1,114 @@
+// Memory image layout for the paper's compressed-code scheme (§5).
+//
+// The image has two regions:
+//  * the compressed code area -- every basic block's compressed bytes at a
+//    fixed location, plus a per-block index entry (address + length + the
+//    compressed/uncompressed state bit the paper requires); this region
+//    never changes during execution, and
+//  * the decompressed block area -- transient decompressed copies managed
+//    by a FreeListAllocator.
+//
+// Total occupancy at any instant = compressed area + live decompressed
+// copies + runtime metadata. MemoryLayout tracks the time series so the
+// engine can report peak and time-averaged footprints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/allocator.hpp"
+#include "support/stats.hpp"
+
+namespace apcc::memory {
+
+/// Static description of one block's slot in the compressed code area.
+struct CompressedSlot {
+  std::uint64_t address = 0;        // offset within the compressed area
+  std::uint64_t compressed_size = 0;
+  std::uint64_t original_size = 0;
+};
+
+/// Per-block index entry overhead, modelling the paper's bookkeeping: the
+/// §4 "bit per basic block" state flag, the §5 k-edge counter, and the
+/// compressed slot length (slot addresses are prefix sums recomputed from
+/// lengths, CodePack-LAT style), packed into 4 bytes per block. The paper
+/// itself never charges this cost; APCC includes it in every occupancy
+/// number so reported savings are conservative.
+inline constexpr std::uint64_t kIndexEntryBytes = 4;
+
+/// Layout + occupancy tracker.
+class MemoryLayout {
+ public:
+  /// `decompressed_capacity` bounds the decompressed area (the §2 budget);
+  /// pass kUnbounded for the paper's default unrestricted mode.
+  static constexpr std::uint64_t kUnbounded = UINT64_MAX;
+
+  MemoryLayout(std::vector<CompressedSlot> slots,
+               std::uint64_t decompressed_capacity,
+               FitPolicy fit = FitPolicy::kFirstFit);
+
+  [[nodiscard]] const CompressedSlot& slot(std::size_t block) const;
+  [[nodiscard]] std::size_t block_count() const { return slots_.size(); }
+
+  /// Fixed size of the compressed code area (sum of slots, 4-byte aligned
+  /// each) plus the block index.
+  [[nodiscard]] std::uint64_t compressed_area_bytes() const {
+    return compressed_area_bytes_;
+  }
+  [[nodiscard]] std::uint64_t index_bytes() const {
+    return kIndexEntryBytes * slots_.size();
+  }
+
+  /// Original (uncompressed) image size.
+  [[nodiscard]] std::uint64_t original_image_bytes() const {
+    return original_image_bytes_;
+  }
+
+  /// Allocate room for a decompressed copy of `block`; nullopt if the
+  /// area is full (caller evicts and retries). `now` timestamps the
+  /// occupancy sample.
+  [[nodiscard]] std::optional<std::uint64_t> place_decompressed(
+      std::size_t block, std::uint64_t now);
+
+  /// Release the decompressed copy previously placed at `address`.
+  void drop_decompressed(std::uint64_t address, std::uint64_t now);
+
+  /// Live bytes in the decompressed area.
+  [[nodiscard]] std::uint64_t decompressed_bytes() const {
+    return allocator_.used_bytes();
+  }
+
+  /// Total live occupancy: compressed area + index + decompressed copies.
+  [[nodiscard]] std::uint64_t occupancy_bytes() const;
+
+  [[nodiscard]] const FreeListAllocator& allocator() const {
+    return allocator_;
+  }
+
+  /// Peak total occupancy observed.
+  [[nodiscard]] std::uint64_t peak_occupancy_bytes() const {
+    return peak_occupancy_;
+  }
+  /// Time-weighted average occupancy up to `now`.
+  [[nodiscard]] double average_occupancy_bytes(std::uint64_t now) const {
+    return occupancy_series_.average(now);
+  }
+
+ private:
+  void sample(std::uint64_t now);
+
+  std::vector<CompressedSlot> slots_;
+  std::uint64_t compressed_area_bytes_ = 0;
+  std::uint64_t original_image_bytes_ = 0;
+  FreeListAllocator allocator_;
+  std::uint64_t peak_occupancy_ = 0;
+  apcc::TimeWeightedAverage occupancy_series_;
+};
+
+/// Lay out compressed blocks back to back (4-byte aligned), computing slot
+/// addresses from the given sizes.
+[[nodiscard]] std::vector<CompressedSlot> layout_slots(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>&
+        compressed_and_original_sizes);
+
+}  // namespace apcc::memory

@@ -1,0 +1,81 @@
+#include "runtime/block_image.hpp"
+
+#include <functional>
+
+#include "support/assert.hpp"
+
+namespace apcc::runtime {
+
+BlockImage::BlockImage(const cfg::Cfg& cfg,
+                       std::vector<compress::Bytes> block_bytes,
+                       std::unique_ptr<compress::Codec> codec)
+    : codec_(std::move(codec)) {
+  APCC_CHECK(codec_ != nullptr, "BlockImage requires a codec");
+  APCC_CHECK(block_bytes.size() == cfg.block_count(),
+             "one byte string per CFG block required");
+  blocks_.reserve(block_bytes.size());
+  for (auto& bytes : block_bytes) {
+    ImageBlock ib;
+    ib.compressed = codec_->compress(bytes);
+    ib.original = std::move(bytes);
+    blocks_.push_back(std::move(ib));
+  }
+}
+
+const ImageBlock& BlockImage::block(cfg::BlockId id) const {
+  APCC_CHECK(id < blocks_.size(), "block id out of range");
+  return blocks_[id];
+}
+
+std::uint64_t BlockImage::original_size(cfg::BlockId id) const {
+  return block(id).original.size();
+}
+
+std::uint64_t BlockImage::compressed_size(cfg::BlockId id) const {
+  return block(id).compressed.size();
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> BlockImage::slot_sizes()
+    const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sizes;
+  sizes.reserve(blocks_.size());
+  for (const auto& b : blocks_) {
+    sizes.emplace_back(b.compressed.size(), b.original.size());
+  }
+  return sizes;
+}
+
+double BlockImage::ratio() const {
+  std::uint64_t original = 0;
+  std::uint64_t compressed = 0;
+  for (const auto& b : blocks_) {
+    original += b.original.size();
+    compressed += b.compressed.size();
+  }
+  return original == 0 ? 1.0
+                       : static_cast<double>(compressed) /
+                             static_cast<double>(original);
+}
+
+void BlockImage::verify_block(cfg::BlockId id) const {
+  const auto& b = block(id);
+  const compress::Bytes roundtrip =
+      codec_->decompress(b.compressed, b.original.size());
+  APCC_CHECK(roundtrip == b.original,
+             "codec round-trip mismatch on block " + std::to_string(id));
+}
+
+BlockImage make_block_image(
+    const cfg::Cfg& cfg,
+    const std::function<compress::Bytes(const cfg::BasicBlock&)>& provider,
+    compress::CodecKind codec_kind) {
+  std::vector<compress::Bytes> bytes;
+  bytes.reserve(cfg.block_count());
+  for (const auto& b : cfg.blocks()) {
+    bytes.push_back(provider(b));
+  }
+  auto codec = compress::make_codec(codec_kind, bytes);
+  return BlockImage(cfg, std::move(bytes), std::move(codec));
+}
+
+}  // namespace apcc::runtime

@@ -1,0 +1,32 @@
+#include "runtime/kedge.hpp"
+
+#include "support/assert.hpp"
+
+namespace apcc::runtime {
+
+KEdgeCompressionManager::KEdgeCompressionManager(StateTable& states,
+                                                 std::uint32_t k)
+    : states_(states), k_(k) {
+  APCC_CHECK(k >= 1, "k-edge requires k >= 1");
+}
+
+void KEdgeCompressionManager::on_block_executed(cfg::BlockId block) {
+  states_[block].kedge_counter = 0;
+}
+
+std::vector<cfg::BlockId> KEdgeCompressionManager::on_edge_traversed(
+    cfg::BlockId target) {
+  std::vector<cfg::BlockId> to_delete;
+  for (cfg::BlockId b = 0; b < states_.size(); ++b) {
+    if (b == target) continue;
+    BlockState& s = states_[b];
+    if (s.form != BlockForm::kDecompressed) continue;
+    ++s.kedge_counter;
+    if (s.kedge_counter >= k_ && !s.executing) {
+      to_delete.push_back(b);
+    }
+  }
+  return to_delete;
+}
+
+}  // namespace apcc::runtime

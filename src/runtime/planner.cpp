@@ -1,0 +1,60 @@
+#include "runtime/planner.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace apcc::runtime {
+
+DecompressionPlanner::DecompressionPlanner(const cfg::Cfg& cfg,
+                                           const StateTable& states,
+                                           const Policy& policy,
+                                           const Predictor* predictor)
+    : cfg_(cfg), states_(states), policy_(policy), predictor_(predictor) {
+  if (policy_.strategy == DecompressionStrategy::kPreSingle) {
+    APCC_CHECK(predictor_ != nullptr, "pre-single requires a predictor");
+  }
+}
+
+std::vector<cfg::BlockId> DecompressionPlanner::compressed_frontier(
+    cfg::BlockId block) const {
+  const auto frontier =
+      cfg::frontier_within(cfg_, block, policy_.predecompress_k);
+  struct Candidate {
+    cfg::BlockId id;
+    unsigned distance;
+  };
+  std::vector<Candidate> candidates;
+  for (const cfg::BlockId b : frontier) {
+    if (states_[b].form != BlockForm::kCompressed) continue;
+    const auto dist = cfg::edge_distance(cfg_, block, b);
+    candidates.push_back(Candidate{b, dist.value_or(UINT_MAX)});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  std::vector<cfg::BlockId> out;
+  out.reserve(candidates.size());
+  for (const auto& c : candidates) out.push_back(c.id);
+  return out;
+}
+
+std::vector<cfg::BlockId> DecompressionPlanner::plan_on_exit(
+    cfg::BlockId block, std::size_t trace_index) const {
+  switch (policy_.strategy) {
+    case DecompressionStrategy::kOnDemand:
+      return {};
+    case DecompressionStrategy::kPreAll:
+      return compressed_frontier(block);
+    case DecompressionStrategy::kPreSingle: {
+      const auto candidates = compressed_frontier(block);
+      if (candidates.empty()) return {};
+      return {predictor_->predict(block, candidates, trace_index)};
+    }
+  }
+  APCC_ASSERT(false, "unknown decompression strategy");
+}
+
+}  // namespace apcc::runtime

@@ -1,0 +1,41 @@
+// Decompression planning: which blocks to pre-decompress and when.
+//
+// Implements the decompression side of Figure 3's design space. The
+// planner runs at every block exit (the trigger point Figure 2 fixes:
+// "when the execution thread exits basic block B1, the decompression
+// thread starts decompressing B7") and emits an ordered request list for
+// the decompression helper.
+#pragma once
+
+#include "cfg/analysis.hpp"
+#include "runtime/policy.hpp"
+#include "runtime/predictor.hpp"
+#include "runtime/state.hpp"
+
+namespace apcc::runtime {
+
+class DecompressionPlanner {
+ public:
+  /// `predictor` may be null unless the strategy is kPreSingle.
+  DecompressionPlanner(const cfg::Cfg& cfg, const StateTable& states,
+                       const Policy& policy, const Predictor* predictor);
+
+  /// Called when the execution thread exits `block` (trace position
+  /// `trace_index`). Returns the blocks to request, nearest-first, all
+  /// currently in compressed form.
+  [[nodiscard]] std::vector<cfg::BlockId> plan_on_exit(
+      cfg::BlockId block, std::size_t trace_index) const;
+
+ private:
+  /// Compressed blocks within the k-edge frontier of `block`, sorted by
+  /// (min edge distance, id) so the most imminent request runs first.
+  [[nodiscard]] std::vector<cfg::BlockId> compressed_frontier(
+      cfg::BlockId block) const;
+
+  const cfg::Cfg& cfg_;
+  const StateTable& states_;
+  Policy policy_;
+  const Predictor* predictor_;
+};
+
+}  // namespace apcc::runtime

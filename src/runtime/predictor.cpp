@@ -1,0 +1,118 @@
+#include "runtime/predictor.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace apcc::runtime {
+
+const char* strategy_name(DecompressionStrategy s) {
+  switch (s) {
+    case DecompressionStrategy::kOnDemand: return "on-demand";
+    case DecompressionStrategy::kPreAll: return "pre-all";
+    case DecompressionStrategy::kPreSingle: return "pre-single";
+  }
+  return "?";
+}
+
+const char* predictor_name(PredictorKind p) {
+  switch (p) {
+    case PredictorKind::kProfile: return "profile";
+    case PredictorKind::kStatic: return "static";
+    case PredictorKind::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+const char* victim_policy_name(VictimPolicy p) {
+  switch (p) {
+    case VictimPolicy::kLru: return "lru";
+    case VictimPolicy::kMru: return "mru";
+    case VictimPolicy::kLargest: return "largest";
+  }
+  return "?";
+}
+
+ProfilePredictor::ProfilePredictor(const cfg::Cfg& cfg, std::uint32_t k)
+    : cfg_(cfg), k_(k) {}
+
+cfg::BlockId ProfilePredictor::predict(
+    cfg::BlockId from, const std::vector<cfg::BlockId>& candidates,
+    std::size_t /*trace_index*/) const {
+  APCC_CHECK(!candidates.empty(), "predict() needs candidates");
+  const auto scores = cfg::reach_scores(cfg_, from, k_);
+  // reach_scores is sorted by descending score; take the best candidate.
+  for (const auto& rs : scores) {
+    if (std::find(candidates.begin(), candidates.end(), rs.block) !=
+        candidates.end()) {
+      return rs.block;
+    }
+  }
+  return candidates.front();  // unreachable under probabilities: first wins
+}
+
+StaticPredictor::StaticPredictor(const cfg::Cfg& cfg, std::uint32_t k)
+    : cfg_(cfg), k_(k), loop_depth_(cfg::loop_depths(cfg)) {}
+
+cfg::BlockId StaticPredictor::predict(
+    cfg::BlockId from, const std::vector<cfg::BlockId>& candidates,
+    std::size_t /*trace_index*/) const {
+  APCC_CHECK(!candidates.empty(), "predict() needs candidates");
+  cfg::BlockId best = candidates.front();
+  unsigned best_depth = 0;
+  unsigned best_dist = UINT_MAX;
+  bool first = true;
+  for (const cfg::BlockId c : candidates) {
+    const unsigned depth = loop_depth_[c];
+    const auto dist = cfg::edge_distance(cfg_, from, c);
+    const unsigned d = dist.value_or(UINT_MAX);
+    const bool better = first || depth > best_depth ||
+                        (depth == best_depth && d < best_dist) ||
+                        (depth == best_depth && d == best_dist && c < best);
+    if (better) {
+      best = c;
+      best_depth = depth;
+      best_dist = d;
+      first = false;
+    }
+  }
+  (void)k_;
+  return best;
+}
+
+OraclePredictor::OraclePredictor(const cfg::Cfg& /*cfg*/,
+                                 const cfg::BlockTrace& trace)
+    : trace_(trace) {}
+
+cfg::BlockId OraclePredictor::predict(
+    cfg::BlockId /*from*/, const std::vector<cfg::BlockId>& candidates,
+    std::size_t trace_index) const {
+  APCC_CHECK(!candidates.empty(), "predict() needs candidates");
+  // Start two entries ahead: the immediately-next block cannot profit
+  // from pre-decompression (there is no lead time to hide any latency),
+  // so predicting it would waste the single request pre-single gets.
+  for (std::size_t i = trace_index + 2; i < trace_.size(); ++i) {
+    if (std::find(candidates.begin(), candidates.end(), trace_[i]) !=
+        candidates.end()) {
+      return trace_[i];
+    }
+  }
+  return candidates.front();  // never reached again: arbitrary
+}
+
+std::unique_ptr<Predictor> make_predictor(PredictorKind kind,
+                                          const cfg::Cfg& cfg,
+                                          std::uint32_t k,
+                                          const cfg::BlockTrace& trace) {
+  switch (kind) {
+    case PredictorKind::kProfile:
+      return std::make_unique<ProfilePredictor>(cfg, k);
+    case PredictorKind::kStatic:
+      return std::make_unique<StaticPredictor>(cfg, k);
+    case PredictorKind::kOracle:
+      return std::make_unique<OraclePredictor>(cfg, trace);
+  }
+  APCC_ASSERT(false, "unknown predictor kind");
+}
+
+}  // namespace apcc::runtime

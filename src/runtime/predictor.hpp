@@ -1,0 +1,97 @@
+// Next-block predictors for pre-decompress-single (paper §4).
+//
+// "We predict the block (among these candidates) that is to be the most
+//  likely one to be reached, and decompress only that block."
+//
+// Three implementations (E7 ablation):
+//  * ProfilePredictor  -- argmax expected-visit score under the CFG's
+//    (profile-derived) edge probabilities; this is the paper's intent.
+//  * StaticPredictor   -- no profile: prefer blocks in deeper loops, then
+//    nearer ones, then lower ids. A compile-time-only heuristic.
+//  * OraclePredictor   -- consults the actual future trace; gives the
+//    upper bound on what any predictor could achieve.
+#pragma once
+
+#include <memory>
+
+#include "cfg/analysis.hpp"
+#include "cfg/cfg.hpp"
+#include "cfg/trace.hpp"
+#include "runtime/policy.hpp"
+
+namespace apcc::runtime {
+
+/// Chooses which single candidate block to pre-decompress.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Pick one of `candidates` (non-empty, all currently compressed and
+  /// within the k-edge frontier of `from`). `trace_index` is the index of
+  /// the block being exited in the driving trace (used by the oracle).
+  [[nodiscard]] virtual cfg::BlockId predict(
+      cfg::BlockId from, const std::vector<cfg::BlockId>& candidates,
+      std::size_t trace_index) const = 0;
+
+  [[nodiscard]] virtual PredictorKind kind() const = 0;
+};
+
+/// Profile-guided predictor (paper default).
+class ProfilePredictor final : public Predictor {
+ public:
+  ProfilePredictor(const cfg::Cfg& cfg, std::uint32_t k);
+
+  [[nodiscard]] cfg::BlockId predict(
+      cfg::BlockId from, const std::vector<cfg::BlockId>& candidates,
+      std::size_t trace_index) const override;
+  [[nodiscard]] PredictorKind kind() const override {
+    return PredictorKind::kProfile;
+  }
+
+ private:
+  const cfg::Cfg& cfg_;
+  std::uint32_t k_;
+};
+
+/// Structural heuristic predictor.
+class StaticPredictor final : public Predictor {
+ public:
+  StaticPredictor(const cfg::Cfg& cfg, std::uint32_t k);
+
+  [[nodiscard]] cfg::BlockId predict(
+      cfg::BlockId from, const std::vector<cfg::BlockId>& candidates,
+      std::size_t trace_index) const override;
+  [[nodiscard]] PredictorKind kind() const override {
+    return PredictorKind::kStatic;
+  }
+
+ private:
+  const cfg::Cfg& cfg_;
+  std::uint32_t k_;
+  std::vector<unsigned> loop_depth_;
+};
+
+/// Oracle predictor: picks the candidate that the trace actually reaches
+/// first after `trace_index`.
+class OraclePredictor final : public Predictor {
+ public:
+  OraclePredictor(const cfg::Cfg& cfg, const cfg::BlockTrace& trace);
+
+  [[nodiscard]] cfg::BlockId predict(
+      cfg::BlockId from, const std::vector<cfg::BlockId>& candidates,
+      std::size_t trace_index) const override;
+  [[nodiscard]] PredictorKind kind() const override {
+    return PredictorKind::kOracle;
+  }
+
+ private:
+  const cfg::BlockTrace& trace_;
+};
+
+/// Factory keyed on PredictorKind. The oracle needs the trace; others
+/// ignore it.
+[[nodiscard]] std::unique_ptr<Predictor> make_predictor(
+    PredictorKind kind, const cfg::Cfg& cfg, std::uint32_t k,
+    const cfg::BlockTrace& trace);
+
+}  // namespace apcc::runtime

@@ -1,0 +1,74 @@
+#include "runtime/state.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace apcc::runtime {
+
+const char* block_form_name(BlockForm f) {
+  switch (f) {
+    case BlockForm::kCompressed: return "compressed";
+    case BlockForm::kDecompressing: return "decompressing";
+    case BlockForm::kDecompressed: return "decompressed";
+  }
+  return "?";
+}
+
+bool BlockState::is_patched_for(cfg::BlockId pred) const {
+  return std::find(remember_set.begin(), remember_set.end(), pred) !=
+         remember_set.end();
+}
+
+void BlockState::add_patch(cfg::BlockId pred) {
+  if (!is_patched_for(pred)) {
+    remember_set.push_back(pred);
+  }
+}
+
+StateTable::StateTable(std::size_t block_count) : states_(block_count) {}
+
+BlockState& StateTable::operator[](cfg::BlockId id) {
+  APCC_CHECK(id < states_.size(), "block id out of range");
+  return states_[id];
+}
+
+const BlockState& StateTable::operator[](cfg::BlockId id) const {
+  APCC_CHECK(id < states_.size(), "block id out of range");
+  return states_[id];
+}
+
+std::vector<cfg::BlockId> StateTable::decompressed_blocks() const {
+  std::vector<cfg::BlockId> out;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].form == BlockForm::kDecompressed) {
+      out.push_back(static_cast<cfg::BlockId>(i));
+    }
+  }
+  return out;
+}
+
+std::size_t StateTable::count(BlockForm form) const {
+  std::size_t n = 0;
+  for (const auto& s : states_) {
+    if (s.form == form) ++n;
+  }
+  return n;
+}
+
+cfg::BlockId StateTable::lru_victim(cfg::BlockId protect) const {
+  cfg::BlockId victim = cfg::kInvalidBlock;
+  std::uint64_t oldest = UINT64_MAX;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const auto& s = states_[i];
+    if (s.form != BlockForm::kDecompressed || s.executing) continue;
+    if (static_cast<cfg::BlockId>(i) == protect) continue;
+    if (s.last_use_time < oldest) {
+      oldest = s.last_use_time;
+      victim = static_cast<cfg::BlockId>(i);
+    }
+  }
+  return victim;
+}
+
+}  // namespace apcc::runtime

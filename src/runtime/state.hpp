@@ -1,0 +1,69 @@
+// Dynamic per-block runtime state (paper §5 bookkeeping).
+//
+// For every basic block the runtime tracks: which form it is in (the
+// "compressed bit" of §4 plus an in-flight state for background
+// decompression), the k-edge counter, the decompressed copy's address,
+// the LRU timestamp for budget mode, and the remember set of patched
+// branch sites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/cfg.hpp"
+
+namespace apcc::runtime {
+
+/// Where a block currently lives.
+enum class BlockForm : std::uint8_t {
+  kCompressed,     // only the fixed compressed copy exists
+  kDecompressing,  // a helper is producing the decompressed copy
+  kDecompressed,   // decompressed copy resident and executable
+};
+
+[[nodiscard]] const char* block_form_name(BlockForm f);
+
+/// Per-block dynamic state.
+struct BlockState {
+  BlockForm form = BlockForm::kCompressed;
+  std::uint64_t address = 0;      // decompressed-area offset when resident
+  std::uint64_t ready_time = 0;   // completion time while kDecompressing
+  std::uint32_t kedge_counter = 0;
+  std::uint64_t last_use_time = 0;
+  bool executing = false;         // pinned: never delete mid-execution
+
+  /// Remember set: predecessor blocks whose branch to this block has been
+  /// patched to target the decompressed copy directly (paper §5). Stored
+  /// as block ids; the branch-site *count* drives patch/unpatch costs.
+  std::vector<cfg::BlockId> remember_set;
+
+  [[nodiscard]] bool is_patched_for(cfg::BlockId pred) const;
+  void add_patch(cfg::BlockId pred);
+  void clear_patches() { remember_set.clear(); }
+};
+
+/// The state table: one BlockState per CFG block plus aggregate queries.
+class StateTable {
+ public:
+  explicit StateTable(std::size_t block_count);
+
+  [[nodiscard]] BlockState& operator[](cfg::BlockId id);
+  [[nodiscard]] const BlockState& operator[](cfg::BlockId id) const;
+
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+  /// Ids of blocks currently in decompressed form.
+  [[nodiscard]] std::vector<cfg::BlockId> decompressed_blocks() const;
+
+  /// Count of blocks in a given form.
+  [[nodiscard]] std::size_t count(BlockForm form) const;
+
+  /// LRU victim among decompressed, non-executing blocks, excluding
+  /// `protect`; kInvalidBlock if none exists.
+  [[nodiscard]] cfg::BlockId lru_victim(cfg::BlockId protect) const;
+
+ private:
+  std::vector<BlockState> states_;
+};
+
+}  // namespace apcc::runtime

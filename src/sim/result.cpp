@@ -1,0 +1,66 @@
+#include "sim/result.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace apcc::sim {
+
+double RunResult::slowdown() const {
+  if (baseline_cycles == 0) return 1.0;
+  return static_cast<double>(total_cycles) /
+         static_cast<double>(baseline_cycles);
+}
+
+double RunResult::peak_saving() const {
+  if (original_image_bytes == 0) return 0.0;
+  return 1.0 - static_cast<double>(peak_occupancy_bytes) /
+                   static_cast<double>(original_image_bytes);
+}
+
+double RunResult::avg_saving() const {
+  if (original_image_bytes == 0) return 0.0;
+  return 1.0 - avg_occupancy_bytes /
+                   static_cast<double>(original_image_bytes);
+}
+
+double RunResult::exception_rate() const {
+  if (block_entries == 0) return 0.0;
+  return static_cast<double>(exceptions) /
+         static_cast<double>(block_entries);
+}
+
+std::string RunResult::summary() const {
+  std::ostringstream os;
+  os << "cycles: total=" << total_cycles << " baseline=" << baseline_cycles
+     << " slowdown=" << slowdown() << "x\n";
+  os << "  busy=" << busy_cycles << " stall=" << stall_cycles
+     << " exception=" << exception_cycles
+     << " critical-decompress=" << critical_decompress_cycles
+     << " patch=" << patch_cycles << "\n";
+  os << "events: entries=" << block_entries << " exceptions=" << exceptions
+     << " demand-decomp=" << demand_decompressions
+     << " pre-decomp=" << predecompressions
+     << " (hits=" << predecompress_hits
+     << ", partial=" << predecompress_partial
+     << ", wasted=" << wasted_predecompressions << ")\n";
+  os << "  deletions=" << deletions << " evictions=" << evictions
+     << " patches=" << patches << " unpatches=" << unpatches
+     << " dropped=" << dropped_requests << "\n";
+  os << "helpers: decompressor-busy=" << decomp_helper_busy_cycles
+     << " compressor-busy=" << comp_helper_busy_cycles << "\n";
+  os << "memory: original=" << apcc::human_bytes(original_image_bytes)
+     << " compressed-area=" << apcc::human_bytes(compressed_area_bytes)
+     << " peak=" << apcc::human_bytes(peak_occupancy_bytes)
+     << " avg=" << apcc::human_bytes(
+            static_cast<std::uint64_t>(avg_occupancy_bytes))
+     << "\n";
+  os << "  codec-ratio=" << codec_ratio
+     << " peak-saving=" << apcc::percent(peak_saving())
+     << " avg-saving=" << apcc::percent(avg_saving())
+     << " fragmentation=" << apcc::percent(allocator.external_fragmentation())
+     << "\n";
+  return os.str();
+}
+
+}  // namespace apcc::sim

@@ -1,0 +1,30 @@
+#include "sim/trace_gen.hpp"
+
+#include "support/assert.hpp"
+
+namespace apcc::sim {
+
+cfg::BlockTrace generate_trace(const cfg::Cfg& cfg,
+                               const TraceGenOptions& options) {
+  APCC_CHECK(cfg.block_count() > 0, "cannot trace an empty CFG");
+  APCC_CHECK(cfg.entry() != cfg::kInvalidBlock, "CFG has no entry");
+  Rng rng(options.seed);
+  cfg::BlockTrace trace;
+  cfg::BlockId current = cfg.entry();
+  trace.push_back(current);
+  while (trace.size() < options.max_blocks) {
+    const auto& block = cfg.block(current);
+    if (block.is_exit || block.out_edges.empty()) break;
+    std::vector<double> weights;
+    weights.reserve(block.out_edges.size());
+    for (const cfg::EdgeId e : block.out_edges) {
+      weights.push_back(cfg.edge(e).probability);
+    }
+    const std::size_t pick = rng.next_weighted(weights);
+    current = cfg.edge(block.out_edges[pick]).to;
+    trace.push_back(current);
+  }
+  return trace;
+}
+
+}  // namespace apcc::sim

@@ -1,0 +1,28 @@
+// Profile-driven trace generation.
+//
+// Walks the CFG as a Markov chain using the edge probabilities (uniform
+// unless a profile has been applied), producing the basic-block access
+// pattern that drives the runtime. Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "cfg/cfg.hpp"
+#include "cfg/trace.hpp"
+#include "support/rng.hpp"
+
+namespace apcc::sim {
+
+struct TraceGenOptions {
+  std::uint64_t seed = 1;
+  /// Stop after this many block entries even if no exit is reached
+  /// (guards against non-terminating walks through loops).
+  std::uint64_t max_blocks = 100'000;
+};
+
+/// Random walk from the entry block until a block with no successors (or
+/// an is_exit block) is executed, or max_blocks is reached.
+[[nodiscard]] cfg::BlockTrace generate_trace(const cfg::Cfg& cfg,
+                                             const TraceGenOptions& options);
+
+}  // namespace apcc::sim

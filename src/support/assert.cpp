@@ -1,0 +1,29 @@
+#include "support/assert.hpp"
+
+#include <sstream>
+
+namespace apcc::detail {
+
+namespace {
+std::string render(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    os << " -- " << msg;
+  }
+  return os.str();
+}
+}  // namespace
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  throw AssertionError(render("APCC_ASSERT", expr, file, line, msg));
+}
+
+void check_fail(const char* expr, const char* file, int line,
+                const std::string& msg) {
+  throw CheckError(render("APCC_CHECK", expr, file, line, msg));
+}
+
+}  // namespace apcc::detail

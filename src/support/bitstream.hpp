@@ -1,0 +1,90 @@
+// Bit-granular output/input streams used by the compression codecs.
+//
+// Bits are packed MSB-first within each byte, which matches the canonical
+// Huffman convention and makes streams easy to inspect in hex dumps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace apcc {
+
+/// Accumulates bits MSB-first into a byte vector.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Append the low `count` bits of `value`, most significant first.
+  /// `count` must be in [0, 32].
+  void write_bits(std::uint32_t value, unsigned count);
+
+  /// Append a single bit (0 or 1).
+  void write_bit(bool bit) { write_bits(bit ? 1u : 0u, 1); }
+
+  /// Append a full byte.
+  void write_byte(std::uint8_t byte) { write_bits(byte, 8); }
+
+  /// Pad with zero bits to the next byte boundary.
+  void align_to_byte();
+
+  /// Number of bits written so far.
+  [[nodiscard]] std::size_t bit_count() const { return bit_count_; }
+
+  /// Finish the stream (pads to a byte boundary) and return the bytes.
+  [[nodiscard]] std::vector<std::uint8_t> take();
+
+  /// Bytes written so far, excluding any partial trailing byte.
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint32_t pending_ = 0;   // bits not yet flushed, left-aligned count
+  unsigned pending_bits_ = 0;   // how many bits of pending_ are valid
+  std::size_t bit_count_ = 0;
+};
+
+/// Reads bits MSB-first from a byte span. Reading past the end throws
+/// CheckError, so corrupt streams are detected rather than mis-decoded.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Read `count` bits (MSB-first) as an unsigned value. count <= 32.
+  [[nodiscard]] std::uint32_t read_bits(unsigned count);
+
+  /// Read one bit.
+  [[nodiscard]] bool read_bit() { return read_bits(1) != 0; }
+
+  /// Read a full byte.
+  [[nodiscard]] std::uint8_t read_byte() {
+    return static_cast<std::uint8_t>(read_bits(8));
+  }
+
+  /// Skip forward to the next byte boundary.
+  void align_to_byte();
+
+  /// Bits consumed so far.
+  [[nodiscard]] std::size_t bit_position() const { return bit_pos_; }
+
+  /// True if every bit has been consumed (ignoring byte-alignment padding).
+  [[nodiscard]] bool exhausted() const {
+    return bit_pos_ >= bytes_.size() * 8;
+  }
+
+  /// Bits remaining.
+  [[nodiscard]] std::size_t bits_remaining() const {
+    return bytes_.size() * 8 - bit_pos_;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t bit_pos_ = 0;
+};
+
+}  // namespace apcc

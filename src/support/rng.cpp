@@ -1,0 +1,106 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace apcc {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  APCC_ASSERT(bound > 0, "next_below bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  APCC_ASSERT(lo <= hi, "next_in requires lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // may wrap to 0 on full range
+  if (span == 0) {
+    return static_cast<std::int64_t>(next_u64());
+  }
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::size_t Rng::next_weighted(const std::vector<double>& weights) {
+  APCC_ASSERT(!weights.empty(), "next_weighted requires weights");
+  double total = 0.0;
+  for (double w : weights) {
+    APCC_ASSERT(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  APCC_ASSERT(total > 0.0, "weights must not all be zero");
+  double r = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // guard against FP rounding
+}
+
+std::uint64_t Rng::next_trip_count(double mean) {
+  APCC_ASSERT(mean >= 1.0, "trip count mean must be >= 1");
+  if (mean == 1.0) return 1;
+  // Geometric distribution with success probability 1/mean, shifted to be
+  // at least 1. E[X] = mean.
+  const double p = 1.0 / mean;
+  const double u = next_double();
+  const double draw = std::floor(std::log1p(-u) / std::log1p(-p));
+  return 1 + static_cast<std::uint64_t>(draw);
+}
+
+Rng Rng::split() {
+  return Rng(next_u64() ^ 0xa02bdbf7bb3c0a7ULL);
+}
+
+}  // namespace apcc

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in APCC that needs randomness (trace generation, synthetic
+// program construction, property tests) takes an explicit Rng so runs are
+// reproducible from a single seed. The generator is xoshiro256** seeded
+// via splitmix64, which has excellent statistical quality and is trivially
+// portable -- no dependence on the standard library's unspecified
+// distribution implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace apcc {
+
+/// Deterministic 64-bit PRNG (xoshiro256**, splitmix64-seeded).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-initialise the state from a 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses rejection sampling, so the result is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool next_bool(double p);
+
+  /// Pick an index in [0, weights.size()) with probability proportional
+  /// to weights[i]. All weights must be >= 0 and their sum > 0.
+  std::size_t next_weighted(const std::vector<double>& weights);
+
+  /// Geometric-ish trip count: returns at least 1; expected value ~= mean.
+  std::uint64_t next_trip_count(double mean);
+
+  /// Split off an independent child generator (for parallel structures).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace apcc

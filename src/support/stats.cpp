@@ -1,0 +1,90 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace apcc {
+
+void RunningStat::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  APCC_ASSERT(hi > lo, "histogram range must be non-empty");
+  APCC_ASSERT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(
+      frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << "[" << bucket_lo(i) << ", " << bucket_lo(i + 1) << ") "
+       << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+void TimeWeightedAverage::sample(std::uint64_t time, double value) {
+  if (!started_) {
+    started_ = true;
+    start_time_ = time;
+    last_time_ = time;
+    last_value_ = value;
+    peak_ = value;
+    return;
+  }
+  APCC_ASSERT(time >= last_time_, "samples must be time-ordered");
+  integral_ += last_value_ * static_cast<double>(time - last_time_);
+  last_time_ = time;
+  last_value_ = value;
+  peak_ = std::max(peak_, value);
+}
+
+double TimeWeightedAverage::integral(std::uint64_t end_time) const {
+  if (!started_) return 0.0;
+  APCC_ASSERT(end_time >= last_time_, "end time precedes last sample");
+  return integral_ + last_value_ * static_cast<double>(end_time - last_time_);
+}
+
+double TimeWeightedAverage::average(std::uint64_t end_time) const {
+  if (!started_ || end_time <= start_time_) return last_value_;
+  return integral(end_time) / static_cast<double>(end_time - start_time_);
+}
+
+}  // namespace apcc

@@ -1,0 +1,83 @@
+// Streaming statistics helpers used by the simulator and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace apcc {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Render as an ASCII bar chart, one bucket per line.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Time-weighted average of a step function sampled at event times.
+/// Feed (time, value) pairs with non-decreasing times; `average(end)` is
+/// the integral of the step function divided by elapsed time. Used for
+/// "average memory occupancy over the run" metrics (byte-cycles / cycles).
+class TimeWeightedAverage {
+ public:
+  void sample(std::uint64_t time, double value);
+
+  /// Average value over [first_sample_time, end_time].
+  [[nodiscard]] double average(std::uint64_t end_time) const;
+
+  /// Integral of the step function up to `end_time` (e.g. byte-cycles).
+  [[nodiscard]] double integral(std::uint64_t end_time) const;
+
+  [[nodiscard]] bool empty() const { return !started_; }
+  [[nodiscard]] double peak() const { return peak_; }
+
+ private:
+  bool started_ = false;
+  std::uint64_t start_time_ = 0;
+  std::uint64_t last_time_ = 0;
+  double last_value_ = 0.0;
+  double integral_ = 0.0;
+  double peak_ = 0.0;
+};
+
+}  // namespace apcc

@@ -1,0 +1,34 @@
+// Small string utilities shared by the assembler, report printers, etc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apcc {
+
+/// Split `s` on any character in `delims`, dropping empty fields.
+[[nodiscard]] std::vector<std::string_view> split_fields(
+    std::string_view s, std::string_view delims = " \t,");
+
+/// Strip leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Lower-case ASCII copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse a decimal or 0x-prefixed hexadecimal integer. Throws CheckError
+/// on malformed input or overflow.
+[[nodiscard]] std::int64_t parse_int(std::string_view s);
+
+/// "12.3 KiB"-style rendering for byte counts.
+[[nodiscard]] std::string human_bytes(std::uint64_t bytes);
+
+/// Fixed-precision percentage string, e.g. 0.1234 -> "12.34%".
+[[nodiscard]] std::string percent(double fraction, int decimals = 2);
+
+}  // namespace apcc

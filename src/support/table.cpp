@@ -1,0 +1,66 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace apcc {
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string value) {
+  APCC_ASSERT(!rows_.empty(), "call row() before cell()");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int decimals) {
+  std::ostringstream os;
+  os.precision(decimals);
+  os << std::fixed << value;
+  return cell(os.str());
+}
+
+TextTable& TextTable::cell(std::uint64_t value) {
+  return cell(std::to_string(value));
+}
+
+TextTable& TextTable::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+std::string TextTable::render() const {
+  if (rows_.empty()) return {};
+  std::vector<std::size_t> widths;
+  for (const auto& r : rows_) {
+    if (r.size() > widths.size()) widths.resize(r.size(), 0);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t ri = 0; ri < rows_.size(); ++ri) {
+    const auto& r = rows_[ri];
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << r[i];
+      if (i + 1 < r.size()) {
+        os << std::string(widths[i] - r[i].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+    if (ri == 0) {
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+      }
+      os << std::string(total, '-') << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace apcc

@@ -1,0 +1,37 @@
+// Aligned plain-text table rendering for benchmark and report output.
+//
+// The benchmark binaries print paper-style tables; this keeps their
+// formatting consistent and the bench code free of manual padding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apcc {
+
+/// Column-aligned text table. First row added is treated as the header.
+class TextTable {
+ public:
+  /// Start a new row.
+  TextTable& row();
+
+  /// Append a cell to the current row.
+  TextTable& cell(std::string value);
+  TextTable& cell(const char* value) { return cell(std::string(value)); }
+  TextTable& cell(double value, int decimals = 2);
+  TextTable& cell(std::uint64_t value);
+  TextTable& cell(std::int64_t value);
+  TextTable& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+
+  /// Render with a separator line under the header row.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace apcc

@@ -1,0 +1,91 @@
+#include "workloads/asm_builder.hpp"
+
+namespace apcc::workloads {
+
+void AsmBuilder::func(const std::string& name) {
+  out_ << ".func " << name << "\n";
+}
+
+void AsmBuilder::ins(const std::string& line) { out_ << "  " << line << "\n"; }
+
+void AsmBuilder::label(const std::string& name) { out_ << name << ":\n"; }
+
+std::string AsmBuilder::gensym(const std::string& prefix) {
+  return prefix + "_" + std::to_string(next_label_++);
+}
+
+void AsmBuilder::counted_loop(const std::string& counter, int iters,
+                              const std::function<void()>& body) {
+  const std::string head = gensym("loop");
+  ins("addi " + counter + ", r0, " + std::to_string(iters));
+  label(head);
+  body();
+  ins("addi " + counter + ", " + counter + ", -1");
+  ins("bne " + counter + ", r0, " + head);
+}
+
+void AsmBuilder::if_ne(const std::string& lhs, const std::string& rhs,
+                       const std::function<void()>& then_body) {
+  const std::string skip = gensym("endif");
+  ins("beq " + lhs + ", " + rhs + ", " + skip);
+  then_body();
+  label(skip);
+}
+
+void AsmBuilder::if_eq_else(const std::string& lhs, const std::string& rhs,
+                            const std::function<void()>& then_body,
+                            const std::function<void()>& else_body) {
+  const std::string else_label = gensym("else");
+  const std::string end_label = gensym("endif");
+  ins("bne " + lhs + ", " + rhs + ", " + else_label);
+  then_body();
+  ins("jmp " + end_label);
+  label(else_label);
+  else_body();
+  label(end_label);
+}
+
+void AsmBuilder::rare_path(const std::string& counter,
+                           const std::string& scratch, int log2_period,
+                           const std::function<void()>& body) {
+  const std::string skip = gensym("norare");
+  const int mask = (1 << log2_period) - 1;
+  ins("andi " + scratch + ", " + counter + ", " + std::to_string(mask));
+  ins("bne " + scratch + ", r0, " + skip);
+  body();
+  label(skip);
+}
+
+void AsmBuilder::cold_region(const std::function<void()>& body) {
+  const std::string cold = gensym("cold");
+  const std::string resume = gensym("resume");
+  // r0 != r0 never holds, so the cold body is never entered; it still
+  // occupies image space and appears in the CFG.
+  ins("bne r0, r0, " + cold);
+  ins("jmp " + resume);
+  label(cold);
+  body();
+  ins("jmp " + resume);
+  label(resume);
+}
+
+void AsmBuilder::compute_run(int n) {
+  for (int i = 0; i < n; ++i) {
+    switch ((compute_phase_++) % 8) {
+      case 0: ins("addi r1, r1, 3"); break;
+      case 1: ins("add r2, r1, r3"); break;
+      case 2: ins("andi r3, r2, 255"); break;
+      case 3: ins("sw r2, 0(r10)"); break;
+      case 4: ins("mul r4, r3, r1"); break;
+      case 5: ins("lw r3, 0(r10)"); break;
+      case 6: ins("xor r2, r2, r4"); break;
+      case 7: ins("srli r4, r4, 1"); break;
+    }
+  }
+}
+
+void AsmBuilder::entry(const std::string& name) {
+  out_ << ".entry " << name << "\n";
+}
+
+}  // namespace apcc::workloads

@@ -1,0 +1,68 @@
+// AsmBuilder: a small structured-assembly DSL.
+//
+// The workload suite and the random program generator both emit ERISC-32
+// assembly text; AsmBuilder supplies unique labels and structured control
+// flow (counted loops, if/else, rare paths, never-taken cold paths) so
+// kernels stay readable and are guaranteed well formed.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace apcc::workloads {
+
+class AsmBuilder {
+ public:
+  /// Begin a function (emits .func and its label).
+  void func(const std::string& name);
+
+  /// Emit a raw instruction or label line.
+  void ins(const std::string& line);
+  void label(const std::string& name);
+
+  /// Fresh unique label with the given prefix.
+  [[nodiscard]] std::string gensym(const std::string& prefix);
+
+  /// Counted loop: `counter` counts `iters` down to 0 around `body`.
+  /// The body must preserve `counter`.
+  void counted_loop(const std::string& counter, int iters,
+                    const std::function<void()>& body);
+
+  /// if (lhs != rhs) { then_body } -- no else.
+  void if_ne(const std::string& lhs, const std::string& rhs,
+             const std::function<void()>& then_body);
+
+  /// if (lhs == rhs) { then_body } else { else_body }.
+  void if_eq_else(const std::string& lhs, const std::string& rhs,
+                  const std::function<void()>& then_body,
+                  const std::function<void()>& else_body);
+
+  /// Body executes only when `counter % (2^log2_period) == 0`: a rare
+  /// path. Clobbers `scratch`.
+  void rare_path(const std::string& counter, const std::string& scratch,
+                 int log2_period, const std::function<void()>& body);
+
+  /// Cold code: emitted into the image but guarded so it never executes
+  /// (models error handlers / dead configuration paths). The body must
+  /// end by *not* falling through -- the builder appends a jump back.
+  void cold_region(const std::function<void()>& body);
+
+  /// Emit `n` deterministic straight-line compute instructions over
+  /// r1-r4 (loads/stores against r10). Lengthens blocks realistically
+  /// without changing control flow; the pattern phase-shifts per call
+  /// site so the code is repetitive but not identical.
+  void compute_run(int n);
+
+  /// Set the program entry point.
+  void entry(const std::string& name);
+
+  [[nodiscard]] std::string source() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+  int next_label_ = 0;
+  int compute_phase_ = 0;
+};
+
+}  // namespace apcc::workloads

@@ -1,0 +1,40 @@
+// Seeded random structured-program generator.
+//
+// Emits well-formed ERISC-32 programs from a structured grammar (sequence
+// / counted loop / if / if-else / rare path / cold region / leaf call), so
+// every generated program terminates and assembles. Used for property
+// tests ("for any program, invariants hold") and for scaling studies where
+// the six-kernel suite is too small.
+#pragma once
+
+#include "workloads/suite.hpp"
+
+namespace apcc::workloads {
+
+struct RandomProgramOptions {
+  std::uint64_t seed = 42;
+  int leaf_functions = 3;      // callable leaves in addition to main
+  int max_depth = 3;           // structural nesting limit
+  int statements_per_body = 5; // structured statements per body
+  int straight_line_run = 4;   // ALU/mem instructions per plain statement
+  int loop_iters_min = 2;
+  int loop_iters_max = 10;
+  double p_loop = 0.30;
+  double p_if = 0.25;
+  double p_if_else = 0.15;
+  double p_call = 0.10;        // only at depth 0 of main's body
+  double p_rare = 0.08;
+  double p_cold = 0.07;
+  std::uint64_t max_steps = 20'000'000;
+  bool apply_profile = true;
+};
+
+/// Generate the assembly source only.
+[[nodiscard]] std::string random_program_source(
+    const RandomProgramOptions& options);
+
+/// Generate, assemble, build the CFG and execute -- a full Workload.
+[[nodiscard]] Workload make_random_workload(
+    const RandomProgramOptions& options);
+
+}  // namespace apcc::workloads

@@ -1,0 +1,85 @@
+#include "workloads/synth_bytes.hpp"
+
+#include "isa/isa.hpp"
+#include "support/rng.hpp"
+
+namespace apcc::workloads {
+
+namespace {
+
+using isa::Opcode;
+
+/// Hot-opcode mix loosely matching embedded integer code: loads/stores
+/// and small ALU ops dominate.
+constexpr Opcode kHotOpcodes[] = {Opcode::kAddi, Opcode::kLw, Opcode::kSw,
+                                  Opcode::kAdd, Opcode::kBne};
+constexpr Opcode kWarmOpcodes[] = {Opcode::kSub,  Opcode::kAndi, Opcode::kOri,
+                                   Opcode::kSlli, Opcode::kBeq,  Opcode::kMul,
+                                   Opcode::kSlt,  Opcode::kXor};
+
+std::uint8_t pick_register(apcc::Rng& rng) {
+  // Zipf-flavoured: r0..r3 hot, the rest cold.
+  const double u = rng.next_double();
+  if (u < 0.55) return static_cast<std::uint8_t>(rng.next_below(4));
+  if (u < 0.85) return static_cast<std::uint8_t>(4 + rng.next_below(4));
+  return static_cast<std::uint8_t>(8 + rng.next_below(8));
+}
+
+std::int32_t pick_immediate(apcc::Rng& rng) {
+  const double u = rng.next_double();
+  if (u < 0.5) return static_cast<std::int32_t>(rng.next_below(16));
+  if (u < 0.85) return static_cast<std::int32_t>(rng.next_below(256));
+  return static_cast<std::int32_t>(rng.next_in(-1024, 1024));
+}
+
+}  // namespace
+
+compress::Bytes synthesize_block_bytes(const cfg::BasicBlock& block,
+                                       std::uint64_t seed) {
+  apcc::Rng rng(seed ^ (std::uint64_t{block.id} * 0x9e3779b97f4a7c15ULL));
+  compress::Bytes out;
+  out.reserve(std::size_t{block.word_count} * isa::kInstructionBytes);
+  for (std::uint32_t i = 0; i < block.word_count; ++i) {
+    isa::Instruction inst;
+    const double u = rng.next_double();
+    if (u < 0.60) {
+      inst.opcode = kHotOpcodes[rng.next_below(std::size(kHotOpcodes))];
+    } else if (u < 0.95) {
+      inst.opcode = kWarmOpcodes[rng.next_below(std::size(kWarmOpcodes))];
+    } else {
+      inst.opcode = Opcode::kNop;
+    }
+    const auto& info = isa::opcode_info(inst.opcode);
+    switch (info.format) {
+      case isa::Format::kR:
+        inst.rd = pick_register(rng);
+        inst.rs1 = pick_register(rng);
+        inst.rs2 = pick_register(rng);
+        break;
+      case isa::Format::kI:
+        inst.rd = pick_register(rng);
+        inst.rs1 = pick_register(rng);
+        inst.imm = pick_immediate(rng);
+        break;
+      case isa::Format::kB:
+        inst.rs1 = pick_register(rng);
+        inst.rs2 = pick_register(rng);
+        // Small local offsets, as compilers emit.
+        inst.imm = static_cast<std::int32_t>(rng.next_in(-32, 32));
+        break;
+      case isa::Format::kJ:
+        inst.imm = static_cast<std::int32_t>(rng.next_below(1024));
+        break;
+      case isa::Format::kNone:
+        break;
+    }
+    const std::uint32_t word = isa::encode(inst);
+    out.push_back(static_cast<std::uint8_t>(word & 0xff));
+    out.push_back(static_cast<std::uint8_t>((word >> 8) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((word >> 16) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((word >> 24) & 0xff));
+  }
+  return out;
+}
+
+}  // namespace apcc::workloads

@@ -1,0 +1,21 @@
+// Synthetic instruction bytes for CFG blocks that have no backing program
+// (the paper-figure graphs and generated topologies).
+//
+// Real compiled code has heavily skewed opcode and register distributions;
+// the synthesizer mimics that so codec ratios on synthetic blocks are in
+// the same regime as on assembled programs: ~60% of instructions come
+// from the five hottest opcodes, registers are Zipf-ish with r0-r3 hot,
+// and immediates are small.
+#pragma once
+
+#include "cfg/cfg.hpp"
+#include "compress/codec.hpp"
+
+namespace apcc::workloads {
+
+/// Deterministically synthesize `block.word_count` encoded instructions
+/// for `block` (the block id and `seed` fix the stream).
+[[nodiscard]] compress::Bytes synthesize_block_bytes(
+    const cfg::BasicBlock& block, std::uint64_t seed = 0x5eed);
+
+}  // namespace apcc::workloads

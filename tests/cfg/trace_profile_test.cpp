@@ -1,0 +1,142 @@
+// BlockTraceBuilder and EdgeProfile tests.
+#include <gtest/gtest.h>
+
+#include "cfg/builder.hpp"
+#include "cfg/paper_graphs.hpp"
+#include "cfg/profile.hpp"
+#include "cfg/trace.hpp"
+#include "isa/assembler.hpp"
+#include "isa/interpreter.hpp"
+
+namespace apcc::cfg {
+namespace {
+
+TEST(BlockTraceBuilder, LoopProducesRepeatedEntries) {
+  const auto p = isa::assemble(
+      ".func main\n"
+      "  addi r1, r0, 3\n"
+      "loop:\n"
+      "  addi r1, r1, -1\n"
+      "  bne r1, r0, loop\n"
+      "  halt\n");
+  const auto built = build_cfg(p);
+  isa::Interpreter interp(p);
+  BlockTraceBuilder tracer(built.cfg, built.word_to_block);
+  interp.set_trace_hook([&](std::uint32_t pc) { tracer.on_pc(pc); });
+  (void)interp.run();
+  const BlockTrace trace = tracer.trace();
+  // Entry block once, loop block three times, halt block once.
+  const BlockId loop_block = built.word_to_block[1];
+  const auto loop_entries = static_cast<std::size_t>(
+      std::count(trace.begin(), trace.end(), loop_block));
+  EXPECT_EQ(loop_entries, 3u);
+  EXPECT_NO_THROW(validate_trace(built.cfg, trace));
+}
+
+TEST(BlockTraceBuilder, SelfLoopReentryCounted) {
+  // A single-block loop: re-entering the block's first word counts as a
+  // new entry even though the block id does not change.
+  const auto p = isa::assemble(
+      ".func main\n"
+      "  addi r1, r0, 4\n"
+      "loop:\n"
+      "  addi r1, r1, -1\n"
+      "  bne r1, r0, loop\n"
+      "  halt\n");
+  const auto built = build_cfg(p);
+  isa::Interpreter interp(p);
+  BlockTraceBuilder tracer(built.cfg, built.word_to_block);
+  interp.set_trace_hook([&](std::uint32_t pc) { tracer.on_pc(pc); });
+  (void)interp.run();
+  const BlockId loop_block = built.word_to_block[1];
+  EXPECT_EQ(std::count(tracer.trace().begin(), tracer.trace().end(),
+                       loop_block),
+            4);
+}
+
+TEST(ValidateTrace, RejectsNonEdgeTransition) {
+  const Cfg g = figure5_cfg();
+  BlockTrace bad = {0, 3};  // no B0 -> B3 edge in Figure 5
+  EXPECT_THROW(validate_trace(g, bad), apcc::CheckError);
+}
+
+TEST(ValidateTrace, AcceptsPaperTraces) {
+  EXPECT_NO_THROW(validate_trace(figure1_cfg(), figure1_trace()));
+  EXPECT_NO_THROW(validate_trace(figure2_cfg(), figure4_trace()));
+  EXPECT_NO_THROW(validate_trace(figure5_cfg(), figure5_trace()));
+}
+
+TEST(EdgeProfile, CountsTransitionsAndBlocks) {
+  const Cfg g = figure5_cfg();
+  EdgeProfile profile(g);
+  profile.add_trace(figure5_trace());  // B0,B1,B0,B1,B3
+  EXPECT_EQ(profile.total_entries(), 5u);
+  EXPECT_EQ(profile.block_count(0), 2u);
+  EXPECT_EQ(profile.block_count(1), 2u);
+  EXPECT_EQ(profile.block_count(2), 0u);
+  EXPECT_EQ(profile.block_count(3), 1u);
+  EXPECT_EQ(profile.edge_count(g.find_edge(0, 1)), 2u);
+  EXPECT_EQ(profile.edge_count(g.find_edge(1, 0)), 1u);
+  EXPECT_EQ(profile.edge_count(g.find_edge(1, 3)), 1u);
+  EXPECT_EQ(profile.edge_count(g.find_edge(0, 2)), 0u);
+  EXPECT_EQ(profile.unmatched_transitions(), 0u);
+}
+
+TEST(EdgeProfile, ApplyToSetsFrequencies) {
+  Cfg g = figure5_cfg();
+  EdgeProfile profile(g);
+  profile.add_trace(figure5_trace());
+  profile.apply_to(g);
+  // B0 went to B1 both times: p(B0->B1)=1, p(B0->B2)=0.
+  EXPECT_NEAR(g.edge(g.find_edge(0, 1)).probability, 1.0, 1e-9);
+  EXPECT_NEAR(g.edge(g.find_edge(0, 2)).probability, 0.0, 1e-9);
+  // B1 split 50/50 between back edge and B3.
+  EXPECT_NEAR(g.edge(g.find_edge(1, 0)).probability, 0.5, 1e-9);
+  EXPECT_NEAR(g.edge(g.find_edge(1, 3)).probability, 0.5, 1e-9);
+}
+
+TEST(EdgeProfile, UnobservedBlocksKeepPriors) {
+  Cfg g = figure5_cfg();
+  const double before = g.edge(g.find_edge(2, 3)).probability;
+  EdgeProfile profile(g);
+  profile.add_trace(figure5_trace());  // never visits B2
+  profile.apply_to(g);
+  EXPECT_NEAR(g.edge(g.find_edge(2, 3)).probability, before, 1e-9);
+}
+
+TEST(EdgeProfile, HottestOutEdge) {
+  const Cfg g = figure5_cfg();
+  EdgeProfile profile(g);
+  profile.add_trace(figure5_trace());
+  EXPECT_EQ(profile.hottest_out_edge(0), g.find_edge(0, 1));
+  EXPECT_EQ(profile.hottest_out_edge(2), Cfg::kNoEdge) << "unobserved block";
+}
+
+TEST(EdgeProfile, HotBlockCoverage) {
+  const Cfg g = figure5_cfg();
+  EdgeProfile profile(g);
+  profile.add_trace(figure5_trace());
+  // Top-2 blocks (B0, B1) cover 4 of 5 entries.
+  EXPECT_NEAR(profile.hot_block_coverage(2), 0.8, 1e-9);
+  EXPECT_NEAR(profile.hot_block_coverage(10), 1.0, 1e-9);
+}
+
+TEST(EdgeProfile, UnmatchedTransitionCounted) {
+  const Cfg g = figure5_cfg();
+  EdgeProfile profile(g);
+  profile.record_transition(0, 3);  // no such edge
+  EXPECT_EQ(profile.unmatched_transitions(), 1u);
+}
+
+TEST(EdgeProfile, MultipleTracesAccumulate) {
+  const Cfg g = figure5_cfg();
+  EdgeProfile profile(g);
+  profile.add_trace({0, 1, 3});
+  profile.add_trace({0, 2, 3});
+  EXPECT_EQ(profile.total_entries(), 6u);
+  EXPECT_EQ(profile.edge_count(g.find_edge(0, 1)), 1u);
+  EXPECT_EQ(profile.edge_count(g.find_edge(0, 2)), 1u);
+}
+
+}  // namespace
+}  // namespace apcc::cfg

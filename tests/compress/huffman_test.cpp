@@ -1,0 +1,187 @@
+// Canonical Huffman internals: code-length construction, Kraft validity,
+// canonical ordering, length limiting, and decode-table behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/huffman.hpp"
+#include "support/assert.hpp"
+#include "support/bitstream.hpp"
+#include "support/rng.hpp"
+
+namespace apcc::compress {
+namespace {
+
+std::array<std::uint64_t, kAlphabetSize> freqs_of(
+    std::initializer_list<std::pair<int, std::uint64_t>> entries) {
+  std::array<std::uint64_t, kAlphabetSize> f{};
+  for (const auto& [sym, count] : entries) {
+    f[static_cast<std::size_t>(sym)] = count;
+  }
+  return f;
+}
+
+double kraft(const CodeLengths& lengths) {
+  double sum = 0;
+  for (const auto len : lengths) {
+    if (len > 0) sum += std::pow(2.0, -static_cast<double>(len));
+  }
+  return sum;
+}
+
+TEST(BuildCodeLengths, EmptyFrequenciesGiveNoCodes) {
+  const auto lengths = build_code_lengths({});
+  for (const auto len : lengths) EXPECT_EQ(len, 0);
+}
+
+TEST(BuildCodeLengths, SingleSymbolGetsOneBit) {
+  const auto lengths = build_code_lengths(freqs_of({{65, 10}}));
+  EXPECT_EQ(lengths[65], 1);
+}
+
+TEST(BuildCodeLengths, TwoSymbolsGetOneBitEach) {
+  const auto lengths = build_code_lengths(freqs_of({{0, 3}, {1, 7}}));
+  EXPECT_EQ(lengths[0], 1);
+  EXPECT_EQ(lengths[1], 1);
+}
+
+TEST(BuildCodeLengths, SkewedFrequenciesGiveShorterHotCodes) {
+  const auto lengths = build_code_lengths(
+      freqs_of({{0, 1000}, {1, 10}, {2, 10}, {3, 1}}));
+  EXPECT_LT(lengths[0], lengths[3]);
+  EXPECT_LE(lengths[0], lengths[1]);
+}
+
+TEST(BuildCodeLengths, KraftInequalityHolds) {
+  apcc::Rng rng(31);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::array<std::uint64_t, kAlphabetSize> f{};
+    const auto nsyms = 2 + rng.next_below(255);
+    for (std::uint64_t s = 0; s < nsyms; ++s) {
+      f[s] = 1 + rng.next_below(10000);
+    }
+    const auto lengths = build_code_lengths(f);
+    EXPECT_LE(kraft(lengths), 1.0 + 1e-12);
+    for (const auto len : lengths) {
+      EXPECT_LE(len, kMaxCodeLength);
+    }
+  }
+}
+
+TEST(BuildCodeLengths, ExtremeSkewIsLengthLimited) {
+  // Exponential frequencies would want depth > 15 without limiting.
+  std::array<std::uint64_t, kAlphabetSize> f{};
+  std::uint64_t v = 1;
+  for (int s = 0; s < 40; ++s) {
+    f[static_cast<std::size_t>(s)] = v;
+    v = v < (1ULL << 55) ? v * 2 : v;
+  }
+  const auto lengths = build_code_lengths(f);
+  for (int s = 0; s < 40; ++s) {
+    EXPECT_GE(lengths[static_cast<std::size_t>(s)], 1);
+    EXPECT_LE(lengths[static_cast<std::size_t>(s)], kMaxCodeLength);
+  }
+  EXPECT_LE(kraft(lengths), 1.0 + 1e-12);
+}
+
+TEST(CanonicalCode, EncodeDecodeAllSymbols) {
+  const auto lengths = build_code_lengths(
+      freqs_of({{10, 100}, {20, 50}, {30, 25}, {40, 12}, {50, 6}}));
+  const CanonicalCode code(lengths);
+  for (const std::uint8_t sym : {10, 20, 30, 40, 50}) {
+    apcc::BitWriter w;
+    code.encode(w, sym);
+    const auto bytes = w.take();
+    apcc::BitReader r(bytes);
+    EXPECT_EQ(code.decode(r), sym);
+  }
+}
+
+TEST(CanonicalCode, CanonicalOrderIsNumeric) {
+  // Two symbols with equal lengths: the lower symbol gets the lower code.
+  const auto lengths = build_code_lengths(freqs_of({{7, 5}, {3, 5}}));
+  const CanonicalCode code(lengths);
+  apcc::BitWriter w;
+  code.encode(w, 3);
+  const auto lo = w.take();
+  apcc::BitWriter w2;
+  code.encode(w2, 7);
+  const auto hi = w2.take();
+  EXPECT_LT(lo[0], hi[0]);
+}
+
+TEST(CanonicalCode, UncodedSymbolThrowsOnEncode) {
+  const auto lengths = build_code_lengths(freqs_of({{1, 5}, {2, 5}}));
+  const CanonicalCode code(lengths);
+  apcc::BitWriter w;
+  EXPECT_THROW(code.encode(w, 99), apcc::CheckError);
+}
+
+TEST(CanonicalCode, InvalidPrefixThrowsOnDecode) {
+  // Single coded symbol '0'; an all-ones stream is not decodable.
+  const auto lengths = build_code_lengths(freqs_of({{5, 1}}));
+  const CanonicalCode code(lengths);
+  const std::vector<std::uint8_t> junk = {0xff, 0xff};
+  apcc::BitReader r(junk);
+  EXPECT_THROW((void)code.decode(r), apcc::CheckError);
+}
+
+TEST(CanonicalCode, ViolatingKraftLengthsRejected) {
+  CodeLengths lengths{};
+  // Three 1-bit codes: impossible prefix code.
+  lengths[0] = 1;
+  lengths[1] = 1;
+  lengths[2] = 1;
+  EXPECT_THROW(CanonicalCode{lengths}, apcc::CheckError);
+}
+
+TEST(CanonicalCode, ExpectedBitsMatchesUniform) {
+  // Four equal-frequency symbols -> 2 bits each.
+  const auto f = freqs_of({{0, 10}, {1, 10}, {2, 10}, {3, 10}});
+  const CanonicalCode code(build_code_lengths(f));
+  EXPECT_NEAR(code.expected_bits(f), 2.0, 1e-9);
+}
+
+TEST(SharedHuffman, StreamHasNoHeader) {
+  const std::vector<Bytes> training = {Bytes(400, 7), Bytes{1, 2, 3, 4}};
+  const SharedHuffmanCodec codec(training);
+  // A 4-byte input must compress to a handful of bytes, far below the
+  // 128-byte per-stream table that HuffmanCodec would emit.
+  const Bytes small = {7, 7, 7, 7};
+  EXPECT_LE(codec.compress(small).size(), 4u);
+}
+
+TEST(SharedHuffman, HandlesBytesUnseenInTraining) {
+  const std::vector<Bytes> training = {Bytes(100, 1)};
+  const SharedHuffmanCodec codec(training);
+  const Bytes input = {200, 201, 202};  // never trained
+  EXPECT_EQ(codec.decompress(codec.compress(input), 3), input);
+}
+
+TEST(SharedHuffman, UntrainedFallsBackToUniform) {
+  const SharedHuffmanCodec codec({});
+  const Bytes input = {9, 8, 7, 6, 5};
+  EXPECT_EQ(codec.decompress(codec.compress(input), 5), input);
+}
+
+TEST(PerStreamHuffman, HeaderDominatesTinyBlocks) {
+  const HuffmanCodec codec;
+  const Bytes tiny = {1, 2};
+  EXPECT_GT(codec.compress(tiny).size(), tiny.size())
+      << "per-stream header should expand tiny inputs";
+}
+
+TEST(PerStreamHuffman, CompressesSkewedLargeInput) {
+  Bytes input;
+  apcc::Rng rng(77);
+  for (int i = 0; i < 4096; ++i) {
+    input.push_back(rng.next_bool(0.9) ? 0x11
+                                       : static_cast<std::uint8_t>(
+                                             rng.next_below(256)));
+  }
+  const HuffmanCodec codec;
+  EXPECT_LT(codec.compress(input).size(), input.size() / 2);
+}
+
+}  // namespace
+}  // namespace apcc::compress

@@ -1,0 +1,71 @@
+// CSV export tests: header, numeric columns, escaping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/csv.hpp"
+
+namespace apcc::core {
+namespace {
+
+sim::RunResult sample_result() {
+  sim::RunResult r;
+  r.total_cycles = 2000;
+  r.baseline_cycles = 1000;
+  r.busy_cycles = 1000;
+  r.peak_occupancy_bytes = 512;
+  r.avg_occupancy_bytes = 400.5;
+  r.compressed_area_bytes = 300;
+  r.original_image_bytes = 800;
+  r.codec_ratio = 0.5;
+  r.exceptions = 7;
+  r.demand_decompressions = 5;
+  r.predecompressions = 3;
+  r.deletions = 4;
+  r.evictions = 1;
+  r.stall_cycles = 42;
+  return r;
+}
+
+TEST(Csv, HeaderPlusOneLinePerRow) {
+  const std::string csv =
+      to_csv({{"a", sample_result()}, {"b", sample_result()}});
+  std::istringstream in(csv);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(Csv, HeaderNamesColumns) {
+  const std::string csv = to_csv({});
+  EXPECT_EQ(csv.find("label,total_cycles,baseline_cycles,slowdown"), 0u);
+}
+
+TEST(Csv, ValuesInOrder) {
+  const std::string csv = to_csv({{"run1", sample_result()}});
+  EXPECT_NE(csv.find("run1,2000,1000,2,512,400.5,300,800,0.5,7,5,3,4,1,42"),
+            std::string::npos)
+      << csv;
+}
+
+TEST(Csv, EscapesCommasAndQuotes) {
+  const std::string csv = to_csv({{"a,b \"c\"", sample_result()}});
+  EXPECT_NE(csv.find("\"a,b \"\"c\"\"\","), std::string::npos) << csv;
+}
+
+TEST(Csv, ColumnCountMatchesHeader) {
+  const std::string csv = to_csv({{"x", sample_result()}});
+  std::istringstream in(csv);
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count(header), count(row));
+}
+
+}  // namespace
+}  // namespace apcc::core

@@ -1,0 +1,156 @@
+// End-to-end CodeCompressionSystem tests on real assembled workloads.
+#include <gtest/gtest.h>
+
+#include "cfg/paper_graphs.hpp"
+#include "core/report.hpp"
+#include "core/system.hpp"
+
+namespace apcc::core {
+namespace {
+
+const workloads::Workload& g721() {
+  static const workloads::Workload w =
+      workloads::make_workload(workloads::WorkloadKind::kG721Like);
+  return w;
+}
+
+TEST(System, FromWorkloadRunsDefaultTrace) {
+  const auto system = CodeCompressionSystem::from_workload(g721());
+  const auto r = system.run();
+  EXPECT_EQ(r.block_entries, g721().trace.size());
+  EXPECT_GT(r.total_cycles, 0u);
+}
+
+TEST(System, CompressedImageIsMinimumFootprint) {
+  const auto system = CodeCompressionSystem::from_workload(g721());
+  EXPECT_LT(system.compressed_image_bytes(), system.original_image_bytes());
+}
+
+TEST(System, RunsAreReproducible) {
+  const auto system = CodeCompressionSystem::from_workload(g721());
+  const auto a = system.run();
+  const auto b = system.run();
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.peak_occupancy_bytes, b.peak_occupancy_bytes);
+  EXPECT_EQ(a.exceptions, b.exceptions);
+}
+
+TEST(System, FromCfgNeedsExplicitTrace) {
+  cfg::Cfg g = cfg::figure5_cfg();
+  const auto system = CodeCompressionSystem::from_cfg(
+      std::move(g),
+      [](const cfg::BasicBlock& b) {
+        return compress::Bytes(b.size_bytes(), 0x42);
+      });
+  EXPECT_THROW((void)system.run(), apcc::CheckError);
+  EXPECT_NO_THROW((void)system.run(cfg::figure5_trace()));
+}
+
+TEST(System, PreDecompressionLowersExceptionRate) {
+  SystemConfig lazy;
+  lazy.policy.strategy = runtime::DecompressionStrategy::kOnDemand;
+  const auto lazy_r =
+      CodeCompressionSystem::from_workload(g721(), lazy).run();
+
+  SystemConfig pre;
+  pre.policy.strategy = runtime::DecompressionStrategy::kPreAll;
+  pre.policy.predecompress_k = 3;
+  const auto pre_r = CodeCompressionSystem::from_workload(g721(), pre).run();
+
+  EXPECT_LT(pre_r.exception_rate(), lazy_r.exception_rate());
+  EXPECT_LT(pre_r.critical_decompress_cycles,
+            lazy_r.critical_decompress_cycles);
+}
+
+TEST(System, AllStrategiesSaveMemoryOnAverage) {
+  // In the memory-tuned configuration (k=1: compress as soon as possible)
+  // every decompression strategy must beat the uncompressed image on
+  // time-averaged occupancy, even pre-all, which trades the most memory
+  // for performance (§4).
+  for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
+                              runtime::DecompressionStrategy::kPreAll,
+                              runtime::DecompressionStrategy::kPreSingle}) {
+    SystemConfig config;
+    // CodePack: pre-decompression needs a decoder fast enough that
+    // in-flight copies do not pile up behind a saturated helper.
+    config.codec = compress::CodecKind::kCodePack;
+    config.policy.strategy = strategy;
+    config.policy.compress_k = 1;
+    config.policy.predecompress_k = 2;
+    const auto r =
+        CodeCompressionSystem::from_workload(g721(), config).run();
+    EXPECT_GT(r.avg_saving(), 0.0)
+        << runtime::strategy_name(strategy)
+        << " must use less average memory than the uncompressed image";
+  }
+}
+
+TEST(System, SlowdownAboveOneForOnDemand) {
+  SystemConfig config;
+  const auto r = CodeCompressionSystem::from_workload(g721(), config).run();
+  EXPECT_GT(r.slowdown(), 1.0);
+}
+
+TEST(System, OracleBeatsStaticPredictorOnHits) {
+  SystemConfig oracle;
+  oracle.policy.strategy = runtime::DecompressionStrategy::kPreSingle;
+  oracle.policy.predictor = runtime::PredictorKind::kOracle;
+  oracle.policy.predecompress_k = 3;
+  const auto oracle_r =
+      CodeCompressionSystem::from_workload(g721(), oracle).run();
+
+  SystemConfig st = oracle;
+  st.policy.predictor = runtime::PredictorKind::kStatic;
+  const auto static_r =
+      CodeCompressionSystem::from_workload(g721(), st).run();
+
+  EXPECT_GE(oracle_r.predecompress_hits + oracle_r.predecompress_partial,
+            static_r.predecompress_hits + static_r.predecompress_partial)
+      << "the oracle is the predictor upper bound";
+}
+
+TEST(System, EventSinkReceivesRun) {
+  const auto system = CodeCompressionSystem::from_workload(g721());
+  std::size_t events = 0;
+  (void)system.run_with_events(g721().trace,
+                               [&events](const sim::Event&) { ++events; });
+  EXPECT_GT(events, g721().trace.size()) << "at least one event per entry";
+}
+
+TEST(System, CodecChoiceChangesFootprint) {
+  SystemConfig null_codec;
+  null_codec.codec = compress::CodecKind::kNull;
+  const auto null_sys =
+      CodeCompressionSystem::from_workload(g721(), null_codec);
+
+  SystemConfig huff;
+  huff.codec = compress::CodecKind::kSharedHuffman;
+  const auto huff_sys = CodeCompressionSystem::from_workload(g721(), huff);
+
+  EXPECT_LT(huff_sys.compressed_image_bytes(),
+            null_sys.compressed_image_bytes());
+}
+
+TEST(Report, ComparisonTableRendersAllRows) {
+  const auto system = CodeCompressionSystem::from_workload(g721());
+  std::vector<ReportRow> rows;
+  rows.push_back({"run-a", system.run()});
+  rows.push_back({"run-b", system.run()});
+  const std::string table = render_comparison(rows);
+  EXPECT_NE(table.find("run-a"), std::string::npos);
+  EXPECT_NE(table.find("run-b"), std::string::npos);
+  EXPECT_NE(table.find("slowdown"), std::string::npos);
+  const std::string sweep = render_memory_sweep(rows);
+  EXPECT_NE(sweep.find("peak-saving"), std::string::npos);
+}
+
+TEST(Result, SummaryMentionsKeyMetrics) {
+  const auto system = CodeCompressionSystem::from_workload(g721());
+  const std::string summary = system.run().summary();
+  EXPECT_NE(summary.find("cycles:"), std::string::npos);
+  EXPECT_NE(summary.find("memory:"), std::string::npos);
+  EXPECT_NE(summary.find("slowdown"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apcc::core

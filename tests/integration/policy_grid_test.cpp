@@ -1,0 +1,113 @@
+// Property sweep over the full policy grid: for every combination of
+// (strategy x compress_k x codec x thread model), the engine must satisfy
+// the accounting invariants. This is the repository's broadest
+// property-based test: ~100 configurations on a real workload.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/system.hpp"
+#include "workloads/suite.hpp"
+
+namespace apcc {
+namespace {
+
+using core::CodeCompressionSystem;
+using core::SystemConfig;
+using GridParam = std::tuple<runtime::DecompressionStrategy, std::uint32_t,
+                             compress::CodecKind, bool>;
+
+const workloads::Workload& workload() {
+  static const workloads::Workload w =
+      workloads::make_workload(workloads::WorkloadKind::kGsmLike);
+  return w;
+}
+
+class PolicyGridTest : public ::testing::TestWithParam<GridParam> {
+ protected:
+  static SystemConfig config_for(const GridParam& p) {
+    SystemConfig config;
+    config.policy.strategy = std::get<0>(p);
+    config.policy.compress_k = std::get<1>(p);
+    config.policy.predecompress_k = 2;
+    config.codec = std::get<2>(p);
+    config.policy.background_compression = std::get<3>(p);
+    config.policy.background_decompression = std::get<3>(p);
+    return config;
+  }
+};
+
+TEST_P(PolicyGridTest, AccountingInvariantsHold) {
+  const auto config = config_for(GetParam());
+  const auto system = CodeCompressionSystem::from_workload(workload(), config);
+  const sim::RunResult r = system.run();
+
+  // The run completes and covers the whole trace.
+  EXPECT_EQ(r.block_entries, workload().trace.size());
+
+  // Time accounting.
+  EXPECT_GE(r.total_cycles, r.busy_cycles);
+  EXPECT_EQ(r.baseline_cycles, r.busy_cycles);
+  EXPECT_GE(r.slowdown(), 1.0);
+  EXPECT_GE(r.total_cycles,
+            r.busy_cycles + r.stall_cycles + r.exception_cycles);
+
+  // Event accounting.
+  EXPECT_GE(r.exceptions * 1.0, 0.0);
+  EXPECT_LE(r.predecompress_hits + r.predecompress_partial,
+            r.predecompressions);
+  EXPECT_LE(r.wasted_predecompressions, r.predecompressions);
+  EXPECT_LE(r.deletions, r.demand_decompressions + r.predecompressions)
+      << "cannot delete more copies than were ever created";
+  EXPECT_EQ(r.unpatches <= r.patches, true)
+      << "every unpatch corresponds to an earlier patch";
+
+  // Memory accounting.
+  EXPECT_GE(r.peak_occupancy_bytes, r.compressed_area_bytes);
+  EXPECT_GE(static_cast<double>(r.peak_occupancy_bytes) + 0.5,
+            r.avg_occupancy_bytes);
+  EXPECT_GT(r.codec_ratio, 0.0);
+
+  // On-demand never uses the helper or pre-decompresses.
+  if (std::get<0>(GetParam()) == runtime::DecompressionStrategy::kOnDemand) {
+    EXPECT_EQ(r.predecompressions, 0u);
+    EXPECT_EQ(r.stall_cycles, 0u);
+  }
+}
+
+TEST_P(PolicyGridTest, DeterministicAcrossRuns) {
+  const auto config = config_for(GetParam());
+  const auto system = CodeCompressionSystem::from_workload(workload(), config);
+  const sim::RunResult a = system.run();
+  const sim::RunResult b = system.run();
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.exceptions, b.exceptions);
+  EXPECT_EQ(a.peak_occupancy_bytes, b.peak_occupancy_bytes);
+  EXPECT_EQ(a.deletions, b.deletions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PolicyGridTest,
+    ::testing::Combine(
+        ::testing::Values(runtime::DecompressionStrategy::kOnDemand,
+                          runtime::DecompressionStrategy::kPreAll,
+                          runtime::DecompressionStrategy::kPreSingle),
+        ::testing::Values(1u, 4u, 32u),
+        ::testing::Values(compress::CodecKind::kSharedHuffman,
+                          compress::CodecKind::kLzss,
+                          compress::CodecKind::kCodePack),
+        ::testing::Bool()),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      std::string name = runtime::strategy_name(std::get<0>(info.param));
+      name += "_k" + std::to_string(std::get<1>(info.param));
+      name += "_";
+      name += compress::codec_kind_name(std::get<2>(info.param));
+      name += std::get<3>(info.param) ? "_bg" : "_inline";
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace apcc

@@ -1,0 +1,177 @@
+// Free-list allocator tests: placement, alignment, coalescing,
+// fragmentation metrics, and a randomized invariant property.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "memory/allocator.hpp"
+#include "support/rng.hpp"
+
+namespace apcc::memory {
+namespace {
+
+TEST(Allocator, FirstAllocationAtZero) {
+  FreeListAllocator a(1024);
+  EXPECT_EQ(a.allocate(100).value(), 0u);
+}
+
+TEST(Allocator, SizesAlignedToFour) {
+  FreeListAllocator a(1024);
+  (void)a.allocate(5);
+  EXPECT_EQ(a.used_bytes(), 8u);
+  EXPECT_EQ(a.allocation_size(0), 8u);
+}
+
+TEST(Allocator, SequentialPlacement) {
+  FreeListAllocator a(1024);
+  EXPECT_EQ(a.allocate(16).value(), 0u);
+  EXPECT_EQ(a.allocate(16).value(), 16u);
+  EXPECT_EQ(a.allocate(16).value(), 32u);
+}
+
+TEST(Allocator, ExhaustionReturnsNullopt) {
+  FreeListAllocator a(64);
+  EXPECT_TRUE(a.allocate(64).has_value());
+  EXPECT_FALSE(a.allocate(4).has_value());
+  EXPECT_EQ(a.stats().failed_allocations, 1u);
+}
+
+TEST(Allocator, ReleaseMakesRoom) {
+  FreeListAllocator a(64);
+  const auto addr = a.allocate(64).value();
+  a.release(addr);
+  EXPECT_TRUE(a.allocate(64).has_value());
+}
+
+TEST(Allocator, ReleaseUnknownThrows) {
+  FreeListAllocator a(64);
+  EXPECT_THROW(a.release(12), apcc::CheckError);
+}
+
+TEST(Allocator, ZeroSizeRejected) {
+  FreeListAllocator a(64);
+  EXPECT_THROW((void)a.allocate(0), apcc::CheckError);
+}
+
+TEST(Allocator, CoalescingWithNextAndPrevious) {
+  FreeListAllocator a(96);
+  const auto x = a.allocate(32).value();
+  const auto y = a.allocate(32).value();
+  const auto z = a.allocate(32).value();
+  a.release(x);
+  a.release(z);
+  a.release(y);  // merges with both neighbours
+  a.validate();
+  // One fully coalesced free run: a full-size allocation must succeed.
+  EXPECT_TRUE(a.allocate(96).has_value());
+}
+
+TEST(Allocator, FirstFitChoosesLowestAddress) {
+  FreeListAllocator a(256, FitPolicy::kFirstFit);
+  const auto x = a.allocate(64).value();
+  (void)a.allocate(32);
+  const auto z = a.allocate(64).value();
+  (void)a.allocate(32);
+  a.release(x);
+  a.release(z);  // two holes: 64 at low address, 64 higher up
+  EXPECT_EQ(a.allocate(16).value(), x);
+}
+
+TEST(Allocator, BestFitChoosesTightestHole) {
+  FreeListAllocator a(256, FitPolicy::kBestFit);
+  const auto x = a.allocate(64).value();
+  (void)a.allocate(16);
+  const auto z = a.allocate(32).value();
+  (void)a.allocate(16);
+  a.release(x);  // 64-byte hole at low address
+  a.release(z);  // 32-byte hole higher up
+  // Best fit for 32 bytes is the 32-byte hole even though it is higher.
+  EXPECT_EQ(a.allocate(32).value(), z);
+}
+
+TEST(Allocator, FragmentationMetric) {
+  FreeListAllocator a(128);
+  const auto x = a.allocate(32).value();
+  (void)a.allocate(32);
+  const auto z = a.allocate(32).value();
+  (void)a.allocate(32);
+  a.release(x);
+  a.release(z);
+  const auto s = a.stats();
+  EXPECT_EQ(s.free, 64u);
+  EXPECT_EQ(s.largest_free_run, 32u);
+  EXPECT_NEAR(s.external_fragmentation(), 0.5, 1e-9);
+}
+
+TEST(Allocator, NoFreeSpaceMeansZeroFragmentation) {
+  FreeListAllocator a(64);
+  (void)a.allocate(64);
+  EXPECT_DOUBLE_EQ(a.stats().external_fragmentation(), 0.0);
+}
+
+TEST(Allocator, StatsTrackCounts) {
+  FreeListAllocator a(1024);
+  const auto x = a.allocate(10).value();
+  (void)a.allocate(20);
+  a.release(x);
+  const auto s = a.stats();
+  EXPECT_EQ(s.total_allocations, 2u);
+  EXPECT_EQ(s.live_allocations, 1u);
+  EXPECT_EQ(s.capacity, 1024u);
+}
+
+TEST(Allocator, FragmentationBlocksLargeAllocation) {
+  FreeListAllocator a(128);
+  std::vector<std::uint64_t> addrs;
+  for (int i = 0; i < 8; ++i) {
+    addrs.push_back(a.allocate(16).value());
+  }
+  // Free every other allocation: 64 free bytes but max run 16.
+  for (std::size_t i = 0; i < addrs.size(); i += 2) {
+    a.release(addrs[i]);
+  }
+  EXPECT_FALSE(a.allocate(32).has_value())
+      << "external fragmentation must prevent a 32-byte allocation";
+  EXPECT_TRUE(a.allocate(16).has_value());
+}
+
+// Property: random alloc/free interleavings preserve all invariants.
+TEST(Allocator, RandomOperationInvariantProperty) {
+  apcc::Rng rng(4242);
+  for (const FitPolicy policy : {FitPolicy::kFirstFit, FitPolicy::kBestFit}) {
+    FreeListAllocator a(4096, policy);
+    std::map<std::uint64_t, std::uint64_t> live;  // addr -> requested size
+    for (int op = 0; op < 2000; ++op) {
+      if (live.empty() || rng.next_bool(0.6)) {
+        const std::uint64_t size = 1 + rng.next_below(256);
+        if (const auto addr = a.allocate(size)) {
+          // New allocation must not overlap any live one.
+          const std::uint64_t aligned = (size + 3) / 4 * 4;
+          for (const auto& [la, ls] : live) {
+            const std::uint64_t lal = (ls + 3) / 4 * 4;
+            EXPECT_TRUE(*addr + aligned <= la || la + lal <= *addr)
+                << "overlap at " << *addr;
+          }
+          live[*addr] = size;
+        }
+      } else {
+        auto it = live.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(
+                             rng.next_below(live.size())));
+        a.release(it->first);
+        live.erase(it);
+      }
+      if (op % 100 == 0) a.validate();
+    }
+    a.validate();
+    // Releasing everything must coalesce back to a single run.
+    for (const auto& [addr, size] : live) a.release(addr);
+    a.validate();
+    const auto s = a.stats();
+    EXPECT_EQ(s.used, 0u);
+    EXPECT_EQ(s.largest_free_run, 4096u);
+  }
+}
+
+}  // namespace
+}  // namespace apcc::memory

@@ -1,0 +1,88 @@
+// MemoryLayout tests: slot layout, occupancy accounting, and the
+// peak / time-average series.
+#include <gtest/gtest.h>
+
+#include "memory/layout.hpp"
+
+namespace apcc::memory {
+namespace {
+
+std::vector<CompressedSlot> three_slots() {
+  // (compressed, original): 10->40, 20->60, 30->80.
+  return layout_slots({{10, 40}, {20, 60}, {30, 80}});
+}
+
+TEST(LayoutSlots, AddressesPackedAndAligned) {
+  const auto slots = three_slots();
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots[0].address, 0u);
+  EXPECT_EQ(slots[1].address, 12u);  // 10 aligned to 12
+  EXPECT_EQ(slots[2].address, 32u);  // 12 + 20
+  EXPECT_EQ(slots[2].original_size, 80u);
+}
+
+TEST(Layout, CompressedAreaIncludesIndex) {
+  const MemoryLayout layout(three_slots(), MemoryLayout::kUnbounded);
+  // Slot bytes: 12 + 20 + 32 = 64, plus 3 * 4 index bytes.
+  EXPECT_EQ(layout.compressed_area_bytes(), 64u + 12u);
+  EXPECT_EQ(layout.index_bytes(), 12u);
+  EXPECT_EQ(layout.original_image_bytes(), 180u);
+}
+
+TEST(Layout, OccupancyTracksPlacements) {
+  MemoryLayout layout(three_slots(), MemoryLayout::kUnbounded);
+  const std::uint64_t base = layout.occupancy_bytes();
+  const auto a = layout.place_decompressed(0, 10);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(layout.decompressed_bytes(), 40u);
+  EXPECT_EQ(layout.occupancy_bytes(), base + 40);
+  layout.drop_decompressed(*a, 20);
+  EXPECT_EQ(layout.occupancy_bytes(), base);
+}
+
+TEST(Layout, PeakIsMonotone) {
+  MemoryLayout layout(three_slots(), MemoryLayout::kUnbounded);
+  const auto a = layout.place_decompressed(2, 5).value();  // 80 bytes
+  const std::uint64_t peak_with_block = layout.peak_occupancy_bytes();
+  layout.drop_decompressed(a, 10);
+  EXPECT_EQ(layout.peak_occupancy_bytes(), peak_with_block)
+      << "peak must not decrease on drop";
+  EXPECT_GT(peak_with_block, layout.occupancy_bytes());
+}
+
+TEST(Layout, BudgetLimitsPlacements) {
+  // Budget below the largest block: placement of block 2 must fail.
+  MemoryLayout layout(three_slots(), 64);
+  EXPECT_TRUE(layout.place_decompressed(0, 1).has_value());   // 40 bytes
+  EXPECT_FALSE(layout.place_decompressed(2, 2).has_value());  // 80 > 24 left
+}
+
+TEST(Layout, AverageOccupancyTimeWeighted) {
+  MemoryLayout layout(three_slots(), MemoryLayout::kUnbounded);
+  const std::uint64_t base = layout.occupancy_bytes();
+  const auto a = layout.place_decompressed(0, 0).value();  // +40 at t=0
+  layout.drop_decompressed(a, 50);                         // back to base
+  // [0,50): base+40, [50,100): base -> average = base + 20.
+  EXPECT_NEAR(layout.average_occupancy_bytes(100),
+              static_cast<double>(base) + 20.0, 1e-6);
+}
+
+TEST(Layout, SlotAccessorRangeChecked) {
+  const MemoryLayout layout(three_slots(), MemoryLayout::kUnbounded);
+  EXPECT_THROW((void)layout.slot(3), apcc::CheckError);
+  EXPECT_EQ(layout.slot(1).compressed_size, 20u);
+}
+
+TEST(Layout, UnboundedFitsWholeImage) {
+  MemoryLayout layout(three_slots(), MemoryLayout::kUnbounded);
+  std::vector<std::uint64_t> addrs;
+  for (std::size_t b = 0; b < 3; ++b) {
+    const auto a = layout.place_decompressed(b, b);
+    ASSERT_TRUE(a.has_value()) << "unbounded layout must fit every block";
+    addrs.push_back(*a);
+  }
+  EXPECT_EQ(layout.decompressed_bytes(), 180u);
+}
+
+}  // namespace
+}  // namespace apcc::memory

@@ -1,0 +1,114 @@
+// BlockImage tests: construction, per-block round trips, ratios and slots.
+#include <gtest/gtest.h>
+
+#include "cfg/paper_graphs.hpp"
+#include "isa/isa.hpp"
+#include "runtime/block_image.hpp"
+#include "workloads/synth_bytes.hpp"
+
+namespace apcc::runtime {
+namespace {
+
+BlockImage make_image(compress::CodecKind kind) {
+  cfg::Cfg g = cfg::figure2_cfg();
+  return make_block_image(
+      g,
+      [](const cfg::BasicBlock& b) {
+        return workloads::synthesize_block_bytes(b);
+      },
+      kind);
+}
+
+TEST(BlockImage, BlockCountMatchesCfg) {
+  const BlockImage image = make_image(compress::CodecKind::kSharedHuffman);
+  EXPECT_EQ(image.block_count(), 10u);
+}
+
+TEST(BlockImage, EveryBlockRoundTrips) {
+  for (const auto kind :
+       {compress::CodecKind::kSharedHuffman, compress::CodecKind::kLzss,
+        compress::CodecKind::kCodePack, compress::CodecKind::kMtfRle}) {
+    const BlockImage image = make_image(kind);
+    for (cfg::BlockId b = 0; b < image.block_count(); ++b) {
+      EXPECT_NO_THROW(image.verify_block(b)) << codec_kind_name(kind);
+    }
+  }
+}
+
+TEST(BlockImage, OriginalSizesMatchCfgBlocks) {
+  const cfg::Cfg g = cfg::figure2_cfg();
+  const BlockImage image = make_image(compress::CodecKind::kSharedHuffman);
+  for (cfg::BlockId b = 0; b < image.block_count(); ++b) {
+    EXPECT_EQ(image.original_size(b), g.block(b).size_bytes());
+  }
+}
+
+TEST(BlockImage, TrainedCodecCompressesSynthBytes) {
+  const BlockImage image = make_image(compress::CodecKind::kSharedHuffman);
+  EXPECT_LT(image.ratio(), 0.95);
+  EXPECT_GT(image.ratio(), 0.2);
+}
+
+TEST(BlockImage, NullCodecRatioOne) {
+  const BlockImage image = make_image(compress::CodecKind::kNull);
+  EXPECT_DOUBLE_EQ(image.ratio(), 1.0);
+}
+
+TEST(BlockImage, SlotSizesPairUp) {
+  const BlockImage image = make_image(compress::CodecKind::kSharedHuffman);
+  const auto sizes = image.slot_sizes();
+  ASSERT_EQ(sizes.size(), image.block_count());
+  for (cfg::BlockId b = 0; b < image.block_count(); ++b) {
+    EXPECT_EQ(sizes[b].first, image.compressed_size(b));
+    EXPECT_EQ(sizes[b].second, image.original_size(b));
+  }
+}
+
+TEST(BlockImage, MismatchedByteCountRejected) {
+  const cfg::Cfg g = cfg::figure5_cfg();
+  std::vector<compress::Bytes> bytes(2);  // CFG has 4 blocks
+  EXPECT_THROW(
+      BlockImage(g, std::move(bytes),
+                 compress::make_codec(compress::CodecKind::kNull)),
+      apcc::CheckError);
+}
+
+TEST(BlockImage, NullCodecPointerRejected) {
+  const cfg::Cfg g = cfg::figure5_cfg();
+  std::vector<compress::Bytes> bytes(g.block_count());
+  EXPECT_THROW(BlockImage(g, std::move(bytes), nullptr), apcc::CheckError);
+}
+
+TEST(BlockImage, OutOfRangeBlockThrows) {
+  const BlockImage image = make_image(compress::CodecKind::kNull);
+  EXPECT_THROW((void)image.block(10), apcc::CheckError);
+}
+
+TEST(SynthBytes, DeterministicPerBlockAndSeed) {
+  const cfg::Cfg g = cfg::figure5_cfg();
+  const auto a = workloads::synthesize_block_bytes(g.block(0), 1);
+  const auto b = workloads::synthesize_block_bytes(g.block(0), 1);
+  const auto c = workloads::synthesize_block_bytes(g.block(0), 2);
+  const auto d = workloads::synthesize_block_bytes(g.block(1), 1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(a.size(), g.block(0).size_bytes());
+}
+
+TEST(SynthBytes, ProducesDecodableInstructions) {
+  const cfg::Cfg g = cfg::figure2_cfg();
+  const auto bytes = workloads::synthesize_block_bytes(g.block(3));
+  ASSERT_EQ(bytes.size() % 4, 0u);
+  for (std::size_t i = 0; i < bytes.size(); i += 4) {
+    const std::uint32_t word =
+        static_cast<std::uint32_t>(bytes[i]) |
+        (static_cast<std::uint32_t>(bytes[i + 1]) << 8) |
+        (static_cast<std::uint32_t>(bytes[i + 2]) << 16) |
+        (static_cast<std::uint32_t>(bytes[i + 3]) << 24);
+    EXPECT_NO_THROW((void)isa::decode(word));
+  }
+}
+
+}  // namespace
+}  // namespace apcc::runtime

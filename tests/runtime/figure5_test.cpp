@@ -1,0 +1,201 @@
+// End-to-end reproduction of the paper's Figure 5 walkthrough (§5).
+//
+// Access pattern B0, B1, B0, B1, B3 with k=2 and on-demand decompression.
+// The paper traces nine steps; this test asserts the engine produces the
+// same causal sequence:
+//   (1,2) entering compressed B0 faults; handler decompresses B0->B0'
+//   (3,4) entering compressed B1 faults; decompress B1->B1' and patch the
+//         branch in B0'
+//   (5,6) re-entering B0 needs NO decompression, only a patch of B1''s
+//         branch (one more exception)
+//   (7)   re-entering B1 through the patched branch: no exception at all
+//   (8,9) entering B3: B0's counter has reached k=2, so B0' is deleted
+//         (unpatching its remember set) and B3 is decompressed
+#include <gtest/gtest.h>
+
+#include "cfg/paper_graphs.hpp"
+#include "core/system.hpp"
+
+namespace apcc::sim {
+namespace {
+
+struct RecordedEvent {
+  EventKind kind;
+  cfg::BlockId block;
+  cfg::BlockId aux;
+};
+
+class Figure5Test : public ::testing::Test {
+ protected:
+  void run_walkthrough() {
+    cfg::Cfg graph = cfg::figure5_cfg();
+    core::SystemConfig config;
+    config.codec = compress::CodecKind::kSharedHuffman;
+    config.policy.strategy = runtime::DecompressionStrategy::kOnDemand;
+    config.policy.compress_k = 2;
+    auto system = core::CodeCompressionSystem::from_cfg(
+        std::move(graph),
+        [](const cfg::BasicBlock& b) {
+          return compress::Bytes(b.size_bytes(), 0x90);
+        },
+        config);
+    result_ = system.run_with_events(
+        cfg::figure5_trace(), [this](const Event& e) {
+          events_.push_back(RecordedEvent{e.kind, e.block, e.aux});
+        });
+  }
+
+  /// Events of the given kinds, in order.
+  std::vector<RecordedEvent> filtered(
+      std::initializer_list<EventKind> kinds) const {
+    std::vector<RecordedEvent> out;
+    for (const auto& e : events_) {
+      for (const auto k : kinds) {
+        if (e.kind == k) out.push_back(e);
+      }
+    }
+    return out;
+  }
+
+  std::vector<RecordedEvent> events_;
+  RunResult result_;
+};
+
+TEST_F(Figure5Test, DecompressionsAreB0B1B3InOrder) {
+  run_walkthrough();
+  const auto decomp = filtered({EventKind::kDemandDecompress});
+  ASSERT_EQ(decomp.size(), 3u) << "exactly B0, B1, B3 are decompressed";
+  EXPECT_EQ(decomp[0].block, 0u);
+  EXPECT_EQ(decomp[1].block, 1u);
+  EXPECT_EQ(decomp[2].block, 3u);
+}
+
+TEST_F(Figure5Test, B0IsNotDecompressedTwice) {
+  run_walkthrough();
+  EXPECT_EQ(result_.demand_decompressions, 3u)
+      << "step (5): re-entering B0 must not decompress again";
+}
+
+TEST_F(Figure5Test, ExceptionsMatchTheFourFaultingSteps) {
+  run_walkthrough();
+  const auto faults = filtered({EventKind::kException});
+  // Steps 1, 3, 5 and 8 fault; step 7 (B0'->B1') does not.
+  ASSERT_EQ(faults.size(), 4u);
+  EXPECT_EQ(faults[0].block, 0u);
+  EXPECT_EQ(faults[1].block, 1u);
+  EXPECT_EQ(faults[2].block, 0u);
+  EXPECT_EQ(faults[3].block, 3u);
+}
+
+TEST_F(Figure5Test, StepSevenIsExceptionFree) {
+  run_walkthrough();
+  // The second entry to B1 (trace position 3) must produce an enter event
+  // with no exception between the preceding exit and it.
+  bool saw_exit_b0_second = false;
+  int b0_exits = 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& e = events_[i];
+    if (e.kind == EventKind::kBlockExit && e.block == 0) {
+      ++b0_exits;
+      if (b0_exits == 2) {
+        saw_exit_b0_second = true;
+        // Scan forward to the next enter; no exception may intervene.
+        for (std::size_t j = i + 1; j < events_.size(); ++j) {
+          if (events_[j].kind == EventKind::kBlockEnter) break;
+          EXPECT_NE(events_[j].kind, EventKind::kException)
+              << "step (7) must be exception-free";
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_exit_b0_second);
+}
+
+TEST_F(Figure5Test, PatchesRecordTheBranchRewrites) {
+  run_walkthrough();
+  const auto patches = filtered({EventKind::kPatch});
+  // Step 4: branch in B0 -> B1'; step 6: branch in B1' -> B0';
+  // step 9: branch in B1' -> B3'.
+  ASSERT_EQ(patches.size(), 3u);
+  EXPECT_EQ(patches[0].block, 1u);
+  EXPECT_EQ(patches[0].aux, 0u);
+  EXPECT_EQ(patches[1].block, 0u);
+  EXPECT_EQ(patches[1].aux, 1u);
+  EXPECT_EQ(patches[2].block, 3u);
+  EXPECT_EQ(patches[2].aux, 1u);
+}
+
+TEST_F(Figure5Test, B0DeletedExactlyOnceAtStepNine) {
+  run_walkthrough();
+  const auto deletes = filtered({EventKind::kDelete});
+  ASSERT_EQ(deletes.size(), 1u);
+  EXPECT_EQ(deletes[0].block, 0u);
+  // The delete must happen after the second exit from B1 (edge B1->B3)
+  // and before B3's decompression.
+  std::size_t delete_pos = 0;
+  std::size_t b3_decompress_pos = 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].kind == EventKind::kDelete) delete_pos = i;
+    if (events_[i].kind == EventKind::kDemandDecompress &&
+        events_[i].block == 3) {
+      b3_decompress_pos = i;
+    }
+  }
+  EXPECT_LT(delete_pos, b3_decompress_pos)
+      << "step (9): B0' deleted as B3 is reached";
+}
+
+TEST_F(Figure5Test, DeleteUnpatchesTheRememberSet) {
+  run_walkthrough();
+  const auto unpatches = filtered({EventKind::kUnpatch});
+  // B0's remember set contains B1 (patched at step 6).
+  ASSERT_EQ(unpatches.size(), 1u);
+  EXPECT_EQ(unpatches[0].block, 0u);
+  EXPECT_EQ(unpatches[0].aux, 1u);
+  EXPECT_EQ(result_.unpatches, 1u);
+}
+
+TEST_F(Figure5Test, B2StaysCompressedThroughout) {
+  run_walkthrough();
+  for (const auto& e : events_) {
+    EXPECT_NE(e.block == 2 && (e.kind == EventKind::kDemandDecompress ||
+                               e.kind == EventKind::kPredecompressIssue),
+              true)
+        << "B2 is never on the path and must stay compressed";
+  }
+}
+
+TEST_F(Figure5Test, CountersSummarise) {
+  run_walkthrough();
+  EXPECT_EQ(result_.block_entries, 5u);
+  EXPECT_EQ(result_.exceptions, 4u);
+  EXPECT_EQ(result_.deletions, 1u);
+  EXPECT_EQ(result_.patches, 3u);
+  EXPECT_EQ(result_.predecompressions, 0u);
+  EXPECT_EQ(result_.stall_cycles, 0u);
+  EXPECT_GT(result_.total_cycles, result_.baseline_cycles);
+}
+
+TEST_F(Figure5Test, MemoryNeverHoldsMoreThanTwoCopies) {
+  // Along B0,B1,B0,B1,B3 with k=2, at most two decompressed copies
+  // coexist; the largest coexisting pair is B1'+B3' (B0' is deleted on
+  // the edge into B3, before B3 is decompressed).
+  cfg::Cfg graph = cfg::figure5_cfg();
+  const std::uint64_t b1 = graph.block(1).size_bytes();
+  const std::uint64_t b3 = graph.block(3).size_bytes();
+  core::SystemConfig config;
+  config.policy.compress_k = 2;
+  auto system = core::CodeCompressionSystem::from_cfg(
+      std::move(graph),
+      [](const cfg::BasicBlock& b) {
+        return compress::Bytes(b.size_bytes(), 0x90);
+      },
+      config);
+  const RunResult r = system.run(cfg::figure5_trace());
+  const std::uint64_t fixed = r.compressed_area_bytes;
+  EXPECT_LE(r.peak_occupancy_bytes, fixed + b1 + b3)
+      << "at most two decompressed copies at any instant";
+}
+
+}  // namespace
+}  // namespace apcc::sim

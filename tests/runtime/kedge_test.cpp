@@ -1,0 +1,167 @@
+// k-edge compression manager tests, pinned to the paper's semantics:
+// Figure 1 (compress B1 just before entering B4 with k=2) and the counter
+// discipline the Figure 5 walkthrough implies.
+#include <gtest/gtest.h>
+
+#include "runtime/kedge.hpp"
+
+namespace apcc::runtime {
+namespace {
+
+StateTable make_states(std::size_t n,
+                       std::initializer_list<cfg::BlockId> decompressed) {
+  StateTable t(n);
+  for (const auto b : decompressed) {
+    t[b].form = BlockForm::kDecompressed;
+  }
+  return t;
+}
+
+TEST(KEdge, RequiresPositiveK) {
+  StateTable t(2);
+  EXPECT_THROW(KEdgeCompressionManager(t, 0), apcc::CheckError);
+}
+
+TEST(KEdge, Figure1ScenarioWithKEqualsTwo) {
+  // Blocks B0..B5; B1 was just visited (decompressed). After edges
+  // a (into B3) and b (into B4), B1's copy must be scheduled for deletion
+  // "just before the execution enters basic block B4".
+  StateTable t = make_states(6, {1});
+  KEdgeCompressionManager kedge(t, 2);
+  kedge.on_block_executed(1);
+  EXPECT_TRUE(kedge.on_edge_traversed(3).empty()) << "after edge a";
+  const auto deleted = kedge.on_edge_traversed(4);
+  ASSERT_EQ(deleted.size(), 1u) << "after edge b";
+  EXPECT_EQ(deleted[0], 1u);
+}
+
+TEST(KEdge, TargetBlockIsNotIncremented) {
+  // Figure 5 step (5): re-entering B0 via B1->B0 must NOT increment B0's
+  // counter -- otherwise B0' would be deleted at that moment.
+  StateTable t = make_states(4, {0, 1});
+  KEdgeCompressionManager kedge(t, 2);
+  kedge.on_block_executed(0);
+  EXPECT_TRUE(kedge.on_edge_traversed(1).empty());  // B0: 1
+  EXPECT_EQ(t[0].kedge_counter, 1u);
+  const auto deleted = kedge.on_edge_traversed(0);  // into B0: not bumped
+  EXPECT_TRUE(deleted.empty());
+  EXPECT_EQ(t[0].kedge_counter, 1u) << "target must be exempt";
+  EXPECT_EQ(t[1].kedge_counter, 1u) << "source is incremented";
+}
+
+TEST(KEdge, ExecutionResetsCounter) {
+  StateTable t = make_states(3, {0});
+  KEdgeCompressionManager kedge(t, 3);
+  (void)kedge.on_edge_traversed(1);
+  (void)kedge.on_edge_traversed(2);
+  EXPECT_EQ(t[0].kedge_counter, 2u);
+  kedge.on_block_executed(0);
+  EXPECT_EQ(t[0].kedge_counter, 0u);
+}
+
+TEST(KEdge, CompressedBlocksAreIgnored) {
+  StateTable t = make_states(3, {});
+  t[0].form = BlockForm::kCompressed;
+  KEdgeCompressionManager kedge(t, 1);
+  EXPECT_TRUE(kedge.on_edge_traversed(1).empty());
+  EXPECT_EQ(t[0].kedge_counter, 0u);
+}
+
+TEST(KEdge, DecompressingBlocksAreIgnored) {
+  StateTable t = make_states(3, {});
+  t[0].form = BlockForm::kDecompressing;
+  KEdgeCompressionManager kedge(t, 1);
+  EXPECT_TRUE(kedge.on_edge_traversed(1).empty());
+}
+
+TEST(KEdge, ExecutingBlockNeverReturned) {
+  StateTable t = make_states(3, {0});
+  t[0].executing = true;
+  KEdgeCompressionManager kedge(t, 1);
+  const auto deleted = kedge.on_edge_traversed(1);
+  EXPECT_TRUE(deleted.empty()) << "pinned block must survive";
+  EXPECT_EQ(t[0].kedge_counter, 1u);
+}
+
+TEST(KEdge, KOneCompressesImmediately) {
+  // 1-edge: a block's copy dies on the first edge after its execution.
+  StateTable t = make_states(2, {0});
+  KEdgeCompressionManager kedge(t, 1);
+  kedge.on_block_executed(0);
+  const auto deleted = kedge.on_edge_traversed(1);
+  ASSERT_EQ(deleted.size(), 1u);
+  EXPECT_EQ(deleted[0], 0u);
+}
+
+TEST(KEdge, LargeKDelaysDeletion) {
+  StateTable t = make_states(2, {0});
+  KEdgeCompressionManager kedge(t, 10);
+  kedge.on_block_executed(0);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_TRUE(kedge.on_edge_traversed(1).empty()) << "edge " << i;
+  }
+  EXPECT_EQ(kedge.on_edge_traversed(1).size(), 1u);
+}
+
+TEST(KEdge, MultipleBlocksDeletedTogether) {
+  StateTable t = make_states(4, {0, 1, 2});
+  KEdgeCompressionManager kedge(t, 1);
+  const auto deleted = kedge.on_edge_traversed(3);
+  EXPECT_EQ(deleted.size(), 3u);
+}
+
+TEST(KEdge, CountersAdvanceIndependently) {
+  StateTable t = make_states(3, {0, 1});
+  KEdgeCompressionManager kedge(t, 3);
+  (void)kedge.on_edge_traversed(2);   // 0:1, 1:1
+  kedge.on_block_executed(1);         // 1 reset
+  (void)kedge.on_edge_traversed(2);   // 0:2, 1:1
+  EXPECT_EQ(t[0].kedge_counter, 2u);
+  EXPECT_EQ(t[1].kedge_counter, 1u);
+}
+
+// -------------------------------------------------- StateTable helpers
+
+TEST(StateTable, DecompressedBlocksListing) {
+  StateTable t = make_states(5, {1, 3});
+  EXPECT_EQ(t.decompressed_blocks(), (std::vector<cfg::BlockId>{1, 3}));
+  EXPECT_EQ(t.count(BlockForm::kDecompressed), 2u);
+  EXPECT_EQ(t.count(BlockForm::kCompressed), 3u);
+}
+
+TEST(StateTable, LruVictimOldestFirst) {
+  StateTable t = make_states(4, {0, 1, 2});
+  t[0].last_use_time = 30;
+  t[1].last_use_time = 10;
+  t[2].last_use_time = 20;
+  EXPECT_EQ(t.lru_victim(cfg::kInvalidBlock), 1u);
+}
+
+TEST(StateTable, LruVictimSkipsProtectedAndExecuting) {
+  StateTable t = make_states(3, {0, 1, 2});
+  t[0].last_use_time = 1;
+  t[1].last_use_time = 2;
+  t[2].last_use_time = 3;
+  t[0].executing = true;
+  EXPECT_EQ(t.lru_victim(1), 2u) << "0 executing, 1 protected -> 2";
+}
+
+TEST(StateTable, LruVictimNoneAvailable) {
+  StateTable t = make_states(2, {});
+  EXPECT_EQ(t.lru_victim(cfg::kInvalidBlock), cfg::kInvalidBlock);
+}
+
+TEST(StateTable, RememberSetDeduplicates) {
+  BlockState s;
+  s.add_patch(3);
+  s.add_patch(3);
+  s.add_patch(5);
+  EXPECT_EQ(s.remember_set.size(), 2u);
+  EXPECT_TRUE(s.is_patched_for(3));
+  EXPECT_FALSE(s.is_patched_for(7));
+  s.clear_patches();
+  EXPECT_TRUE(s.remember_set.empty());
+}
+
+}  // namespace
+}  // namespace apcc::runtime

@@ -1,0 +1,138 @@
+// Decompression planner tests, pinned to the paper's §4 examples on the
+// Figure 2 graph.
+#include <gtest/gtest.h>
+
+#include "cfg/paper_graphs.hpp"
+#include "runtime/planner.hpp"
+
+namespace apcc::runtime {
+namespace {
+
+StateTable all_compressed(const cfg::Cfg& g) {
+  return StateTable(g.block_count());
+}
+
+Policy pre_all(std::uint32_t k) {
+  Policy p;
+  p.strategy = DecompressionStrategy::kPreAll;
+  p.predecompress_k = k;
+  return p;
+}
+
+Policy pre_single(std::uint32_t k) {
+  Policy p;
+  p.strategy = DecompressionStrategy::kPreSingle;
+  p.predecompress_k = k;
+  return p;
+}
+
+TEST(Planner, OnDemandPlansNothing) {
+  const cfg::Cfg g = cfg::figure2_cfg();
+  StateTable states = all_compressed(g);
+  Policy policy;  // default on-demand
+  const DecompressionPlanner planner(g, states, policy, nullptr);
+  EXPECT_TRUE(planner.plan_on_exit(0, 0).empty());
+}
+
+TEST(Planner, PreSingleRequiresPredictor) {
+  const cfg::Cfg g = cfg::figure2_cfg();
+  StateTable states = all_compressed(g);
+  EXPECT_THROW(DecompressionPlanner(g, states, pre_single(2), nullptr),
+               apcc::CheckError);
+}
+
+TEST(Planner, PaperExamplePreAllFromB0) {
+  // §4: B4, B5, B8, B9 compressed, everything else uncompressed, k=2,
+  // execution just left B0 -> pre-decompress-all requests exactly
+  // B4, B5, B8 and B9.
+  const cfg::Cfg g = cfg::figure2_cfg();
+  StateTable states = all_compressed(g);
+  for (const cfg::BlockId b : {0u, 1u, 2u, 3u, 6u, 7u}) {
+    states[b].form = BlockForm::kDecompressed;
+  }
+  const DecompressionPlanner planner(g, states, pre_all(2), nullptr);
+  const auto plan = planner.plan_on_exit(0, 0);
+  EXPECT_EQ(plan, (std::vector<cfg::BlockId>{4, 5, 8, 9}));
+}
+
+TEST(Planner, PaperExamplePreSingleFromB0PicksExactlyOne) {
+  const cfg::Cfg g = cfg::figure2_cfg();
+  StateTable states = all_compressed(g);
+  for (const cfg::BlockId b : {0u, 1u, 2u, 3u, 6u, 7u}) {
+    states[b].form = BlockForm::kDecompressed;
+  }
+  const ProfilePredictor predictor(g, 2);
+  const DecompressionPlanner planner(g, states, pre_single(2), &predictor);
+  const auto plan = planner.plan_on_exit(0, 0);
+  ASSERT_EQ(plan.size(), 1u) << "pre-decompress-single picks one block";
+  const std::vector<cfg::BlockId> candidates = {4, 5, 8, 9};
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), plan[0]),
+            candidates.end());
+}
+
+TEST(Planner, Figure2B7PlannedAtExitOfB1WithK3) {
+  // §4 / Figure 2: with k=3, B7 is decompressed at the end of B1.
+  const cfg::Cfg g = cfg::figure2_cfg();
+  StateTable states = all_compressed(g);
+  const DecompressionPlanner planner(g, states, pre_all(3), nullptr);
+  const auto plan = planner.plan_on_exit(1, 0);
+  EXPECT_NE(std::find(plan.begin(), plan.end(), 7u), plan.end());
+}
+
+TEST(Planner, Figure2B7NotPlannedWithK2) {
+  const cfg::Cfg g = cfg::figure2_cfg();
+  StateTable states = all_compressed(g);
+  const DecompressionPlanner planner(g, states, pre_all(2), nullptr);
+  const auto plan = planner.plan_on_exit(1, 0);
+  EXPECT_EQ(std::find(plan.begin(), plan.end(), 7u), plan.end())
+      << "B7 is 3 edges away; k=2 must not reach it";
+}
+
+TEST(Planner, AlreadyDecompressedBlocksSkipped) {
+  const cfg::Cfg g = cfg::figure2_cfg();
+  StateTable states = all_compressed(g);
+  states[1].form = BlockForm::kDecompressed;
+  states[2].form = BlockForm::kDecompressing;
+  const DecompressionPlanner planner(g, states, pre_all(1), nullptr);
+  const auto plan = planner.plan_on_exit(0, 0);
+  EXPECT_TRUE(plan.empty())
+      << "both distance-1 blocks are resident or in flight";
+}
+
+TEST(Planner, RequestsOrderedNearestFirst) {
+  const cfg::Cfg g = cfg::figure2_cfg();
+  StateTable states = all_compressed(g);
+  const DecompressionPlanner planner(g, states, pre_all(3), nullptr);
+  const auto plan = planner.plan_on_exit(0, 0);
+  // Distances from B0: B1/B2 = 1; B3/B4/B5/B8/B9 = 2; B6 = 3 (B7 = 3).
+  ASSERT_GE(plan.size(), 3u);
+  EXPECT_EQ(plan[0], 1u);
+  EXPECT_EQ(plan[1], 2u);
+  // All distance-2 blocks precede distance-3 blocks.
+  const auto pos = [&](cfg::BlockId b) {
+    return std::find(plan.begin(), plan.end(), b) - plan.begin();
+  };
+  EXPECT_LT(pos(4), pos(6));
+  EXPECT_LT(pos(9), pos(7));
+}
+
+TEST(Planner, ExitBlockPlansNothing) {
+  const cfg::Cfg g = cfg::figure2_cfg();
+  StateTable states = all_compressed(g);
+  const DecompressionPlanner planner(g, states, pre_all(4), nullptr);
+  EXPECT_TRUE(planner.plan_on_exit(9, 0).empty());
+}
+
+TEST(Planner, PreSingleEmptyWhenFrontierClear) {
+  const cfg::Cfg g = cfg::figure5_cfg();
+  StateTable states(g.block_count());
+  for (cfg::BlockId b = 0; b < g.block_count(); ++b) {
+    states[b].form = BlockForm::kDecompressed;
+  }
+  const ProfilePredictor predictor(g, 2);
+  const DecompressionPlanner planner(g, states, pre_single(2), &predictor);
+  EXPECT_TRUE(planner.plan_on_exit(0, 0).empty());
+}
+
+}  // namespace
+}  // namespace apcc::runtime

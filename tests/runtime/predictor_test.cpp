@@ -1,0 +1,110 @@
+// Predictor tests for pre-decompress-single (§4 / E7).
+#include <gtest/gtest.h>
+
+#include "cfg/paper_graphs.hpp"
+#include "runtime/predictor.hpp"
+
+namespace apcc::runtime {
+namespace {
+
+TEST(ProfilePredictor, PicksHighProbabilitySuccessor) {
+  cfg::Cfg g = cfg::figure5_cfg();
+  // Bias B0 -> B1 heavily.
+  g.edge(g.find_edge(0, 1)).probability = 0.95;
+  g.edge(g.find_edge(0, 2)).probability = 0.05;
+  g.normalize_probabilities();
+  const ProfilePredictor p(g, 2);
+  EXPECT_EQ(p.predict(0, {1, 2}, 0), 1u);
+}
+
+TEST(ProfilePredictor, RespectsCandidateFilter) {
+  cfg::Cfg g = cfg::figure5_cfg();
+  g.edge(g.find_edge(0, 1)).probability = 0.95;
+  g.edge(g.find_edge(0, 2)).probability = 0.05;
+  g.normalize_probabilities();
+  const ProfilePredictor p(g, 2);
+  // B1 is likelier but not a candidate (already decompressed, say).
+  EXPECT_EQ(p.predict(0, {2}, 0), 2u);
+}
+
+TEST(ProfilePredictor, DeeperFrontierUsesPathProbabilities) {
+  cfg::Cfg g = cfg::figure2_cfg();
+  // Weight the path B0 -> B2 -> B5 heavily.
+  for (cfg::EdgeId e = 0; e < g.edge_count(); ++e) {
+    g.edge(e).probability = 0.0;
+  }
+  g.edge(g.find_edge(0, 2)).probability = 0.9;
+  g.edge(g.find_edge(2, 5)).probability = 0.9;
+  g.normalize_probabilities();
+  const ProfilePredictor p(g, 2);
+  EXPECT_EQ(p.predict(0, {4, 5, 8, 9}, 0), 5u);
+}
+
+TEST(ProfilePredictor, EmptyCandidatesThrow) {
+  const cfg::Cfg g = cfg::figure5_cfg();
+  const ProfilePredictor p(g, 2);
+  EXPECT_THROW((void)p.predict(0, {}, 0), apcc::CheckError);
+}
+
+TEST(StaticPredictor, PrefersDeeperLoops) {
+  // figure1: B3/B4 form the inner loop; B5 is on the outer loop only.
+  const cfg::Cfg g = cfg::figure1_cfg();
+  const StaticPredictor p(g, 2);
+  EXPECT_EQ(p.predict(3, {4, 5}, 0), 4u)
+      << "B4 sits in the deeper (inner) loop";
+}
+
+TEST(StaticPredictor, TieBreaksByDistanceThenId) {
+  const cfg::Cfg g = cfg::figure2_cfg();  // acyclic: all depths 0
+  const StaticPredictor p(g, 3);
+  // From B0: B1/B2 at distance 1, B3..B5 at 2 -> nearest wins.
+  EXPECT_EQ(p.predict(0, {1, 3}, 0), 1u);
+  // Equal depth and distance -> lowest id.
+  EXPECT_EQ(p.predict(0, {1, 2}, 0), 1u);
+}
+
+TEST(OraclePredictor, PicksNextReachableBeyondTheImmediateSuccessor) {
+  const cfg::Cfg g = cfg::figure5_cfg();
+  const cfg::BlockTrace trace = {0, 1, 0, 1, 3};
+  const OraclePredictor p(g, trace);
+  // The oracle skips trace_index+1 (no lead time to exploit there).
+  // At index 0, candidates {0, 3}: the first hit from index 2 on is 0.
+  EXPECT_EQ(p.predict(0, {0, 3}, 0), 0u);
+  // At index 1, candidates {0, 3}: from index 3 on, B3 comes first
+  // (trace[3] = B1 is not a candidate).
+  EXPECT_EQ(p.predict(1, {0, 3}, 1), 3u);
+  // At index 2, candidates {1, 3}: trace[4] = B3... but trace[3] = B1 is
+  // skipped-start+0 -> index 4 is 3? From index 4: B3.
+  EXPECT_EQ(p.predict(0, {3}, 2), 3u);
+}
+
+TEST(OraclePredictor, FallsBackWhenNeverReached) {
+  const cfg::Cfg g = cfg::figure5_cfg();
+  const cfg::BlockTrace trace = {0, 1, 3};
+  const OraclePredictor p(g, trace);
+  EXPECT_EQ(p.predict(0, {2}, 2), 2u) << "never reached: first candidate";
+}
+
+TEST(MakePredictor, FactoryKinds) {
+  const cfg::Cfg g = cfg::figure5_cfg();
+  const cfg::BlockTrace trace = {0, 1, 3};
+  EXPECT_EQ(make_predictor(PredictorKind::kProfile, g, 2, trace)->kind(),
+            PredictorKind::kProfile);
+  EXPECT_EQ(make_predictor(PredictorKind::kStatic, g, 2, trace)->kind(),
+            PredictorKind::kStatic);
+  EXPECT_EQ(make_predictor(PredictorKind::kOracle, g, 2, trace)->kind(),
+            PredictorKind::kOracle);
+}
+
+TEST(Names, StrategyAndPredictorNames) {
+  EXPECT_STREQ(strategy_name(DecompressionStrategy::kOnDemand), "on-demand");
+  EXPECT_STREQ(strategy_name(DecompressionStrategy::kPreAll), "pre-all");
+  EXPECT_STREQ(strategy_name(DecompressionStrategy::kPreSingle),
+               "pre-single");
+  EXPECT_STREQ(predictor_name(PredictorKind::kProfile), "profile");
+  EXPECT_STREQ(predictor_name(PredictorKind::kStatic), "static");
+  EXPECT_STREQ(predictor_name(PredictorKind::kOracle), "oracle");
+}
+
+}  // namespace
+}  // namespace apcc::runtime

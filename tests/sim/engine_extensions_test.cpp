@@ -1,0 +1,156 @@
+// Tests for the engine extensions beyond the paper's baseline design:
+// multiple decompression units (E8) and victim-selection policies (E9),
+// plus the demand-vs-helper race rule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/system.hpp"
+#include "workloads/suite.hpp"
+
+namespace apcc::sim {
+namespace {
+
+using core::CodeCompressionSystem;
+using core::SystemConfig;
+
+const workloads::Workload& jpeg() {
+  static const workloads::Workload w =
+      workloads::make_workload(workloads::WorkloadKind::kJpegLike);
+  return w;
+}
+
+SystemConfig pre_all_config(unsigned units, compress::CodecKind codec =
+                                                compress::CodecKind::kSharedHuffman) {
+  SystemConfig config;
+  config.codec = codec;
+  config.policy.strategy = runtime::DecompressionStrategy::kPreAll;
+  config.policy.compress_k = 16;
+  config.policy.predecompress_k = 4;
+  config.policy.decompress_units = units;
+  return config;
+}
+
+TEST(DecompressUnits, ZeroUnitsRejected) {
+  SystemConfig config = pre_all_config(0);
+  const auto system = CodeCompressionSystem::from_workload(jpeg(), config);
+  EXPECT_THROW((void)system.run(), apcc::CheckError);
+}
+
+TEST(DecompressUnits, MoreUnitsNeverSlower) {
+  std::uint64_t prev = UINT64_MAX;
+  for (const unsigned units : {1u, 2u, 4u}) {
+    const auto r = CodeCompressionSystem::from_workload(
+                       jpeg(), pre_all_config(units))
+                       .run();
+    EXPECT_LE(r.total_cycles, prev) << units << " units";
+    prev = r.total_cycles;
+  }
+}
+
+TEST(DecompressUnits, MoreUnitsReduceDemandRaces) {
+  const auto one =
+      CodeCompressionSystem::from_workload(jpeg(), pre_all_config(1)).run();
+  const auto four =
+      CodeCompressionSystem::from_workload(jpeg(), pre_all_config(4)).run();
+  // With more bandwidth, fewer in-flight blocks lose the race to the
+  // execution thread's exception handler.
+  EXPECT_LE(four.demand_decompressions, one.demand_decompressions);
+  EXPECT_LE(four.stall_cycles, one.stall_cycles);
+}
+
+TEST(DecompressUnits, BusyCyclesConserved) {
+  // Adding units redistributes helper work, it does not create or destroy
+  // the per-job cost: total helper busy cycles stay within the single-unit
+  // figure (jobs skipped because a block became resident reduce it).
+  const auto one =
+      CodeCompressionSystem::from_workload(jpeg(), pre_all_config(1)).run();
+  const auto four =
+      CodeCompressionSystem::from_workload(jpeg(), pre_all_config(4)).run();
+  EXPECT_GT(four.decomp_helper_busy_cycles, 0u);
+  EXPECT_GT(one.decomp_helper_busy_cycles, 0u);
+}
+
+TEST(DemandRace, BackloggedHelperLosesToExceptionHandler) {
+  // Slow codec + single unit + wide speculation: the helper queue grows
+  // beyond the demand-decompression latency, so some arrivals must take
+  // the critical-path fault instead of waiting.
+  const auto r =
+      CodeCompressionSystem::from_workload(jpeg(), pre_all_config(1)).run();
+  EXPECT_GT(r.predecompressions, 0u);
+  EXPECT_GT(r.demand_decompressions, 0u)
+      << "some entries should win the race against the backlog";
+}
+
+// ---------------------------------------------------------------- E9
+
+SystemConfig budget_config(runtime::VictimPolicy policy) {
+  SystemConfig config;
+  config.policy.strategy = runtime::DecompressionStrategy::kPreSingle;
+  config.policy.compress_k = 8;
+  config.policy.victim_policy = policy;
+  return config;
+}
+
+std::uint64_t tight_budget() {
+  static const std::uint64_t budget = [] {
+    const auto unbounded = CodeCompressionSystem::from_workload(
+                               jpeg(), budget_config(runtime::VictimPolicy::kLru))
+                               .run();
+    const std::uint64_t ws = unbounded.peak_occupancy_bytes -
+                             unbounded.compressed_area_bytes;
+    std::uint64_t largest_executed = 0;
+    for (const auto b : jpeg().trace) {
+      largest_executed =
+          std::max(largest_executed, jpeg().cfg.block(b).size_bytes());
+    }
+    return std::max(ws / 2, largest_executed + 8);
+  }();
+  return budget;
+}
+
+class VictimPolicyTest
+    : public ::testing::TestWithParam<runtime::VictimPolicy> {};
+
+TEST_P(VictimPolicyTest, CompletesAndRespectsCap) {
+  SystemConfig config = budget_config(GetParam());
+  config.policy.memory_budget = tight_budget();
+  const auto r =
+      CodeCompressionSystem::from_workload(jpeg(), config).run();
+  EXPECT_GT(r.evictions, 0u);
+  EXPECT_LE(r.peak_occupancy_bytes,
+            r.compressed_area_bytes + config.policy.memory_budget);
+  EXPECT_EQ(r.block_entries, jpeg().trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, VictimPolicyTest,
+    ::testing::Values(runtime::VictimPolicy::kLru,
+                      runtime::VictimPolicy::kMru,
+                      runtime::VictimPolicy::kLargest),
+    [](const ::testing::TestParamInfo<runtime::VictimPolicy>& info) {
+      return std::string(runtime::victim_policy_name(info.param));
+    });
+
+TEST(VictimPolicy, LruBeatsMruOnLoopCode) {
+  SystemConfig lru = budget_config(runtime::VictimPolicy::kLru);
+  lru.policy.memory_budget = tight_budget();
+  SystemConfig mru = budget_config(runtime::VictimPolicy::kMru);
+  mru.policy.memory_budget = tight_budget();
+  const auto r_lru = CodeCompressionSystem::from_workload(jpeg(), lru).run();
+  const auto r_mru = CodeCompressionSystem::from_workload(jpeg(), mru).run();
+  EXPECT_LE(r_lru.total_cycles, r_mru.total_cycles)
+      << "evicting the hottest copy must not win on loop-structured code";
+}
+
+TEST(VictimPolicy, NamesAreDistinct) {
+  EXPECT_STREQ(runtime::victim_policy_name(runtime::VictimPolicy::kLru),
+               "lru");
+  EXPECT_STREQ(runtime::victim_policy_name(runtime::VictimPolicy::kMru),
+               "mru");
+  EXPECT_STREQ(runtime::victim_policy_name(runtime::VictimPolicy::kLargest),
+               "largest");
+}
+
+}  // namespace
+}  // namespace apcc::sim

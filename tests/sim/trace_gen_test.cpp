@@ -1,0 +1,104 @@
+// Trace generator tests: determinism, edge-probability compliance,
+// termination.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cfg/paper_graphs.hpp"
+#include "sim/trace_gen.hpp"
+
+namespace apcc::sim {
+namespace {
+
+TEST(TraceGen, DeterministicForSeed) {
+  const cfg::Cfg g = cfg::figure1_cfg();
+  TraceGenOptions opts;
+  opts.seed = 7;
+  opts.max_blocks = 500;
+  EXPECT_EQ(generate_trace(g, opts), generate_trace(g, opts));
+}
+
+TEST(TraceGen, DifferentSeedsDiverge) {
+  const cfg::Cfg g = cfg::figure1_cfg();
+  TraceGenOptions a;
+  a.seed = 1;
+  a.max_blocks = 200;
+  TraceGenOptions b = a;
+  b.seed = 2;
+  EXPECT_NE(generate_trace(g, a), generate_trace(g, b));
+}
+
+TEST(TraceGen, StartsAtEntry) {
+  const cfg::Cfg g = cfg::figure2_cfg();
+  TraceGenOptions opts;
+  EXPECT_EQ(generate_trace(g, opts).front(), g.entry());
+}
+
+TEST(TraceGen, FollowsOnlyRealEdges) {
+  const cfg::Cfg g = cfg::figure1_cfg();
+  TraceGenOptions opts;
+  opts.max_blocks = 300;
+  const auto trace = generate_trace(g, opts);
+  EXPECT_NO_THROW(cfg::validate_trace(g, trace));
+}
+
+TEST(TraceGen, StopsAtExitBlock) {
+  const cfg::Cfg g = cfg::figure2_cfg();  // acyclic, B9 is exit
+  TraceGenOptions opts;
+  opts.max_blocks = 1000;
+  const auto trace = generate_trace(g, opts);
+  EXPECT_EQ(trace.back(), 9u);
+  EXPECT_LT(trace.size(), 10u) << "acyclic graph: one pass only";
+}
+
+TEST(TraceGen, RespectsMaxBlocksOnLoopingGraph) {
+  const cfg::Cfg g = cfg::figure1_cfg();  // loops forever
+  TraceGenOptions opts;
+  opts.max_blocks = 123;
+  EXPECT_EQ(generate_trace(g, opts).size(), 123u);
+}
+
+TEST(TraceGen, ZeroProbabilityEdgeNeverTaken) {
+  cfg::Cfg g = cfg::figure5_cfg();
+  // Force B0 -> B1 always; B0 -> B2 never.
+  g.edge(g.find_edge(0, 1)).probability = 1.0;
+  g.edge(g.find_edge(0, 2)).probability = 0.0;
+  // And make B1 always exit to B3 so the walk terminates.
+  g.edge(g.find_edge(1, 0)).probability = 0.0;
+  g.edge(g.find_edge(1, 3)).probability = 1.0;
+  TraceGenOptions opts;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    opts.seed = seed;
+    const auto trace = generate_trace(g, opts);
+    EXPECT_EQ(std::count(trace.begin(), trace.end(), 2u), 0)
+        << "seed " << seed;
+  }
+}
+
+TEST(TraceGen, BiasedLoopLengthsFollowProbability) {
+  cfg::Cfg g = cfg::figure5_cfg();
+  // p(loop back) = 0.9: expected ~10 visits to B1 per run.
+  g.edge(g.find_edge(0, 1)).probability = 1.0;
+  g.edge(g.find_edge(0, 2)).probability = 0.0;
+  g.edge(g.find_edge(1, 0)).probability = 0.9;
+  g.edge(g.find_edge(1, 3)).probability = 0.1;
+  TraceGenOptions opts;
+  opts.max_blocks = 100000;
+  double total_b1 = 0;
+  const int runs = 200;
+  for (int i = 0; i < runs; ++i) {
+    opts.seed = static_cast<std::uint64_t>(i) + 1;
+    const auto trace = generate_trace(g, opts);
+    total_b1 += static_cast<double>(
+        std::count(trace.begin(), trace.end(), 1u));
+  }
+  EXPECT_NEAR(total_b1 / runs, 10.0, 1.5);
+}
+
+TEST(TraceGen, EmptyCfgRejected) {
+  const cfg::Cfg g;
+  EXPECT_THROW((void)generate_trace(g, {}), apcc::CheckError);
+}
+
+}  // namespace
+}  // namespace apcc::sim

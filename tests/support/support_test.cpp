@@ -1,0 +1,357 @@
+// Unit tests for the support substrate: bitstreams, RNG, statistics,
+// string utilities and table rendering.
+#include <gtest/gtest.h>
+
+#include "support/assert.hpp"
+#include "support/bitstream.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace apcc {
+namespace {
+
+// ---------------------------------------------------------------- assert
+
+TEST(Assert, AssertThrowsAssertionError) {
+  EXPECT_THROW(APCC_ASSERT(false, "boom"), AssertionError);
+}
+
+TEST(Assert, CheckThrowsCheckError) {
+  EXPECT_THROW(APCC_CHECK(false, "bad input"), CheckError);
+}
+
+TEST(Assert, PassingConditionsDoNotThrow) {
+  EXPECT_NO_THROW(APCC_ASSERT(1 + 1 == 2, ""));
+  EXPECT_NO_THROW(APCC_CHECK(true, ""));
+}
+
+TEST(Assert, MessageContainsExpressionAndText) {
+  try {
+    APCC_CHECK(2 < 1, "two is not less than one");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------- bitstream
+
+TEST(BitStream, SingleBitsRoundTrip) {
+  BitWriter w;
+  const bool pattern[] = {true, false, true, true, false, false, true};
+  for (const bool b : pattern) w.write_bit(b);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  for (const bool b : pattern) EXPECT_EQ(r.read_bit(), b);
+}
+
+TEST(BitStream, MultiBitValuesRoundTrip) {
+  BitWriter w;
+  w.write_bits(0x5, 3);
+  w.write_bits(0x1ff, 9);
+  w.write_bits(0, 1);
+  w.write_bits(0xdeadbeef, 32);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(3), 0x5u);
+  EXPECT_EQ(r.read_bits(9), 0x1ffu);
+  EXPECT_EQ(r.read_bits(1), 0u);
+  EXPECT_EQ(r.read_bits(32), 0xdeadbeefu);
+}
+
+TEST(BitStream, MsbFirstPacking) {
+  BitWriter w;
+  w.write_bit(true);   // 1000 0000 expected in first byte
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x80);
+}
+
+TEST(BitStream, ValueIsMaskedToCount) {
+  BitWriter w;
+  w.write_bits(0xffffffff, 4);  // only low 4 bits should land
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0xf0);  // 1111 padded with zeros
+}
+
+TEST(BitStream, AlignToByteThenByteReads) {
+  BitWriter w;
+  w.write_bits(0b101, 3);
+  w.align_to_byte();
+  w.write_byte(0xab);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 2u);
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(3), 0b101u);
+  r.align_to_byte();
+  EXPECT_EQ(r.read_byte(), 0xab);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, UnderflowThrows) {
+  BitWriter w;
+  w.write_bits(0b11, 2);
+  const auto bytes = w.take();  // 1 padded byte
+  BitReader r(bytes);
+  (void)r.read_bits(8);
+  EXPECT_THROW((void)r.read_bits(1), CheckError);
+}
+
+TEST(BitStream, BitCountTracksWrites) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.write_bits(0, 5);
+  w.write_bit(true);
+  EXPECT_EQ(w.bit_count(), 6u);
+}
+
+TEST(BitStream, EmptyReaderIsExhausted) {
+  BitReader r({});
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.bits_remaining(), 0u);
+}
+
+// Property: random write/read sequences round-trip exactly.
+TEST(BitStream, RandomRoundTripProperty) {
+  Rng rng(123);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<std::pair<std::uint32_t, unsigned>> writes;
+    BitWriter w;
+    const int n = 1 + static_cast<int>(rng.next_below(200));
+    for (int i = 0; i < n; ++i) {
+      const auto count = static_cast<unsigned>(1 + rng.next_below(32));
+      const auto value = static_cast<std::uint32_t>(rng.next_u64());
+      const std::uint32_t masked =
+          count == 32 ? value : (value & ((1u << count) - 1));
+      writes.emplace_back(masked, count);
+      w.write_bits(value, count);
+    }
+    const auto bytes = w.take();
+    BitReader r(bytes);
+    for (const auto& [value, count] : writes) {
+      EXPECT_EQ(r.read_bits(count), value);
+    }
+  }
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+}
+
+TEST(Rng, BernoulliFrequencyApproximatesP) {
+  Rng rng(15);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, WeightedSelectionRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.next_weighted(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, TripCountAtLeastOneAndNearMean) {
+  Rng rng(19);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto t = rng.next_trip_count(8.0);
+    EXPECT_GE(t, 1u);
+    total += static_cast<double>(t);
+  }
+  EXPECT_NEAR(total / n, 8.0, 0.5);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.split();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bucket 0
+  h.add(9.9);    // bucket 4
+  h.add(-3.0);   // clamps to 0
+  h.add(42.0);   // clamps to 4
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.add(0.9);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(TimeWeightedAverage, StepFunctionIntegral) {
+  TimeWeightedAverage twa;
+  twa.sample(0, 100.0);
+  twa.sample(10, 200.0);  // 100 for 10 cycles
+  twa.sample(30, 0.0);    // 200 for 20 cycles
+  // Integral to t=40: 100*10 + 200*20 + 0*10 = 5000 over 40 cycles.
+  EXPECT_DOUBLE_EQ(twa.integral(40), 5000.0);
+  EXPECT_DOUBLE_EQ(twa.average(40), 125.0);
+  EXPECT_DOUBLE_EQ(twa.peak(), 200.0);
+}
+
+TEST(TimeWeightedAverage, EmptyAndSingleSample) {
+  TimeWeightedAverage twa;
+  EXPECT_TRUE(twa.empty());
+  twa.sample(5, 7.0);
+  EXPECT_DOUBLE_EQ(twa.average(5), 7.0);
+  EXPECT_DOUBLE_EQ(twa.average(15), 7.0);
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(Strings, SplitFieldsDropsEmpties) {
+  const auto fields = split_fields("add  r1,\tr2, r3");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "add");
+  EXPECT_EQ(fields[3], "r3");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ParseIntDecimalAndHex) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int("0x1F"), 31);
+  EXPECT_EQ(parse_int("+5"), 5);
+}
+
+TEST(Strings, ParseIntRejectsGarbage) {
+  EXPECT_THROW((void)parse_int("12ab"), CheckError);
+  EXPECT_THROW((void)parse_int(""), CheckError);
+  EXPECT_THROW((void)parse_int("-"), CheckError);
+  EXPECT_THROW((void)parse_int("0x"), CheckError);
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512 B");
+  EXPECT_EQ(human_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(human_bytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(Strings, Percent) {
+  EXPECT_EQ(percent(0.1234), "12.34%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(TextTable, AlignsColumnsAndSeparatesHeader) {
+  TextTable t;
+  t.row().cell("name").cell("value");
+  t.row().cell("x").cell(std::uint64_t{12345});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+}
+
+TEST(TextTable, DoubleFormatting) {
+  TextTable t;
+  t.row().cell("v");
+  t.row().cell(3.14159, 2);
+  EXPECT_NE(t.render().find("3.14"), std::string::npos);
+}
+
+TEST(TextTable, CellWithoutRowThrows) {
+  TextTable t;
+  EXPECT_THROW(t.cell("oops"), AssertionError);
+}
+
+}  // namespace
+}  // namespace apcc

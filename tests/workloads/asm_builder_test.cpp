@@ -1,0 +1,162 @@
+// AsmBuilder structured-assembly DSL tests: every helper must emit code
+// that assembles and behaves as specified when executed.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/interpreter.hpp"
+#include "workloads/asm_builder.hpp"
+
+namespace apcc::workloads {
+namespace {
+
+/// Assemble builder output with a main wrapper and run it; returns the
+/// interpreter for register inspection.
+isa::Interpreter run(AsmBuilder& b) {
+  const isa::Program p = isa::assemble(b.source());
+  isa::Interpreter interp(p);
+  const auto result = interp.run();
+  EXPECT_EQ(result.stop, isa::StopReason::kHalted);
+  return interp;
+}
+
+TEST(AsmBuilder, GensymIsUnique) {
+  AsmBuilder b;
+  EXPECT_NE(b.gensym("x"), b.gensym("x"));
+  EXPECT_NE(b.gensym("a"), b.gensym("b"));
+}
+
+TEST(AsmBuilder, CountedLoopRunsExactly) {
+  AsmBuilder b;
+  b.entry("main");
+  b.func("main");
+  b.ins("addi r2, r0, 0");
+  b.counted_loop("r5", 7, [&] { b.ins("addi r2, r2, 1"); });
+  b.ins("halt");
+  auto interp = run(b);
+  EXPECT_EQ(interp.reg(2), 7);
+}
+
+TEST(AsmBuilder, NestedCountedLoopsMultiply) {
+  AsmBuilder b;
+  b.entry("main");
+  b.func("main");
+  b.ins("addi r2, r0, 0");
+  b.counted_loop("r5", 4, [&] {
+    b.counted_loop("r6", 3, [&] { b.ins("addi r2, r2, 1"); });
+  });
+  b.ins("halt");
+  auto interp = run(b);
+  EXPECT_EQ(interp.reg(2), 12);
+}
+
+TEST(AsmBuilder, IfNeTakenAndNotTaken) {
+  AsmBuilder b;
+  b.entry("main");
+  b.func("main");
+  b.ins("addi r1, r0, 5");
+  b.if_ne("r1", "r0", [&] { b.ins("addi r2, r0, 1"); });  // taken
+  b.if_ne("r0", "r0", [&] { b.ins("addi r3, r0, 1"); });  // not taken
+  b.ins("halt");
+  auto interp = run(b);
+  EXPECT_EQ(interp.reg(2), 1);
+  EXPECT_EQ(interp.reg(3), 0);
+}
+
+TEST(AsmBuilder, IfEqElseBothArms) {
+  AsmBuilder b;
+  b.entry("main");
+  b.func("main");
+  b.if_eq_else(
+      "r0", "r0", [&] { b.ins("addi r2, r0, 10"); },
+      [&] { b.ins("addi r2, r0, 20"); });
+  b.ins("addi r1, r0, 1");
+  b.if_eq_else(
+      "r1", "r0", [&] { b.ins("addi r3, r0, 10"); },
+      [&] { b.ins("addi r3, r0, 20"); });
+  b.ins("halt");
+  auto interp = run(b);
+  EXPECT_EQ(interp.reg(2), 10) << "equal -> then arm";
+  EXPECT_EQ(interp.reg(3), 20) << "unequal -> else arm";
+}
+
+TEST(AsmBuilder, RarePathFiresOnMaskedZero) {
+  AsmBuilder b;
+  b.entry("main");
+  b.func("main");
+  b.ins("addi r2, r0, 0");
+  // Counter counts 8..1; r7 & 3 == 0 for 8 and 4 -> exactly 2 hits.
+  b.counted_loop("r7", 8, [&] {
+    b.rare_path("r7", "r4", 2, [&] { b.ins("addi r2, r2, 1"); });
+  });
+  b.ins("halt");
+  auto interp = run(b);
+  EXPECT_EQ(interp.reg(2), 2);
+}
+
+TEST(AsmBuilder, ColdRegionNeverExecutes) {
+  AsmBuilder b;
+  b.entry("main");
+  b.func("main");
+  b.cold_region([&] { b.ins("addi r2, r0, 99"); });
+  b.ins("addi r3, r0, 1");
+  b.ins("halt");
+  auto interp = run(b);
+  EXPECT_EQ(interp.reg(2), 0) << "cold body must not run";
+  EXPECT_EQ(interp.reg(3), 1) << "execution resumes after the region";
+}
+
+TEST(AsmBuilder, ColdRegionOccupiesImage) {
+  AsmBuilder a;
+  a.entry("main");
+  a.func("main");
+  a.ins("halt");
+  AsmBuilder b;
+  b.entry("main");
+  b.func("main");
+  b.cold_region([&] { b.compute_run(20); });
+  b.ins("halt");
+  const auto pa = isa::assemble(a.source());
+  const auto pb = isa::assemble(b.source());
+  EXPECT_GT(pb.word_count(), pa.word_count() + 20);
+}
+
+TEST(AsmBuilder, ComputeRunEmitsExactCount) {
+  AsmBuilder b;
+  b.entry("main");
+  b.func("main");
+  b.compute_run(13);
+  b.ins("halt");
+  const auto p = isa::assemble(b.source());
+  EXPECT_EQ(p.word_count(), 14u);  // 13 + halt
+}
+
+TEST(AsmBuilder, ComputeRunPhaseShifts) {
+  AsmBuilder b;
+  b.entry("main");
+  b.func("main");
+  b.ins("addi r10, r0, 1024");
+  b.compute_run(8);
+  b.compute_run(8);
+  b.ins("halt");
+  const auto p = isa::assemble(b.source());
+  // The two runs start at different phases only if the phase persists;
+  // with n=8 (a full cycle) both runs are identical -- check the builder
+  // at least assembles and executes safely.
+  isa::Interpreter interp(p);
+  EXPECT_EQ(interp.run().stop, isa::StopReason::kHalted);
+}
+
+TEST(AsmBuilder, SourceAccumulates) {
+  AsmBuilder b;
+  b.entry("main");
+  b.func("main");
+  b.label("spot");
+  b.ins("jmp spot");
+  const std::string src = b.source();
+  EXPECT_NE(src.find(".entry main"), std::string::npos);
+  EXPECT_NE(src.find("spot:"), std::string::npos);
+  EXPECT_NE(src.find("jmp spot"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apcc::workloads

@@ -1,0 +1,82 @@
+// Property tests over the random program generator: every seed must give
+// a program that assembles, terminates, and produces a CFG-valid trace.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/random_program.hpp"
+
+namespace apcc::workloads {
+namespace {
+
+TEST(RandomProgram, DeterministicPerSeed) {
+  RandomProgramOptions opts;
+  opts.seed = 5;
+  EXPECT_EQ(random_program_source(opts), random_program_source(opts));
+}
+
+TEST(RandomProgram, SeedsProduceDistinctPrograms) {
+  RandomProgramOptions a;
+  a.seed = 1;
+  RandomProgramOptions b;
+  b.seed = 2;
+  EXPECT_NE(random_program_source(a), random_program_source(b));
+}
+
+// The core generator property, swept over many seeds.
+class RandomProgramProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomProgramProperty, AssemblesHaltsAndValidates) {
+  RandomProgramOptions opts;
+  opts.seed = GetParam();
+  const Workload w = make_random_workload(opts);
+  EXPECT_GT(w.program.word_count(), 10u);
+  EXPECT_FALSE(w.trace.empty());
+  EXPECT_NO_THROW(cfg::validate_trace(w.cfg, w.trace));
+  EXPECT_EQ(w.trace.front(), w.cfg.entry());
+  ASSERT_EQ(w.block_bytes.size(), w.cfg.block_count());
+}
+
+TEST_P(RandomProgramProperty, ColdRegionsStayCold) {
+  RandomProgramOptions opts;
+  opts.seed = GetParam();
+  opts.p_cold = 0.3;  // force cold regions to appear
+  const Workload w = make_random_workload(opts);
+  std::set<cfg::BlockId> visited(w.trace.begin(), w.trace.end());
+  EXPECT_LT(visited.size(), w.cfg.block_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(RandomProgram, DepthLimitRespected) {
+  RandomProgramOptions opts;
+  opts.seed = 99;
+  opts.max_depth = 1;
+  EXPECT_NO_THROW((void)make_random_workload(opts));
+  opts.max_depth = 4;  // out of supported range
+  EXPECT_THROW((void)random_program_source(opts), apcc::CheckError);
+}
+
+TEST(RandomProgram, MoreStatementsMakeBiggerPrograms) {
+  RandomProgramOptions small;
+  small.seed = 3;
+  small.statements_per_body = 3;
+  RandomProgramOptions big = small;
+  big.statements_per_body = 12;
+  const Workload ws = make_random_workload(small);
+  const Workload wb = make_random_workload(big);
+  EXPECT_GT(wb.program.word_count(), ws.program.word_count());
+}
+
+TEST(RandomProgram, LeafFunctionsAppearInImage) {
+  RandomProgramOptions opts;
+  opts.seed = 17;
+  opts.leaf_functions = 4;
+  const Workload w = make_random_workload(opts);
+  EXPECT_EQ(w.program.functions().size(), 5u) << "4 leaves + main";
+}
+
+}  // namespace
+}  // namespace apcc::workloads

@@ -1,0 +1,225 @@
+// apcc_cli: command-line driver for the APCC toolchain.
+//
+// Subcommands:
+//   asm <file.s>                 assemble; print stats + disassembly
+//   cfg <file.s>                 assemble; print the CFG as Graphviz DOT
+//   sim <file.s> [options]      assemble, execute for the access pattern,
+//                                then simulate under a policy and report
+//   suite [options]              run the built-in workload suite
+//
+// sim/suite options:
+//   --codec null|mtf-rle|huffman|huffman-shared|lzss|codepack
+//   --strategy on-demand|pre-all|pre-single
+//   --predictor profile|static|oracle
+//   --kc N            compression-side k (default 2)
+//   --kd N            pre-decompression k (default 2)
+//   --budget BYTES    decompressed-area budget (default unbounded)
+//   --units N         decompression helper units (default 1)
+//   --csv             emit CSV instead of the text report
+//
+// Exit code 0 on success, 1 on usage errors, 2 on input errors.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "cfg/builder.hpp"
+#include "cfg/dot.hpp"
+#include "core/csv.hpp"
+#include "core/system.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disasm.hpp"
+#include "isa/interpreter.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace apcc;
+
+[[noreturn]] void usage(const std::string& message = {}) {
+  if (!message.empty()) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage: apcc_cli <asm|cfg|sim> <file.s> [options]\n"
+      "       apcc_cli suite [options]\n"
+      "options: --codec K --strategy S --predictor P --kc N --kd N\n"
+      "         --budget BYTES --units N --csv\n";
+  std::exit(message.empty() ? 0 : 1);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open " << path << '\n';
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+compress::CodecKind parse_codec(const std::string& name) {
+  if (name == "null") return compress::CodecKind::kNull;
+  if (name == "mtf-rle") return compress::CodecKind::kMtfRle;
+  if (name == "huffman") return compress::CodecKind::kHuffman;
+  if (name == "huffman-shared") return compress::CodecKind::kSharedHuffman;
+  if (name == "lzss") return compress::CodecKind::kLzss;
+  if (name == "codepack") return compress::CodecKind::kCodePack;
+  usage("unknown codec '" + name + "'");
+}
+
+runtime::DecompressionStrategy parse_strategy(const std::string& name) {
+  if (name == "on-demand") return runtime::DecompressionStrategy::kOnDemand;
+  if (name == "pre-all") return runtime::DecompressionStrategy::kPreAll;
+  if (name == "pre-single") return runtime::DecompressionStrategy::kPreSingle;
+  usage("unknown strategy '" + name + "'");
+}
+
+runtime::PredictorKind parse_predictor(const std::string& name) {
+  if (name == "profile") return runtime::PredictorKind::kProfile;
+  if (name == "static") return runtime::PredictorKind::kStatic;
+  if (name == "oracle") return runtime::PredictorKind::kOracle;
+  usage("unknown predictor '" + name + "'");
+}
+
+struct CliOptions {
+  core::SystemConfig config;
+  bool csv = false;
+};
+
+CliOptions parse_options(const std::vector<std::string>& args,
+                         std::size_t first) {
+  CliOptions opts;
+  auto need_value = [&](std::size_t i) -> const std::string& {
+    if (i + 1 >= args.size()) usage("missing value for " + args[i]);
+    return args[i + 1];
+  };
+  for (std::size_t i = first; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--codec") {
+      opts.config.codec = parse_codec(need_value(i++));
+    } else if (a == "--strategy") {
+      opts.config.policy.strategy = parse_strategy(need_value(i++));
+    } else if (a == "--predictor") {
+      opts.config.policy.predictor = parse_predictor(need_value(i++));
+    } else if (a == "--kc") {
+      opts.config.policy.compress_k =
+          static_cast<std::uint32_t>(parse_int(need_value(i++)));
+    } else if (a == "--kd") {
+      opts.config.policy.predecompress_k =
+          static_cast<std::uint32_t>(parse_int(need_value(i++)));
+    } else if (a == "--budget") {
+      opts.config.policy.memory_budget =
+          static_cast<std::uint64_t>(parse_int(need_value(i++)));
+    } else if (a == "--units") {
+      opts.config.policy.decompress_units =
+          static_cast<unsigned>(parse_int(need_value(i++)));
+    } else if (a == "--csv") {
+      opts.csv = true;
+    } else {
+      usage("unknown option '" + a + "'");
+    }
+  }
+  return opts;
+}
+
+workloads::Workload workload_from_file(const std::string& path) {
+  workloads::Workload w;
+  w.name = path;
+  w.program = isa::assemble(read_file(path));
+  auto built = cfg::build_cfg(w.program);
+  w.cfg = std::move(built.cfg);
+  w.word_to_block = std::move(built.word_to_block);
+  isa::Interpreter interp(w.program);
+  cfg::BlockTraceBuilder tracer(w.cfg, w.word_to_block);
+  interp.set_trace_hook([&](std::uint32_t pc) { tracer.on_pc(pc); });
+  const auto exec = interp.run();
+  if (exec.stop != isa::StopReason::kHalted) {
+    std::cerr << "error: program did not halt (stopped after " << exec.steps
+              << " steps)\n";
+    std::exit(2);
+  }
+  w.trace = tracer.take();
+  cfg::EdgeProfile profile(w.cfg);
+  profile.add_trace(w.trace);
+  profile.apply_to(w.cfg);
+  for (const auto& block : w.cfg.blocks()) {
+    w.block_bytes.push_back(
+        w.program.bytes(block.first_word, block.word_count));
+  }
+  return w;
+}
+
+int cmd_asm(const std::string& path) {
+  const isa::Program program = isa::assemble(read_file(path));
+  std::cout << path << ": " << program.word_count() << " words ("
+            << human_bytes(program.size_bytes()) << "), "
+            << program.functions().size() << " function(s)\n\n";
+  std::cout << isa::disassemble(program);
+  return 0;
+}
+
+int cmd_cfg(const std::string& path) {
+  const isa::Program program = isa::assemble(read_file(path));
+  const auto built = cfg::build_cfg(program);
+  std::cout << cfg::to_dot(built.cfg);
+  return 0;
+}
+
+int report(const workloads::Workload& w, const CliOptions& opts) {
+  const auto system =
+      core::CodeCompressionSystem::from_workload(w, opts.config);
+  const sim::RunResult result = system.run();
+  if (opts.csv) {
+    std::cout << core::to_csv({{w.name, result}});
+  } else {
+    std::cout << "== " << w.name << " ==\n"
+              << "image: " << human_bytes(w.image_bytes()) << " in "
+              << w.cfg.block_count() << " blocks; trace "
+              << w.trace.size() << " entries\n"
+              << "compressed image: "
+              << human_bytes(system.compressed_image_bytes()) << "\n\n"
+              << result.summary() << '\n';
+  }
+  return 0;
+}
+
+int cmd_sim(const std::string& path, const CliOptions& opts) {
+  return report(workload_from_file(path), opts);
+}
+
+int cmd_suite(const CliOptions& opts) {
+  std::vector<core::ReportRow> rows;
+  for (const auto kind : workloads::all_workload_kinds()) {
+    const auto w = workloads::make_workload(kind);
+    const auto system =
+        core::CodeCompressionSystem::from_workload(w, opts.config);
+    rows.push_back({w.name, system.run()});
+  }
+  std::cout << (opts.csv ? core::to_csv(rows)
+                         : core::render_comparison(rows));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) usage();
+  try {
+    const std::string& cmd = args[0];
+    if (cmd == "suite") {
+      return cmd_suite(parse_options(args, 1));
+    }
+    if (args.size() < 2) usage("command needs a file argument");
+    if (cmd == "asm") return cmd_asm(args[1]);
+    if (cmd == "cfg") return cmd_cfg(args[1]);
+    if (cmd == "sim") return cmd_sim(args[1], parse_options(args, 2));
+    usage("unknown command '" + cmd + "'");
+  } catch (const apcc::CheckError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
