@@ -1,0 +1,174 @@
+// E11: engine hot-path throughput on a design-sweep-scale workload.
+//
+// The paper's evaluation sweeps many policy configurations over long
+// block traces; the engine's per-step cost decides how large a design
+// space is explorable. This bench builds a large synthetic CFG (10k
+// basic blocks, loop-heavy with cross-region jumps, like inlined
+// embedded codecs), drives a 1M-step trace through it, and reports
+// steps/sec for the indexed engine against the pre-index reference
+// scans (EngineConfig::reference_scans), whose per-step full-table
+// walks were O(blocks) regardless of how few copies were resident.
+//
+// The table prints a direct wall-clock comparison (the number quoted in
+// docs/PERFORMANCE.md); the google-benchmark registrations below give
+// the stable timed series for BENCH_engine.json.
+#include <chrono>
+
+#include "bench/bench_common.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace_gen.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace apcc;
+
+/// Synthetic sweep workload: `blocks` basic blocks, mostly sequential
+/// flow with a ~10% jump to a far region, so execution loops locally
+/// (small resident set) while still churning decompressions.
+struct SweepWorkload {
+  cfg::Cfg graph;
+  std::unique_ptr<runtime::BlockImage> image;
+  cfg::BlockTrace trace;
+};
+
+const SweepWorkload& sweep_workload(std::size_t blocks,
+                                    std::uint64_t steps) {
+  static auto* cache = new std::map<std::pair<std::size_t, std::uint64_t>,
+                                    SweepWorkload>();
+  const auto key = std::make_pair(blocks, steps);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second;
+
+  SweepWorkload w;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    w.graph.add_block(static_cast<std::uint32_t>(b * 8),
+                      4 + static_cast<std::uint32_t>(b % 13));
+  }
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto from = static_cast<cfg::BlockId>(b);
+    const auto next = static_cast<cfg::BlockId>((b + 1) % blocks);
+    const auto far =
+        static_cast<cfg::BlockId>((b * 7919 + 13) % blocks);
+    w.graph.add_edge(from, next, cfg::EdgeKind::kFallThrough, 0.9);
+    if (far != next && far != from) {
+      w.graph.add_edge(from, far, cfg::EdgeKind::kJump, 0.1);
+    }
+  }
+  w.graph.set_entry(0);
+  w.graph.normalize_probabilities();
+
+  // Null codec: the engine only consumes the codec's *cost model*, so an
+  // identity codec keeps the (one-off) image build instant at 10k blocks.
+  w.image = std::make_unique<runtime::BlockImage>(runtime::make_block_image(
+      w.graph,
+      [](const cfg::BasicBlock& b) {
+        return compress::Bytes(b.size_bytes(), 0x90);
+      },
+      compress::CodecKind::kNull));
+
+  sim::TraceGenOptions options;
+  options.seed = 20260730;
+  options.max_blocks = steps;
+  w.trace = sim::generate_trace(w.graph, options);
+
+  return cache->emplace(key, std::move(w)).first->second;
+}
+
+sim::EngineConfig sweep_config(bool reference) {
+  sim::EngineConfig config;
+  config.policy.strategy = runtime::DecompressionStrategy::kPreAll;
+  config.policy.compress_k = 8;
+  config.policy.predecompress_k = 1;
+  config.reference_scans = reference;
+  return config;
+}
+
+void print_tables() {
+  bench::print_header(
+      "E11", "engine hot-path throughput, indexed vs reference scans\n"
+             "(10k-block synthetic CFG; steps/sec = trace entries/sec)");
+  TextTable table;
+  table.row()
+      .cell("engine")
+      .cell("blocks")
+      .cell("steps")
+      .cell("steps/sec")
+      .cell("speedup");
+  double reference_rate = 0.0;
+  // The reference path is O(blocks) per step: give it a shorter slice
+  // (its steps/sec rate is what matters, and it is rate-stable).
+  const struct {
+    const char* name;
+    bool reference;
+    std::uint64_t steps;
+  } rows[] = {{"reference-scans", true, 100'000},
+              {"indexed", false, 1'000'000}};
+  for (const auto& row : rows) {
+    const auto& w = sweep_workload(10'000, row.steps);
+    sim::Engine engine(w.graph, *w.image, sweep_config(row.reference));
+    const auto start = std::chrono::steady_clock::now();
+    const sim::RunResult r = engine.run(w.trace);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    const double rate =
+        static_cast<double>(r.block_entries) / elapsed.count();
+    if (row.reference) reference_rate = rate;
+    table.row()
+        .cell(row.name)
+        .cell(std::uint64_t{10'000})
+        .cell(std::uint64_t{r.block_entries})
+        .cell(rate, 0)
+        .cell(reference_rate > 0 ? rate / reference_rate : 1.0, 2);
+  }
+  std::cout << table.render() << '\n';
+}
+
+void bm_engine_steps(benchmark::State& state) {
+  const auto blocks = static_cast<std::size_t>(state.range(0));
+  const bool reference = state.range(1) != 0;
+  // Budget the reference path's O(blocks)-per-step cost down so a
+  // timing iteration stays in the hundreds of milliseconds.
+  const std::uint64_t steps =
+      reference ? (blocks >= 10'000 ? 20'000 : 200'000) : 1'000'000;
+  const auto& w = sweep_workload(blocks, steps);
+  sim::Engine engine(w.graph, *w.image, sweep_config(reference));
+  std::uint64_t total_steps = 0;
+  for (auto _ : state) {
+    const sim::RunResult r = engine.run(w.trace);
+    benchmark::DoNotOptimize(r.total_cycles);
+    total_steps += r.block_entries;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_steps));
+  state.SetLabel(reference ? "reference" : "indexed");
+}
+BENCHMARK(bm_engine_steps)
+    ->ArgsProduct({{1'000, 10'000}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+void bm_engine_budget_evictions(benchmark::State& state) {
+  // Eviction-heavy variant: a tight budget exercises the victim indexes
+  // on every placement.
+  const bool reference = state.range(0) != 0;
+  const auto& w = sweep_workload(10'000, reference ? 20'000 : 500'000);
+  sim::EngineConfig config = sweep_config(reference);
+  config.policy.memory_budget = 4096;  // a handful of resident copies
+  config.policy.victim_policy = runtime::VictimPolicy::kLru;
+  sim::Engine engine(w.graph, *w.image, config);
+  std::uint64_t total_steps = 0;
+  for (auto _ : state) {
+    const sim::RunResult r = engine.run(w.trace);
+    benchmark::DoNotOptimize(r.evictions);
+    total_steps += r.block_entries;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_steps));
+  state.SetLabel(reference ? "reference" : "indexed");
+}
+BENCHMARK(bm_engine_budget_evictions)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+APCC_BENCH_MAIN(print_tables)

@@ -5,6 +5,7 @@
 // decompression cost, and -- via google-benchmark -- the *actual* host
 // throughput of compress/decompress on basic-block-sized inputs.
 #include "bench/bench_common.hpp"
+#include "compress/huffman.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -103,6 +104,35 @@ void bm_decompress(benchmark::State& state) {
 
 BENCHMARK(bm_compress)->DenseRange(0, 6);
 BENCHMARK(bm_decompress)->DenseRange(0, 6);
+
+// Decoder-level A/B on identical bitstreams: the two-level lookup table
+// against the bit-at-a-time first-code/offset reference decoder. This
+// isolates the symbol-decode loop from header parsing and allocation.
+void bm_huffman_decode(benchmark::State& state) {
+  const bool use_table = state.range(0) != 0;
+  const auto& blocks = all_suite_blocks();
+  const compress::SharedHuffmanCodec codec(blocks);
+  std::vector<compress::Bytes> compressed;
+  compressed.reserve(blocks.size());
+  for (const auto& b : blocks) compressed.push_back(codec.compress(b));
+  std::size_t i = 0;
+  std::uint64_t bytes = 0;
+  compress::Bytes out;
+  for (auto _ : state) {
+    const std::size_t j = i++ % blocks.size();
+    out.clear();
+    apcc::BitReader reader(compressed[j]);
+    for (std::size_t n = 0; n < blocks[j].size(); ++n) {
+      out.push_back(use_table ? codec.code().decode(reader)
+                              : codec.code().decode_reference(reader));
+    }
+    benchmark::DoNotOptimize(out.data());
+    bytes += blocks[j].size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetLabel(use_table ? "table" : "reference");
+}
+BENCHMARK(bm_huffman_decode)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -20,7 +20,7 @@ void trace_kedge(std::uint32_t k) {
   const cfg::Cfg graph = cfg::figure1_cfg();
   runtime::StateTable states(graph.block_count());
   // B1 was visited and is resident in decompressed form.
-  states[1].form = runtime::BlockForm::kDecompressed;
+  states.set_form(1, runtime::BlockForm::kDecompressed);
   runtime::KEdgeCompressionManager kedge(states, k);
   kedge.on_block_executed(1);
 
@@ -60,7 +60,7 @@ void bm_kedge_edge_traversal(benchmark::State& state) {
   const cfg::Cfg graph = cfg::figure1_cfg();
   runtime::StateTable states(graph.block_count());
   for (cfg::BlockId b = 0; b < graph.block_count(); ++b) {
-    states[b].form = runtime::BlockForm::kDecompressed;
+    states.set_form(b, runtime::BlockForm::kDecompressed);
   }
   runtime::KEdgeCompressionManager kedge(
       states, static_cast<std::uint32_t>(state.range(0)));

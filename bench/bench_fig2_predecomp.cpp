@@ -46,7 +46,7 @@ void print_strategy_example() {
   const cfg::Cfg graph = cfg::figure2_cfg();
   runtime::StateTable states(graph.block_count());
   for (const cfg::BlockId b : {0u, 1u, 2u, 3u, 6u, 7u}) {
-    states[b].form = runtime::BlockForm::kDecompressed;
+    states.set_form(b, runtime::BlockForm::kDecompressed);
   }
   std::cout << "S4 example: B4,B5,B8,B9 compressed; execution leaves B0; "
                "k=2\n";

@@ -104,7 +104,9 @@ CodeLengths build_code_lengths(
   return lengths;
 }
 
-CanonicalCode::CanonicalCode(const CodeLengths& lengths) : lengths_(lengths) {
+CanonicalCode::CanonicalCode(const CodeLengths& lengths,
+                             bool build_decode_tables)
+    : lengths_(lengths) {
   // Histogram code lengths and verify Kraft.
   std::array<std::uint16_t, kMaxCodeLength + 1> bl_count{};
   for (std::size_t s = 0; s < kAlphabetSize; ++s) {
@@ -140,6 +142,56 @@ CanonicalCode::CanonicalCode(const CodeLengths& lengths) : lengths_(lengths) {
       }
     }
   }
+
+  if (build_decode_tables) {
+    this->build_decode_tables();
+    tables_built_ = true;
+  }
+}
+
+void CanonicalCode::build_decode_tables() {
+  // Pass 1: for every kPrimaryBits-wide prefix shared by codes longer
+  // than the primary table resolves, record the deepest code under it --
+  // that fixes the subtable's index width.
+  std::array<std::uint8_t, (std::size_t{1} << kPrimaryBits)> prefix_len{};
+  for (std::size_t s = 0; s < kAlphabetSize; ++s) {
+    const unsigned len = lengths_[s];
+    if (len <= kPrimaryBits) continue;
+    const std::uint32_t prefix = codes_[s] >> (len - kPrimaryBits);
+    prefix_len[prefix] =
+        std::max<std::uint8_t>(prefix_len[prefix],
+                               static_cast<std::uint8_t>(len));
+  }
+  for (std::size_t p = 0; p < prefix_len.size(); ++p) {
+    if (prefix_len[p] == 0) continue;
+    const auto sub_bits =
+        static_cast<std::uint8_t>(prefix_len[p] - kPrimaryBits);
+    primary_[p] = PrimaryEntry{static_cast<std::uint16_t>(sub_.size()),
+                               kSubtableTag, sub_bits};
+    sub_.resize(sub_.size() + (std::size_t{1} << sub_bits));
+  }
+
+  // Pass 2: replicate each code across every table slot it prefixes.
+  for (std::size_t s = 0; s < kAlphabetSize; ++s) {
+    const unsigned len = lengths_[s];
+    if (len == 0) continue;
+    const std::uint32_t code = codes_[s];
+    if (len <= kPrimaryBits) {
+      const std::uint32_t start = code << (kPrimaryBits - len);
+      const std::uint32_t span = 1u << (kPrimaryBits - len);
+      const PrimaryEntry entry{static_cast<std::uint16_t>(s),
+                               static_cast<std::uint8_t>(len), 0};
+      std::fill_n(primary_.begin() + start, span, entry);
+    } else {
+      const PrimaryEntry& head = primary_[code >> (len - kPrimaryBits)];
+      const std::uint32_t low = code & ((1u << (len - kPrimaryBits)) - 1u);
+      const unsigned spare = head.sub_bits - (len - kPrimaryBits);
+      const SubEntry entry{static_cast<std::uint8_t>(s),
+                           static_cast<std::uint8_t>(len)};
+      std::fill_n(sub_.begin() + head.payload + (low << spare),
+                  std::size_t{1} << spare, entry);
+    }
+  }
 }
 
 void CanonicalCode::encode(BitWriter& writer, std::uint8_t symbol) const {
@@ -148,7 +200,7 @@ void CanonicalCode::encode(BitWriter& writer, std::uint8_t symbol) const {
   writer.write_bits(codes_[symbol], len);
 }
 
-std::uint8_t CanonicalCode::decode(BitReader& reader) const {
+std::uint8_t CanonicalCode::decode_reference(BitReader& reader) const {
   std::uint32_t code = 0;
   for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
     code = (code << 1) | (reader.read_bit() ? 1u : 0u);
@@ -185,7 +237,7 @@ Bytes HuffmanCodec::compress(ByteView input) const {
   std::array<std::uint64_t, kAlphabetSize> freqs{};
   for (const std::uint8_t b : input) ++freqs[b];
   const CodeLengths lengths = build_code_lengths(freqs);
-  const CanonicalCode code(lengths);
+  const CanonicalCode code(lengths, /*build_decode_tables=*/false);
 
   BitWriter writer;
   // Header: 256 x 4-bit code lengths (fits because kMaxCodeLength == 15).
@@ -206,7 +258,12 @@ Bytes HuffmanCodec::decompress(ByteView input,
   for (auto& len : lengths) {
     len = static_cast<std::uint8_t>(reader.read_bits(4));
   }
-  const CanonicalCode code(lengths);
+  // The lookup table is rebuilt per stream (the header is per stream);
+  // only amortize that on payloads with enough symbols to win. Short
+  // blocks decode through the reference path.
+  constexpr std::size_t kTableWorthwhileSymbols = 192;
+  const CanonicalCode code(lengths,
+                           original_size >= kTableWorthwhileSymbols);
   Bytes out;
   out.reserve(original_size);
   for (std::size_t i = 0; i < original_size; ++i) {

@@ -13,11 +13,16 @@
 //    codec for APCC experiments.
 //
 // Codes are canonical (sorted by (length, symbol)), length-limited to
-// kMaxCodeLength bits, and decoded with the first-code/offset method.
+// kMaxCodeLength bits, and decoded with a deflate-style two-level lookup
+// table: one peek of kPrimaryBits resolves every code up to that length
+// in a single table hit, and longer codes fall through to a per-prefix
+// subtable. The first-code/offset method is kept as decode_reference()
+// so differential tests can pin the table decoder against it.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "compress/codec.hpp"
 #include "support/bitstream.hpp"
@@ -39,14 +44,40 @@ using CodeLengths = std::array<std::uint8_t, kAlphabetSize>;
 /// A realised canonical code: encode and decode tables.
 class CanonicalCode {
  public:
-  explicit CanonicalCode(const CodeLengths& lengths);
+  /// `build_decode_tables` = false skips the lookup-table construction
+  /// for encode-only uses (the per-stream compressor); decode() then
+  /// transparently falls back to the reference decoder.
+  explicit CanonicalCode(const CodeLengths& lengths,
+                         bool build_decode_tables = true);
 
   /// Encode one symbol into the writer.
   void encode(apcc::BitWriter& writer, std::uint8_t symbol) const;
 
-  /// Decode one symbol from the reader. Throws CheckError on invalid
-  /// prefixes (corrupt stream).
-  [[nodiscard]] std::uint8_t decode(apcc::BitReader& reader) const;
+  /// Decode one symbol from the reader via the two-level lookup table.
+  /// Throws CheckError on invalid prefixes (corrupt stream).
+  [[nodiscard]] std::uint8_t decode(apcc::BitReader& reader) const {
+    if (!tables_built_) return decode_reference(reader);
+    const PrimaryEntry e = primary_[reader.peek_bits(kPrimaryBits)];
+    if (e.length != 0 && e.length != kSubtableTag) {
+      reader.consume_bits(e.length);
+      return static_cast<std::uint8_t>(e.payload);
+    }
+    if (e.length == kSubtableTag) {
+      const std::uint32_t window =
+          reader.peek_bits(kPrimaryBits + e.sub_bits);
+      const SubEntry s =
+          sub_[e.payload + (window & ((1u << e.sub_bits) - 1u))];
+      if (s.length != 0) {
+        reader.consume_bits(s.length);
+        return s.symbol;
+      }
+    }
+    throw CheckError("huffman: invalid code prefix (corrupt stream)");
+  }
+
+  /// Bit-at-a-time first-code/offset decoder: the pre-table reference
+  /// path, kept for differential tests and as executable documentation.
+  [[nodiscard]] std::uint8_t decode_reference(apcc::BitReader& reader) const;
 
   [[nodiscard]] const CodeLengths& lengths() const { return lengths_; }
 
@@ -54,15 +85,41 @@ class CanonicalCode {
   [[nodiscard]] double expected_bits(
       const std::array<std::uint64_t, kAlphabetSize>& freqs) const;
 
+  /// Primary decode-table width: codes up to this length resolve with one
+  /// table hit; longer ones take one extra subtable hit.
+  static constexpr unsigned kPrimaryBits = 10;
+
  private:
+  /// Primary table entry. length semantics: 0 = invalid prefix,
+  /// 1..kPrimaryBits = direct hit (payload is the symbol),
+  /// kSubtableTag = long code (payload is the base index into sub_ and
+  /// sub_bits is that subtable's index width).
+  struct PrimaryEntry {
+    std::uint16_t payload = 0;
+    std::uint8_t length = 0;
+    std::uint8_t sub_bits = 0;
+  };
+  static constexpr std::uint8_t kSubtableTag = 0xff;
+  /// Subtable entry; length is the full code length (0 = invalid).
+  struct SubEntry {
+    std::uint8_t symbol = 0;
+    std::uint8_t length = 0;
+  };
+
+  void build_decode_tables();
+
   CodeLengths lengths_{};
-  std::array<std::uint16_t, kAlphabetSize> codes_{};   // left-aligned? no: value
-  // Decode tables, indexed by code length 1..kMaxCodeLength.
+  std::array<std::uint16_t, kAlphabetSize> codes_{};   // code value per symbol
+  // Reference-decoder tables, indexed by code length 1..kMaxCodeLength.
   std::array<std::uint16_t, kMaxCodeLength + 1> first_code_{};
   std::array<std::uint16_t, kMaxCodeLength + 1> first_index_{};
   std::array<std::uint16_t, kMaxCodeLength + 1> count_{};
   std::array<std::uint8_t, kAlphabetSize> sorted_symbols_{};
   std::size_t symbol_count_ = 0;
+  // Table-decoder state.
+  bool tables_built_ = false;
+  std::array<PrimaryEntry, (std::size_t{1} << kPrimaryBits)> primary_{};
+  std::vector<SubEntry> sub_;
 };
 
 /// Per-stream canonical Huffman codec (self-describing streams).

@@ -1,12 +1,15 @@
 #include "runtime/kedge.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace apcc::runtime {
 
 KEdgeCompressionManager::KEdgeCompressionManager(StateTable& states,
-                                                 std::uint32_t k)
-    : states_(states), k_(k) {
+                                                 std::uint32_t k,
+                                                 bool reference_scan)
+    : states_(states), k_(k), reference_scan_(reference_scan) {
   APCC_CHECK(k >= 1, "k-edge requires k >= 1");
 }
 
@@ -17,15 +20,29 @@ void KEdgeCompressionManager::on_block_executed(cfg::BlockId block) {
 std::vector<cfg::BlockId> KEdgeCompressionManager::on_edge_traversed(
     cfg::BlockId target) {
   std::vector<cfg::BlockId> to_delete;
-  for (cfg::BlockId b = 0; b < states_.size(); ++b) {
+  if (reference_scan_) {
+    for (cfg::BlockId b = 0; b < states_.size(); ++b) {
+      if (b == target) continue;
+      BlockState& s = states_[b];
+      if (s.form() != BlockForm::kDecompressed) continue;
+      ++s.kedge_counter;
+      if (s.kedge_counter >= k_ && !s.executing()) {
+        to_delete.push_back(b);
+      }
+    }
+    return to_delete;
+  }
+  for (const cfg::BlockId b : states_.decompressed_unordered()) {
     if (b == target) continue;
     BlockState& s = states_[b];
-    if (s.form != BlockForm::kDecompressed) continue;
     ++s.kedge_counter;
-    if (s.kedge_counter >= k_ && !s.executing) {
+    if (s.kedge_counter >= k_ && !s.executing()) {
       to_delete.push_back(b);
     }
   }
+  // The id list is maintained in arbitrary order; deletions are applied
+  // (and their events emitted) in the reference scan's ascending order.
+  std::sort(to_delete.begin(), to_delete.end());
   return to_delete;
 }
 

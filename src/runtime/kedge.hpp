@@ -23,7 +23,12 @@ namespace apcc::runtime {
 /// mechanics (the engine applies the returned deletions with costs).
 class KEdgeCompressionManager {
  public:
-  KEdgeCompressionManager(StateTable& states, std::uint32_t k);
+  /// `reference_scan` selects the pre-index O(B) full-table walk per
+  /// edge (debug cross-check path); the default walks only the table's
+  /// decompressed-id list, O(D) in the resident-copy count. Returned
+  /// deletions are ascending by block id under both paths.
+  KEdgeCompressionManager(StateTable& states, std::uint32_t k,
+                          bool reference_scan = false);
 
   /// The execution thread began executing `block`: reset its counter.
   void on_block_executed(cfg::BlockId block);
@@ -40,6 +45,7 @@ class KEdgeCompressionManager {
  private:
   StateTable& states_;
   std::uint32_t k_;
+  bool reference_scan_;
 };
 
 }  // namespace apcc::runtime

@@ -26,7 +26,7 @@ std::vector<cfg::BlockId> DecompressionPlanner::compressed_frontier(
   };
   std::vector<Candidate> candidates;
   for (const cfg::BlockId b : frontier) {
-    if (states_[b].form != BlockForm::kCompressed) continue;
+    if (states_[b].form() != BlockForm::kCompressed) continue;
     const auto dist = cfg::edge_distance(cfg_, block, b);
     candidates.push_back(Candidate{b, dist.value_or(UINT_MAX)});
   }

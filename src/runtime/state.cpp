@@ -16,17 +16,24 @@ const char* block_form_name(BlockForm f) {
 }
 
 bool BlockState::is_patched_for(cfg::BlockId pred) const {
-  return std::find(remember_set.begin(), remember_set.end(), pred) !=
-         remember_set.end();
+  return std::binary_search(patched_sorted_.begin(), patched_sorted_.end(),
+                            pred);
 }
 
 void BlockState::add_patch(cfg::BlockId pred) {
-  if (!is_patched_for(pred)) {
-    remember_set.push_back(pred);
-  }
+  const auto it =
+      std::lower_bound(patched_sorted_.begin(), patched_sorted_.end(), pred);
+  if (it != patched_sorted_.end() && *it == pred) return;
+  patched_sorted_.insert(it, pred);
+  remember_set_.push_back(pred);
 }
 
-StateTable::StateTable(std::size_t block_count) : states_(block_count) {}
+StateTable::StateTable(std::size_t block_count)
+    : states_(block_count),
+      sizes_(block_count, 0),
+      decomp_pos_(block_count, kNotInList) {
+  form_counts_[static_cast<std::size_t>(BlockForm::kCompressed)] = block_count;
+}
 
 BlockState& StateTable::operator[](cfg::BlockId id) {
   APCC_CHECK(id < states_.size(), "block id out of range");
@@ -38,33 +45,147 @@ const BlockState& StateTable::operator[](cfg::BlockId id) const {
   return states_[id];
 }
 
-std::vector<cfg::BlockId> StateTable::decompressed_blocks() const {
-  std::vector<cfg::BlockId> out;
-  for (std::size_t i = 0; i < states_.size(); ++i) {
-    if (states_[i].form == BlockForm::kDecompressed) {
-      out.push_back(static_cast<cfg::BlockId>(i));
-    }
+void StateTable::index_insert(cfg::BlockId id) {
+  decomp_pos_[id] = static_cast<std::uint32_t>(decomp_list_.size());
+  decomp_list_.push_back(id);
+  lru_index_.emplace(states_[id].last_use_time_, id);
+  size_index_.emplace(sizes_[id], id);
+}
+
+void StateTable::index_erase(cfg::BlockId id) {
+  const std::uint32_t pos = decomp_pos_[id];
+  const cfg::BlockId moved = decomp_list_.back();
+  decomp_list_[pos] = moved;
+  decomp_pos_[moved] = pos;
+  decomp_list_.pop_back();
+  decomp_pos_[id] = kNotInList;
+  lru_index_.erase(Key{states_[id].last_use_time_, id});
+  size_index_.erase(Key{sizes_[id], id});
+}
+
+void StateTable::set_form(cfg::BlockId id, BlockForm form) {
+  APCC_CHECK(id < states_.size(), "block id out of range");
+  BlockState& s = states_[id];
+  if (s.form_ == form) return;
+  if (s.form_ == BlockForm::kDecompressed) index_erase(id);
+  --form_counts_[static_cast<std::size_t>(s.form_)];
+  ++form_counts_[static_cast<std::size_t>(form)];
+  s.form_ = form;
+  if (form == BlockForm::kDecompressed) index_insert(id);
+}
+
+void StateTable::touch(cfg::BlockId id, std::uint64_t time) {
+  APCC_CHECK(id < states_.size(), "block id out of range");
+  BlockState& s = states_[id];
+  if (s.form_ == BlockForm::kDecompressed && s.last_use_time_ != time) {
+    lru_index_.erase(Key{s.last_use_time_, id});
+    lru_index_.emplace(time, id);
   }
+  s.last_use_time_ = time;
+}
+
+void StateTable::set_executing(cfg::BlockId id, bool executing) {
+  APCC_CHECK(id < states_.size(), "block id out of range");
+  states_[id].executing_ = executing;
+}
+
+void StateTable::set_block_sizes(std::vector<std::uint64_t> sizes) {
+  APCC_CHECK(sizes.size() == states_.size(),
+             "size table does not match block count");
+  // Re-key the size index for any currently decompressed blocks.
+  for (const cfg::BlockId id : decomp_list_) {
+    size_index_.erase(Key{sizes_[id], id});
+  }
+  sizes_ = std::move(sizes);
+  for (const cfg::BlockId id : decomp_list_) {
+    size_index_.emplace(sizes_[id], id);
+  }
+}
+
+std::vector<cfg::BlockId> StateTable::decompressed_blocks() const {
+  std::vector<cfg::BlockId> out(decomp_list_.begin(), decomp_list_.end());
+  std::sort(out.begin(), out.end());
   return out;
 }
 
-std::size_t StateTable::count(BlockForm form) const {
-  std::size_t n = 0;
-  for (const auto& s : states_) {
-    if (s.form == form) ++n;
+cfg::BlockId StateTable::lru_victim(cfg::BlockId protect) const {
+  for (const auto& [time, id] : lru_index_) {
+    if (eligible(id, protect)) return id;
   }
-  return n;
+  return cfg::kInvalidBlock;
 }
 
-cfg::BlockId StateTable::lru_victim(cfg::BlockId protect) const {
+cfg::BlockId StateTable::max_key_victim(const std::set<Key>& index,
+                                        cfg::BlockId protect,
+                                        bool require_positive_key) const {
+  auto group_end = index.end();
+  while (group_end != index.begin()) {
+    const std::uint64_t key = std::prev(group_end)->first;
+    if (require_positive_key && key == 0) break;
+    // Entries share keys; the historical scan breaks ties toward the
+    // lowest id, so walk the whole max-key group in id order.
+    const auto group_begin = index.lower_bound(Key{key, 0});
+    for (auto it = group_begin; it != group_end; ++it) {
+      if (eligible(it->second, protect)) return it->second;
+    }
+    group_end = group_begin;
+  }
+  return cfg::kInvalidBlock;
+}
+
+cfg::BlockId StateTable::mru_victim(cfg::BlockId protect) const {
+  return max_key_victim(lru_index_, protect, /*require_positive_key=*/false);
+}
+
+cfg::BlockId StateTable::largest_victim(cfg::BlockId protect) const {
+  return max_key_victim(size_index_, protect, /*require_positive_key=*/true);
+}
+
+cfg::BlockId StateTable::lru_victim_reference(cfg::BlockId protect) const {
   cfg::BlockId victim = cfg::kInvalidBlock;
   std::uint64_t oldest = UINT64_MAX;
   for (std::size_t i = 0; i < states_.size(); ++i) {
     const auto& s = states_[i];
-    if (s.form != BlockForm::kDecompressed || s.executing) continue;
+    if (s.form_ != BlockForm::kDecompressed || s.executing_) continue;
     if (static_cast<cfg::BlockId>(i) == protect) continue;
-    if (s.last_use_time < oldest) {
-      oldest = s.last_use_time;
+    if (s.last_use_time_ < oldest) {
+      oldest = s.last_use_time_;
+      victim = static_cast<cfg::BlockId>(i);
+    }
+  }
+  return victim;
+}
+
+cfg::BlockId StateTable::mru_victim_reference(cfg::BlockId protect) const {
+  cfg::BlockId victim = cfg::kInvalidBlock;
+  std::uint64_t newest = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const auto& s = states_[i];
+    if (s.form_ != BlockForm::kDecompressed || s.executing_ ||
+        static_cast<cfg::BlockId>(i) == protect) {
+      continue;
+    }
+    if (!found || s.last_use_time_ > newest) {
+      newest = s.last_use_time_;
+      victim = static_cast<cfg::BlockId>(i);
+      found = true;
+    }
+  }
+  return victim;
+}
+
+cfg::BlockId StateTable::largest_victim_reference(cfg::BlockId protect) const {
+  cfg::BlockId victim = cfg::kInvalidBlock;
+  std::uint64_t biggest = 0;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const auto& s = states_[i];
+    if (s.form_ != BlockForm::kDecompressed || s.executing_ ||
+        static_cast<cfg::BlockId>(i) == protect) {
+      continue;
+    }
+    if (sizes_[i] > biggest) {
+      biggest = sizes_[i];
       victim = static_cast<cfg::BlockId>(i);
     }
   }

@@ -5,9 +5,20 @@
 // decompression), the k-edge counter, the decompressed copy's address,
 // the LRU timestamp for budget mode, and the remember set of patched
 // branch sites.
+//
+// The table is indexed: it maintains the set of decompressed blocks as a
+// dense id list (O(D) iteration instead of O(B) full scans) plus two
+// ordered victim indexes -- (last_use_time, id) and (copy size, id) --
+// so LRU / MRU / largest-victim selection is O(log B) instead of a scan.
+// To keep the indexes consistent by construction, the indexed fields
+// (form, last_use_time, executing) are read-only on BlockState and can
+// only be mutated through StateTable::set_form / touch / set_executing.
 #pragma once
 
 #include <cstdint>
+#include <set>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "cfg/cfg.hpp"
@@ -23,26 +34,46 @@ enum class BlockForm : std::uint8_t {
 
 [[nodiscard]] const char* block_form_name(BlockForm f);
 
+class StateTable;
+
 /// Per-block dynamic state.
 struct BlockState {
-  BlockForm form = BlockForm::kCompressed;
+ public:
   std::uint64_t address = 0;      // decompressed-area offset when resident
   std::uint64_t ready_time = 0;   // completion time while kDecompressing
   std::uint32_t kedge_counter = 0;
-  std::uint64_t last_use_time = 0;
-  bool executing = false;         // pinned: never delete mid-execution
+
+  [[nodiscard]] BlockForm form() const { return form_; }
+  [[nodiscard]] std::uint64_t last_use_time() const { return last_use_time_; }
+  [[nodiscard]] bool executing() const { return executing_; }
 
   /// Remember set: predecessor blocks whose branch to this block has been
-  /// patched to target the decompressed copy directly (paper §5). Stored
-  /// as block ids; the branch-site *count* drives patch/unpatch costs.
-  std::vector<cfg::BlockId> remember_set;
-
+  /// patched to target the decompressed copy directly (paper §5), in
+  /// patch order (unpatch events replay it in that order). A sorted
+  /// mirror backs is_patched_for, so membership tests are O(log n)
+  /// instead of a linear scan.
+  [[nodiscard]] const std::vector<cfg::BlockId>& remember_set() const {
+    return remember_set_;
+  }
   [[nodiscard]] bool is_patched_for(cfg::BlockId pred) const;
   void add_patch(cfg::BlockId pred);
-  void clear_patches() { remember_set.clear(); }
+  void clear_patches() {
+    remember_set_.clear();
+    patched_sorted_.clear();
+  }
+
+ private:
+  friend class StateTable;
+
+  BlockForm form_ = BlockForm::kCompressed;
+  std::uint64_t last_use_time_ = 0;
+  bool executing_ = false;        // pinned: never delete mid-execution
+  std::vector<cfg::BlockId> remember_set_;    // insertion (patch) order
+  std::vector<cfg::BlockId> patched_sorted_;  // sorted mirror for lookup
 };
 
-/// The state table: one BlockState per CFG block plus aggregate queries.
+/// The state table: one BlockState per CFG block plus aggregate queries
+/// over the maintained indexes.
 class StateTable {
  public:
   explicit StateTable(std::size_t block_count);
@@ -52,18 +83,71 @@ class StateTable {
 
   [[nodiscard]] std::size_t size() const { return states_.size(); }
 
-  /// Ids of blocks currently in decompressed form.
+  /// Move `id` to `form`, keeping the decompressed-set indexes in sync.
+  void set_form(cfg::BlockId id, BlockForm form);
+
+  /// Record a use of `id` at `time` (the budget-mode LRU timestamp).
+  void touch(cfg::BlockId id, std::uint64_t time);
+
+  /// Pin / unpin `id` as currently executing.
+  void set_executing(cfg::BlockId id, bool executing);
+
+  /// Provide per-block decompressed-copy sizes for the largest-victim
+  /// index. All sizes are zero (no largest victim) until this is called.
+  void set_block_sizes(std::vector<std::uint64_t> sizes);
+
+  /// Ids of blocks currently in decompressed form, ascending.
   [[nodiscard]] std::vector<cfg::BlockId> decompressed_blocks() const;
 
-  /// Count of blocks in a given form.
-  [[nodiscard]] std::size_t count(BlockForm form) const;
+  /// Same set in index order (unspecified); O(1), no allocation.
+  [[nodiscard]] std::span<const cfg::BlockId> decompressed_unordered() const {
+    return decomp_list_;
+  }
 
-  /// LRU victim among decompressed, non-executing blocks, excluding
-  /// `protect`; kInvalidBlock if none exists.
+  /// Count of blocks in a given form.
+  [[nodiscard]] std::size_t count(BlockForm form) const {
+    return form_counts_[static_cast<std::size_t>(form)];
+  }
+
+  /// Victim queries among decompressed, non-executing blocks, excluding
+  /// `protect`; kInvalidBlock if none exists. Ties on the key resolve to
+  /// the lowest block id, matching the historical full-scan order.
   [[nodiscard]] cfg::BlockId lru_victim(cfg::BlockId protect) const;
+  [[nodiscard]] cfg::BlockId mru_victim(cfg::BlockId protect) const;
+  /// Blocks with size 0 are never largest-victims (matches the scan's
+  /// strict `size > 0` comparison).
+  [[nodiscard]] cfg::BlockId largest_victim(cfg::BlockId protect) const;
+
+  /// O(B) full-scan counterparts of the victim queries: the pre-index
+  /// reference implementations, kept as the debug cross-check path for
+  /// the differential engine tests.
+  [[nodiscard]] cfg::BlockId lru_victim_reference(cfg::BlockId protect) const;
+  [[nodiscard]] cfg::BlockId mru_victim_reference(cfg::BlockId protect) const;
+  [[nodiscard]] cfg::BlockId largest_victim_reference(
+      cfg::BlockId protect) const;
 
  private:
+  using Key = std::pair<std::uint64_t, cfg::BlockId>;  // (key, id)
+
+  void index_insert(cfg::BlockId id);
+  void index_erase(cfg::BlockId id);
+  [[nodiscard]] bool eligible(cfg::BlockId id, cfg::BlockId protect) const {
+    return id != protect && !states_[id].executing_;
+  }
+  /// Smallest id within the highest key group with an eligible entry.
+  [[nodiscard]] cfg::BlockId max_key_victim(const std::set<Key>& index,
+                                            cfg::BlockId protect,
+                                            bool require_positive_key) const;
+
+  static constexpr std::uint32_t kNotInList = UINT32_MAX;
+
   std::vector<BlockState> states_;
+  std::vector<std::uint64_t> sizes_;        // largest-victim key per block
+  std::vector<std::uint32_t> decomp_pos_;   // position in decomp_list_
+  std::vector<cfg::BlockId> decomp_list_;   // dense decompressed-id list
+  std::set<Key> lru_index_;                 // (last_use_time, id)
+  std::set<Key> size_index_;                // (size, id)
+  std::size_t form_counts_[3] = {0, 0, 0};
 };
 
 }  // namespace apcc::runtime

@@ -34,6 +34,12 @@ Engine::Engine(const cfg::Cfg& cfg, const runtime::BlockImage& image,
   // a budget smaller than some cold block is fine as long as that block
   // is never executed. run() raises CheckError if an executed block
   // cannot be placed even after evicting every victim.
+  exec_cycles_.reserve(cfg_.block_count());
+  for (cfg::BlockId b = 0; b < cfg_.block_count(); ++b) {
+    exec_cycles_.push_back(static_cast<std::uint64_t>(
+        std::llround(config_.costs.cycles_per_instruction *
+                     static_cast<double>(cfg_.block(b).word_count))));
+  }
 }
 
 void Engine::emit(EventKind kind, std::uint64_t time, cfg::BlockId block,
@@ -46,41 +52,15 @@ void Engine::emit(EventKind kind, std::uint64_t time, cfg::BlockId block,
 cfg::BlockId Engine::select_victim(cfg::BlockId protect) const {
   switch (config_.policy.victim_policy) {
     case runtime::VictimPolicy::kLru:
-      return states_->lru_victim(protect);
-    case runtime::VictimPolicy::kMru: {
-      cfg::BlockId victim = cfg::kInvalidBlock;
-      std::uint64_t newest = 0;
-      bool found = false;
-      for (cfg::BlockId b = 0; b < states_->size(); ++b) {
-        const runtime::BlockState& s = (*states_)[b];
-        if (s.form != runtime::BlockForm::kDecompressed || s.executing ||
-            b == protect) {
-          continue;
-        }
-        if (!found || s.last_use_time > newest) {
-          newest = s.last_use_time;
-          victim = b;
-          found = true;
-        }
-      }
-      return victim;
-    }
-    case runtime::VictimPolicy::kLargest: {
-      cfg::BlockId victim = cfg::kInvalidBlock;
-      std::uint64_t biggest = 0;
-      for (cfg::BlockId b = 0; b < states_->size(); ++b) {
-        const runtime::BlockState& s = (*states_)[b];
-        if (s.form != runtime::BlockForm::kDecompressed || s.executing ||
-            b == protect) {
-          continue;
-        }
-        if (image_.original_size(b) > biggest) {
-          biggest = image_.original_size(b);
-          victim = b;
-        }
-      }
-      return victim;
-    }
+      return config_.reference_scans ? states_->lru_victim_reference(protect)
+                                     : states_->lru_victim(protect);
+    case runtime::VictimPolicy::kMru:
+      return config_.reference_scans ? states_->mru_victim_reference(protect)
+                                     : states_->mru_victim(protect);
+    case runtime::VictimPolicy::kLargest:
+      return config_.reference_scans
+                 ? states_->largest_victim_reference(protect)
+                 : states_->largest_victim(protect);
   }
   return cfg::kInvalidBlock;
 }
@@ -91,6 +71,30 @@ std::size_t Engine::earliest_decomp_unit() const {
     if (decomp_free_[u] < decomp_free_[best]) best = u;
   }
   return best;
+}
+
+std::optional<std::uint64_t> Engine::earliest_inflight_ready() {
+  if (config_.reference_scans) {
+    std::uint64_t earliest = UINT64_MAX;
+    for (cfg::BlockId b = 0; b < states_->size(); ++b) {
+      const runtime::BlockState& s = (*states_)[b];
+      if (s.form() == runtime::BlockForm::kDecompressing) {
+        earliest = std::min(earliest, s.ready_time);
+      }
+    }
+    if (earliest == UINT64_MAX) return std::nullopt;
+    return earliest;
+  }
+  while (!ready_queue_.empty()) {
+    const auto [time, block] = ready_queue_.top();
+    const runtime::BlockState& s = (*states_)[block];
+    if (s.form() == runtime::BlockForm::kDecompressing &&
+        s.ready_time == time) {
+      return time;
+    }
+    ready_queue_.pop();  // stale: settled early, deleted, or re-issued
+  }
+  return std::nullopt;
 }
 
 std::optional<std::uint64_t> Engine::place_with_eviction(cfg::BlockId block) {
@@ -109,15 +113,15 @@ std::optional<std::uint64_t> Engine::place_with_eviction(cfg::BlockId block) {
 
 void Engine::delete_block(cfg::BlockId block, cfg::BlockId evicted_for) {
   runtime::BlockState& s = (*states_)[block];
-  APCC_ASSERT(s.form == runtime::BlockForm::kDecompressed,
+  APCC_ASSERT(s.form() == runtime::BlockForm::kDecompressed,
               "delete of non-resident block");
   // Cost: metadata delete + one unpatch per remember-set entry, plus the
   // real codec compression time under the recompress_for_real ablation.
   std::uint64_t cost = config_.costs.delete_block_cycles;
-  const auto patches = static_cast<std::uint64_t>(s.remember_set.size());
+  const auto patches = static_cast<std::uint64_t>(s.remember_set().size());
   if (config_.policy.use_remember_sets) {
     cost += patches * config_.costs.unpatch_branch_cycles;
-    for (const cfg::BlockId pred : s.remember_set) {
+    for (const cfg::BlockId pred : s.remember_set()) {
       emit(EventKind::kUnpatch, now_, block, pred);
     }
     result_.unpatches += patches;
@@ -137,7 +141,7 @@ void Engine::delete_block(cfg::BlockId block, cfg::BlockId evicted_for) {
   // compressed original never moved, so "compressing back" is dropping
   // the copy (§5) -- the helper cost above models the bookkeeping.
   layout_->drop_decompressed(s.address, now_);
-  s.form = runtime::BlockForm::kCompressed;
+  states_->set_form(block, runtime::BlockForm::kCompressed);
   s.address = 0;
   s.kedge_counter = 0;
   s.clear_patches();
@@ -155,7 +159,7 @@ void Engine::delete_block(cfg::BlockId block, cfg::BlockId evicted_for) {
 
 void Engine::issue_predecompression(cfg::BlockId block, cfg::BlockId from) {
   runtime::BlockState& s = (*states_)[block];
-  if (s.form != runtime::BlockForm::kCompressed) return;
+  if (s.form() != runtime::BlockForm::kCompressed) return;
 
   now_ += config_.costs.dispatch_job_cycles;
   const auto address = place_with_eviction(block);
@@ -174,8 +178,13 @@ void Engine::issue_predecompression(cfg::BlockId block, cfg::BlockId from) {
     const std::uint64_t start = std::max(now_, unit);
     unit = start + duration;
     result_.decomp_helper_busy_cycles += duration;
-    s.form = runtime::BlockForm::kDecompressing;
+    states_->set_form(block, runtime::BlockForm::kDecompressing);
     s.ready_time = start + duration;
+    if (!config_.reference_scans) {
+      // The reference path settles by scanning; feeding the queue there
+      // would only grow an unread heap for the whole run.
+      ready_queue_.emplace(s.ready_time, block);
+    }
   } else {
     // Single-threaded ablation: the work lands in the critical path.
     now_ += duration;
@@ -195,7 +204,7 @@ void Engine::complete_decompression(cfg::BlockId block,
                                     std::uint64_t completion_time,
                                     bool inline_cost) {
   runtime::BlockState& s = (*states_)[block];
-  s.form = runtime::BlockForm::kDecompressed;
+  states_->set_form(block, runtime::BlockForm::kDecompressed);
   s.kedge_counter = 0;  // its k-edge window starts now
   emit(EventKind::kPredecompressDone, completion_time, block);
   if (!config_.policy.use_remember_sets) return;
@@ -206,7 +215,7 @@ void Engine::complete_decompression(cfg::BlockId block,
   std::uint64_t patch_cost = 0;
   for (const cfg::BlockId pred : cfg_.predecessor_ids(block)) {
     runtime::BlockState& ps = (*states_)[pred];
-    if (ps.form != runtime::BlockForm::kDecompressed) continue;
+    if (ps.form() != runtime::BlockForm::kDecompressed) continue;
     if (s.is_patched_for(pred)) continue;
     s.add_patch(pred);
     ++result_.patches;
@@ -227,12 +236,35 @@ void Engine::complete_decompression(cfg::BlockId block,
 }
 
 void Engine::settle_ready_blocks() {
-  for (cfg::BlockId b = 0; b < states_->size(); ++b) {
-    runtime::BlockState& s = (*states_)[b];
-    if (s.form == runtime::BlockForm::kDecompressing &&
-        s.ready_time <= now_) {
-      complete_decompression(b, s.ready_time, /*inline_cost=*/false);
+  if (config_.reference_scans) {
+    for (cfg::BlockId b = 0; b < states_->size(); ++b) {
+      runtime::BlockState& s = (*states_)[b];
+      if (s.form() == runtime::BlockForm::kDecompressing &&
+          s.ready_time <= now_) {
+        complete_decompression(b, s.ready_time, /*inline_cost=*/false);
+      }
     }
+    return;
+  }
+  if (ready_queue_.empty() || ready_queue_.top().first > now_) return;
+  // Pop everything due, drop stale entries, and settle in ascending block
+  // id -- the reference scan's order, which fixes the order of the
+  // completion events and of the patch costs landing on helper units.
+  settle_scratch_.clear();
+  while (!ready_queue_.empty() && ready_queue_.top().first <= now_) {
+    const auto [time, block] = ready_queue_.top();
+    ready_queue_.pop();
+    const runtime::BlockState& s = (*states_)[block];
+    if (s.form() == runtime::BlockForm::kDecompressing &&
+        s.ready_time == time) {
+      settle_scratch_.push_back(block);
+    }
+  }
+  std::sort(settle_scratch_.begin(), settle_scratch_.end());
+  for (const cfg::BlockId block : settle_scratch_) {
+    const runtime::BlockState& s = (*states_)[block];
+    if (s.form() != runtime::BlockForm::kDecompressing) continue;  // dup entry
+    complete_decompression(block, s.ready_time, /*inline_cost=*/false);
   }
 }
 
@@ -242,7 +274,7 @@ void Engine::ensure_executable(cfg::BlockId block, cfg::BlockId pred) {
   // Settle an in-flight copy first: if the helper has already finished by
   // the execution thread's clock, the block is simply decompressed;
   // otherwise the execution thread stalls until it is ready.
-  if (s.form == runtime::BlockForm::kDecompressing) {
+  if (s.form() == runtime::BlockForm::kDecompressing) {
     const std::uint64_t wait =
         s.ready_time > now_ ? s.ready_time - now_ : 0;
     const std::uint64_t demand_cost =
@@ -274,13 +306,13 @@ void Engine::ensure_executable(cfg::BlockId block, cfg::BlockId pred) {
       }
       complete_decompression(block, now_, /*inline_cost=*/false);
     }
-  } else if (s.form == runtime::BlockForm::kDecompressed &&
+  } else if (s.form() == runtime::BlockForm::kDecompressed &&
              extra_[block].from_predecomp &&
              !extra_[block].used_since_decomp) {
     ++result_.predecompress_hits;
   }
 
-  if (s.form == runtime::BlockForm::kDecompressed) {
+  if (s.form() == runtime::BlockForm::kDecompressed) {
     if (config_.policy.use_remember_sets) {
       // Re-entry through an already patched branch is exception-free;
       // a new branch site pays one exception + one patch.
@@ -308,7 +340,7 @@ void Engine::ensure_executable(cfg::BlockId block, cfg::BlockId pred) {
 
   // Compressed: the fetch faults and the handler decompresses in the
   // critical path (on-demand / lazy decompression, §4).
-  APCC_ASSERT(s.form == runtime::BlockForm::kCompressed,
+  APCC_ASSERT(s.form() == runtime::BlockForm::kCompressed,
               "unexpected block form");
   ++result_.exceptions;
   result_.exception_cycles += config_.costs.exception_cycles;
@@ -320,16 +352,11 @@ void Engine::ensure_executable(cfg::BlockId block, cfg::BlockId pred) {
     // Every decompressed victim is gone; the remaining occupants are
     // in-flight helper jobs, which become evictable once complete. Wait
     // for the earliest one, settle it, and retry.
-    std::uint64_t earliest = UINT64_MAX;
-    for (cfg::BlockId b = 0; b < states_->size(); ++b) {
-      const runtime::BlockState& bs = (*states_)[b];
-      if (bs.form == runtime::BlockForm::kDecompressing) {
-        earliest = std::min(earliest, bs.ready_time);
-      }
-    }
-    APCC_CHECK(earliest != UINT64_MAX,
+    const auto earliest_ready = earliest_inflight_ready();
+    APCC_CHECK(earliest_ready.has_value(),
                "decompressed area exhausted with no evictable victim "
                "(budget too small for the working set)");
+    const std::uint64_t earliest = *earliest_ready;
     if (earliest > now_) {
       result_.stall_cycles += earliest - now_;
       emit(EventKind::kStall, now_, block, cfg::kInvalidBlock,
@@ -345,7 +372,7 @@ void Engine::ensure_executable(cfg::BlockId block, cfg::BlockId pred) {
   now_ += cost;
   result_.critical_decompress_cycles += cost;
   ++result_.demand_decompressions;
-  s.form = runtime::BlockForm::kDecompressed;
+  states_->set_form(block, runtime::BlockForm::kDecompressed);
   s.address = *address;
   extra_[block].from_predecomp = false;
   extra_[block].used_since_decomp = false;
@@ -373,6 +400,7 @@ RunResult Engine::run(const cfg::BlockTrace& trace) {
              "at least one decompression unit is required");
   decomp_free_.assign(config_.policy.decompress_units, 0);
   comp_free_at_ = 0;
+  ready_queue_ = {};
   result_ = RunResult{};
   layout_ = std::make_unique<memory::MemoryLayout>(
       memory::layout_slots(image_.slot_sizes()),
@@ -381,8 +409,16 @@ RunResult Engine::run(const cfg::BlockTrace& trace) {
           : config_.policy.memory_budget,
       config_.fit);
   states_ = std::make_unique<runtime::StateTable>(cfg_.block_count());
+  {
+    std::vector<std::uint64_t> sizes;
+    sizes.reserve(cfg_.block_count());
+    for (cfg::BlockId b = 0; b < cfg_.block_count(); ++b) {
+      sizes.push_back(image_.original_size(b));
+    }
+    states_->set_block_sizes(std::move(sizes));
+  }
   kedge_ = std::make_unique<runtime::KEdgeCompressionManager>(
-      *states_, config_.policy.compress_k);
+      *states_, config_.policy.compress_k, config_.reference_scans);
   predictor_ = runtime::make_predictor(config_.policy.predictor, cfg_,
                                        config_.policy.predecompress_k, trace);
   planner_ = std::make_unique<runtime::DecompressionPlanner>(
@@ -402,20 +438,17 @@ RunResult Engine::run(const cfg::BlockTrace& trace) {
     ensure_executable(block, pred);
 
     // Execute the block.
-    runtime::BlockState& s = (*states_)[block];
-    s.executing = true;
-    s.last_use_time = now_;
+    states_->set_executing(block, true);
+    states_->touch(block, now_);
     extra_[block].used_since_decomp = true;
     kedge_->on_block_executed(block);
     ++result_.block_entries;
     emit(EventKind::kBlockEnter, now_, block, pred);
-    const auto exec_cycles = static_cast<std::uint64_t>(
-        std::llround(config_.costs.cycles_per_instruction *
-                     static_cast<double>(cfg_.block(block).word_count)));
+    const std::uint64_t exec_cycles = exec_cycles_[block];
     now_ += exec_cycles;
     result_.busy_cycles += exec_cycles;
     result_.baseline_cycles += exec_cycles;
-    s.executing = false;
+    states_->set_executing(block, false);
 
     if (i + 1 == trace.size()) break;
     const cfg::BlockId next = trace[i + 1];

@@ -24,6 +24,8 @@
 #pragma once
 
 #include <functional>
+#include <optional>
+#include <queue>
 
 #include "cfg/trace.hpp"
 #include "memory/layout.hpp"
@@ -68,6 +70,11 @@ struct EngineConfig {
   runtime::Policy policy{};
   runtime::CostModel costs{};
   memory::FitPolicy fit = memory::FitPolicy::kFirstFit;
+  /// Debug: route settle / victim-selection / earliest-ready / k-edge
+  /// queries through the pre-index O(B) full-table scans instead of the
+  /// indexed structures. Both paths produce bit-identical RunResults and
+  /// event streams; the differential test pins that.
+  bool reference_scans = false;
 };
 
 /// Simulates one trace against one compressed image. Engines are
@@ -103,6 +110,10 @@ class Engine {
   /// Index of the decompression unit that frees up first.
   [[nodiscard]] std::size_t earliest_decomp_unit() const;
 
+  /// Completion time of the earliest in-flight decompression, if any.
+  /// Indexed path: lazily prunes stale ready-queue entries, O(log B).
+  [[nodiscard]] std::optional<std::uint64_t> earliest_inflight_ready();
+
   /// Apply a deletion ("compress back"): free memory, unpatch branches,
   /// reset state; charges the compression thread (or the execution
   /// thread when inline). `evicted_for` marks budget evictions.
@@ -135,9 +146,20 @@ class Engine {
   const runtime::BlockImage& image_;
   EngineConfig config_;
   EventSink sink_;
+  std::vector<std::uint64_t> exec_cycles_;  // per-block execution cost,
+                                            // hoisted out of the step loop
 
   // Mutable per-run state (reset by run()).
   std::uint64_t now_ = 0;  // execution-thread clock
+  // Min-heap of (completion time, block) for in-flight decompressions.
+  // Entries are invalidated lazily: an entry is live only while its
+  // block is still kDecompressing with the same ready_time, so settling
+  // and earliest-ready queries pop stale entries as they surface.
+  using ReadyEntry = std::pair<std::uint64_t, cfg::BlockId>;
+  std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                      std::greater<ReadyEntry>>
+      ready_queue_;
+  std::vector<cfg::BlockId> settle_scratch_;
   std::vector<std::uint64_t> decomp_free_;  // per-unit availability
   std::uint64_t comp_free_at_ = 0;          // compression helper availability
   std::unique_ptr<memory::MemoryLayout> layout_;

@@ -8,17 +8,15 @@ void BitWriter::write_bits(std::uint32_t value, unsigned count) {
     value &= (count == 0) ? 0u : ((1u << count) - 1u);
   }
   bit_count_ += count;
-  // Feed bits most-significant-first into the pending accumulator.
-  for (unsigned i = count; i > 0; --i) {
-    const std::uint32_t bit = (value >> (i - 1)) & 1u;
-    pending_ = (pending_ << 1) | bit;
-    ++pending_bits_;
-    if (pending_bits_ == 8) {
-      bytes_.push_back(static_cast<std::uint8_t>(pending_));
-      pending_ = 0;
-      pending_bits_ = 0;
-    }
+  // pending_ holds < 8 bits between calls, so count + pending fits in 64.
+  pending_ = (pending_ << count) | value;
+  pending_bits_ += count;
+  while (pending_bits_ >= 8) {
+    bytes_.push_back(
+        static_cast<std::uint8_t>(pending_ >> (pending_bits_ - 8)));
+    pending_bits_ -= 8;
   }
+  pending_ &= (std::uint64_t{1} << pending_bits_) - 1;
 }
 
 void BitWriter::align_to_byte() {
@@ -35,25 +33,6 @@ std::vector<std::uint8_t> BitWriter::take() {
   pending_bits_ = 0;
   bit_count_ = 0;
   return out;
-}
-
-std::uint32_t BitReader::read_bits(unsigned count) {
-  APCC_ASSERT(count <= 32, "read_bits count out of range");
-  APCC_CHECK(bit_pos_ + count <= bytes_.size() * 8,
-             "bitstream underflow: corrupt or truncated stream");
-  std::uint32_t value = 0;
-  for (unsigned i = 0; i < count; ++i) {
-    const std::size_t byte_index = bit_pos_ >> 3;
-    const unsigned bit_index = 7u - static_cast<unsigned>(bit_pos_ & 7u);
-    const std::uint32_t bit = (bytes_[byte_index] >> bit_index) & 1u;
-    value = (value << 1) | bit;
-    ++bit_pos_;
-  }
-  return value;
-}
-
-void BitReader::align_to_byte() {
-  bit_pos_ = (bit_pos_ + 7) & ~std::size_t{7};
 }
 
 }  // namespace apcc

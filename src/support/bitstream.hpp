@@ -2,6 +2,12 @@
 //
 // Bits are packed MSB-first within each byte, which matches the canonical
 // Huffman convention and makes streams easy to inspect in hex dumps.
+//
+// Both directions run through a 64-bit accumulator so per-symbol work is
+// a couple of shifts instead of a loop over individual bits. The reader
+// additionally exposes a peek/consume split (peek_bits / consume_bits):
+// table-driven decoders peek a fixed window, look the whole symbol up,
+// and consume only the bits the matched code actually used.
 #pragma once
 
 #include <cstddef>
@@ -44,8 +50,9 @@ class BitWriter {
 
  private:
   std::vector<std::uint8_t> bytes_;
-  std::uint32_t pending_ = 0;   // bits not yet flushed, left-aligned count
-  unsigned pending_bits_ = 0;   // how many bits of pending_ are valid
+  std::uint64_t pending_ = 0;   // not-yet-flushed bits, right-aligned
+  unsigned pending_bits_ = 0;   // how many bits of pending_ are valid (< 8
+                                // between calls)
   std::size_t bit_count_ = 0;
 };
 
@@ -56,7 +63,11 @@ class BitReader {
   explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
   /// Read `count` bits (MSB-first) as an unsigned value. count <= 32.
-  [[nodiscard]] std::uint32_t read_bits(unsigned count);
+  [[nodiscard]] std::uint32_t read_bits(unsigned count) {
+    const std::uint32_t value = peek_bits(count);
+    consume_bits(count);
+    return value;
+  }
 
   /// Read one bit.
   [[nodiscard]] bool read_bit() { return read_bits(1) != 0; }
@@ -66,8 +77,33 @@ class BitReader {
     return static_cast<std::uint8_t>(read_bits(8));
   }
 
+  /// Return the next `count` bits (MSB-first) WITHOUT consuming them.
+  /// Bits past the end of the stream read as zero, so fixed-width decode
+  /// windows can be peeked near the end; the bounds check happens on
+  /// consume_bits. count <= 32.
+  [[nodiscard]] std::uint32_t peek_bits(unsigned count) {
+    APCC_ASSERT(count <= 32, "peek_bits count out of range");
+    if (count == 0) return 0;
+    if (buf_bits_ < count) refill();
+    return static_cast<std::uint32_t>(buf_ >> (64 - count));
+  }
+
+  /// Advance past `count` bits previously peeked. Throws CheckError when
+  /// fewer than `count` real bits remain (corrupt / truncated stream).
+  void consume_bits(unsigned count) {
+    APCC_ASSERT(count <= 32, "consume_bits count out of range");
+    APCC_CHECK(bit_pos_ + count <= bytes_.size() * 8,
+               "bitstream underflow: corrupt or truncated stream");
+    if (buf_bits_ < count) refill();
+    buf_ <<= count;
+    buf_bits_ -= count;
+    bit_pos_ += count;
+  }
+
   /// Skip forward to the next byte boundary.
-  void align_to_byte();
+  void align_to_byte() {
+    consume_bits(static_cast<unsigned>((8 - (bit_pos_ & 7)) & 7));
+  }
 
   /// Bits consumed so far.
   [[nodiscard]] std::size_t bit_position() const { return bit_pos_; }
@@ -83,8 +119,24 @@ class BitReader {
   }
 
  private:
+  // Top up the accumulator. Afterwards it holds >= 57 bits, or every bit
+  // left in the stream. The invariant between calls: the top buf_bits_
+  // bits of buf_ are the stream bits starting at bit_pos_, and the low
+  // 64 - buf_bits_ bits are zero (consume shifts zeros in), which is what
+  // gives peek_bits its zero-padding past the end.
+  void refill() {
+    while (buf_bits_ <= 56 && fill_pos_ < bytes_.size()) {
+      buf_ |= static_cast<std::uint64_t>(bytes_[fill_pos_++])
+              << (56 - buf_bits_);
+      buf_bits_ += 8;
+    }
+  }
+
   std::span<const std::uint8_t> bytes_;
-  std::size_t bit_pos_ = 0;
+  std::size_t bit_pos_ = 0;   // consumed bits
+  std::uint64_t buf_ = 0;     // upcoming bits, MSB-aligned
+  unsigned buf_bits_ = 0;     // valid bits in buf_
+  std::size_t fill_pos_ = 0;  // next byte index to load into buf_
 };
 
 }  // namespace apcc

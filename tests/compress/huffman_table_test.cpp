@@ -1,0 +1,188 @@
+// Table-decoder tests: pin the two-level lookup decoder (primary table +
+// subtable fallback for codes deeper than kPrimaryBits) against the
+// bit-at-a-time reference decoder, and pin the error paths on corrupt
+// and truncated streams. Fuzz-style round trips cover random alphabets,
+// random payloads, long codes (depth 11..15), and single-symbol streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "compress/huffman.hpp"
+#include "support/assert.hpp"
+#include "support/bitstream.hpp"
+#include "support/rng.hpp"
+
+namespace apcc::compress {
+namespace {
+
+/// Fibonacci weights over n symbols: the classic maximally-skewed input.
+/// With n = 16 the deepest two codes land exactly at depth 15
+/// (= kMaxCodeLength), which drives the subtable fallback.
+std::array<std::uint64_t, kAlphabetSize> fibonacci_freqs(int n) {
+  std::array<std::uint64_t, kAlphabetSize> f{};
+  std::uint64_t a = 1, b = 1;
+  for (int s = 0; s < n; ++s) {
+    f[static_cast<std::size_t>(s)] = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  return f;
+}
+
+/// Encode `payload` then decode it twice -- table decoder and reference
+/// decoder -- asserting both reproduce the payload exactly.
+void round_trip(const CanonicalCode& code,
+                const std::vector<std::uint8_t>& payload) {
+  apcc::BitWriter writer;
+  for (const std::uint8_t sym : payload) code.encode(writer, sym);
+  const auto bytes = writer.take();
+
+  apcc::BitReader table_reader(bytes);
+  apcc::BitReader ref_reader(bytes);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    ASSERT_EQ(code.decode(table_reader), payload[i]) << "table @" << i;
+    ASSERT_EQ(code.decode_reference(ref_reader), payload[i])
+        << "reference @" << i;
+  }
+  EXPECT_EQ(table_reader.bit_position(), ref_reader.bit_position());
+}
+
+TEST(HuffmanTable, LongCodesTakeTheSubtablePath) {
+  const auto lengths = build_code_lengths(fibonacci_freqs(16));
+  const auto max_len =
+      *std::max_element(lengths.begin(), lengths.end());
+  ASSERT_EQ(max_len, kMaxCodeLength)
+      << "fibonacci-16 must produce depth-15 codes";
+  ASSERT_GT(max_len, CanonicalCode::kPrimaryBits)
+      << "test must exercise the subtable fallback";
+
+  const CanonicalCode code(lengths);
+  std::vector<std::uint8_t> payload;
+  for (int s = 0; s < 16; ++s) {
+    // Several of each symbol, rarest (deepest codes) included.
+    for (int r = 0; r < 3; ++r) payload.push_back(static_cast<std::uint8_t>(s));
+  }
+  round_trip(code, payload);
+}
+
+TEST(HuffmanTable, EveryDepthFrom11To15RoundTrips) {
+  // Sweep the alphabet size so the deepest code crosses each length in
+  // (kPrimaryBits, kMaxCodeLength]; every sweep step must round trip.
+  for (int n = 12; n <= 16; ++n) {
+    const auto lengths = build_code_lengths(fibonacci_freqs(n));
+    const auto max_len =
+        *std::max_element(lengths.begin(), lengths.end());
+    ASSERT_GT(max_len, CanonicalCode::kPrimaryBits) << "n=" << n;
+    const CanonicalCode code(lengths);
+    std::vector<std::uint8_t> payload;
+    for (int s = 0; s < n; ++s) payload.push_back(static_cast<std::uint8_t>(s));
+    round_trip(code, payload);
+  }
+}
+
+TEST(HuffmanTable, SingleSymbolAlphabet) {
+  const auto lengths = build_code_lengths([] {
+    std::array<std::uint64_t, kAlphabetSize> f{};
+    f[42] = 7;
+    return f;
+  }());
+  const CanonicalCode code(lengths);
+  round_trip(code, std::vector<std::uint8_t>(100, 42));
+}
+
+TEST(HuffmanTable, RandomAlphabetFuzzMatchesReference) {
+  apcc::Rng rng(20260730);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::array<std::uint64_t, kAlphabetSize> freqs{};
+    const auto nsyms = 1 + rng.next_below(256);
+    std::vector<std::uint8_t> alphabet;
+    for (std::uint64_t i = 0; i < nsyms; ++i) {
+      const auto sym = static_cast<std::uint8_t>(rng.next_below(256));
+      // Skewed weights push some codes deep.
+      freqs[sym] += 1 + rng.next_below(1u << rng.next_below(20));
+      alphabet.push_back(sym);
+    }
+    const CanonicalCode code(build_code_lengths(freqs));
+    std::vector<std::uint8_t> payload;
+    const auto len = 1 + rng.next_below(512);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      payload.push_back(alphabet[rng.next_below(alphabet.size())]);
+    }
+    round_trip(code, payload);
+  }
+}
+
+TEST(HuffmanTable, InvalidPrefixRejectedOnBothPaths) {
+  // Single coded symbol -> code '0'; all-ones input is undecodable.
+  const auto lengths = build_code_lengths([] {
+    std::array<std::uint64_t, kAlphabetSize> f{};
+    f[5] = 1;
+    return f;
+  }());
+  const CanonicalCode code(lengths);
+  const std::vector<std::uint8_t> junk = {0xff, 0xff};
+  apcc::BitReader table_reader(junk);
+  EXPECT_THROW((void)code.decode(table_reader), apcc::CheckError);
+  apcc::BitReader ref_reader(junk);
+  EXPECT_THROW((void)code.decode_reference(ref_reader), apcc::CheckError);
+}
+
+TEST(HuffmanTable, TruncatedStreamRejected) {
+  // A depth-15 alphabet where the stream ends mid-code: the peeked
+  // window zero-pads past the end, and the consume must throw rather
+  // than fabricate a symbol.
+  const auto lengths = build_code_lengths(fibonacci_freqs(16));
+  const CanonicalCode code(lengths);
+  // Symbol 0 is the rarest -> deepest code (15 bits).
+  apcc::BitWriter writer;
+  code.encode(writer, 0);
+  auto bytes = writer.take();
+  ASSERT_EQ(bytes.size(), 2u);  // 15 bits -> 2 bytes
+  bytes.pop_back();             // keep only the first 8 bits
+  apcc::BitReader reader(bytes);
+  EXPECT_THROW((void)code.decode(reader), apcc::CheckError);
+}
+
+TEST(HuffmanTable, CorruptSharedStreamRejectedOrWrong) {
+  // Codec-level corruption check: flipping bits in a shared-huffman
+  // stream either throws CheckError or yields different bytes -- it must
+  // never silently return the original payload.
+  const std::vector<Bytes> training = {Bytes{1, 2, 3, 4, 5, 6, 7, 8}};
+  const SharedHuffmanCodec codec(training);
+  const Bytes input = {1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4};
+  const Bytes good = codec.compress(input);
+  ASSERT_EQ(codec.decompress(good, input.size()), input);
+
+  apcc::Rng rng(99);
+  for (int iter = 0; iter < 32; ++iter) {
+    Bytes bad = good;
+    const auto i = rng.next_below(bad.size());
+    bad[i] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    try {
+      const Bytes out = codec.decompress(bad, input.size());
+      EXPECT_NE(out, input) << "corruption went unnoticed";
+    } catch (const apcc::CheckError&) {
+      // Detected: fine.
+    }
+  }
+}
+
+TEST(HuffmanTable, PerStreamCodecRoundTripsRandomInputs) {
+  const HuffmanCodec codec;
+  apcc::Rng rng(4242);
+  for (int iter = 0; iter < 20; ++iter) {
+    Bytes input;
+    const auto len = 1 + rng.next_below(2048);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      // Mix a hot byte with uniform noise for nontrivial code shapes.
+      input.push_back(rng.next_bool(0.6)
+                          ? static_cast<std::uint8_t>(0x42)
+                          : static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+    EXPECT_EQ(codec.decompress(codec.compress(input), input.size()), input);
+  }
+}
+
+}  // namespace
+}  // namespace apcc::compress

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "runtime/kedge.hpp"
+#include "support/rng.hpp"
 
 namespace apcc::runtime {
 namespace {
@@ -12,7 +13,7 @@ StateTable make_states(std::size_t n,
                        std::initializer_list<cfg::BlockId> decompressed) {
   StateTable t(n);
   for (const auto b : decompressed) {
-    t[b].form = BlockForm::kDecompressed;
+    t.set_form(b, BlockForm::kDecompressed);
   }
   return t;
 }
@@ -61,7 +62,7 @@ TEST(KEdge, ExecutionResetsCounter) {
 
 TEST(KEdge, CompressedBlocksAreIgnored) {
   StateTable t = make_states(3, {});
-  t[0].form = BlockForm::kCompressed;
+  t.set_form(0, BlockForm::kCompressed);
   KEdgeCompressionManager kedge(t, 1);
   EXPECT_TRUE(kedge.on_edge_traversed(1).empty());
   EXPECT_EQ(t[0].kedge_counter, 0u);
@@ -69,14 +70,14 @@ TEST(KEdge, CompressedBlocksAreIgnored) {
 
 TEST(KEdge, DecompressingBlocksAreIgnored) {
   StateTable t = make_states(3, {});
-  t[0].form = BlockForm::kDecompressing;
+  t.set_form(0, BlockForm::kDecompressing);
   KEdgeCompressionManager kedge(t, 1);
   EXPECT_TRUE(kedge.on_edge_traversed(1).empty());
 }
 
 TEST(KEdge, ExecutingBlockNeverReturned) {
   StateTable t = make_states(3, {0});
-  t[0].executing = true;
+  t.set_executing(0, true);
   KEdgeCompressionManager kedge(t, 1);
   const auto deleted = kedge.on_edge_traversed(1);
   EXPECT_TRUE(deleted.empty()) << "pinned block must survive";
@@ -131,18 +132,18 @@ TEST(StateTable, DecompressedBlocksListing) {
 
 TEST(StateTable, LruVictimOldestFirst) {
   StateTable t = make_states(4, {0, 1, 2});
-  t[0].last_use_time = 30;
-  t[1].last_use_time = 10;
-  t[2].last_use_time = 20;
+  t.touch(0, 30);
+  t.touch(1, 10);
+  t.touch(2, 20);
   EXPECT_EQ(t.lru_victim(cfg::kInvalidBlock), 1u);
 }
 
 TEST(StateTable, LruVictimSkipsProtectedAndExecuting) {
   StateTable t = make_states(3, {0, 1, 2});
-  t[0].last_use_time = 1;
-  t[1].last_use_time = 2;
-  t[2].last_use_time = 3;
-  t[0].executing = true;
+  t.touch(0, 1);
+  t.touch(1, 2);
+  t.touch(2, 3);
+  t.set_executing(0, true);
   EXPECT_EQ(t.lru_victim(1), 2u) << "0 executing, 1 protected -> 2";
 }
 
@@ -151,16 +152,80 @@ TEST(StateTable, LruVictimNoneAvailable) {
   EXPECT_EQ(t.lru_victim(cfg::kInvalidBlock), cfg::kInvalidBlock);
 }
 
+TEST(StateTable, MruVictimNewestFirstLowestIdOnTies) {
+  StateTable t = make_states(5, {0, 1, 2, 3});
+  t.touch(0, 10);
+  t.touch(1, 30);
+  t.touch(2, 30);
+  t.touch(3, 20);
+  EXPECT_EQ(t.mru_victim(cfg::kInvalidBlock), 1u)
+      << "ties on last_use_time resolve to the lowest id";
+  EXPECT_EQ(t.mru_victim(1), 2u);
+}
+
+TEST(StateTable, LargestVictimBySizeLowestIdOnTies) {
+  StateTable t = make_states(4, {0, 1, 2});
+  t.set_block_sizes({64, 128, 128, 256});
+  EXPECT_EQ(t.largest_victim(cfg::kInvalidBlock), 1u);
+  EXPECT_EQ(t.largest_victim(1), 2u);
+  t.set_executing(1, true);
+  t.set_executing(2, true);
+  EXPECT_EQ(t.largest_victim(cfg::kInvalidBlock), 0u);
+}
+
+TEST(StateTable, LargestVictimRequiresPositiveSize) {
+  StateTable t = make_states(3, {0, 1});
+  EXPECT_EQ(t.largest_victim(cfg::kInvalidBlock), cfg::kInvalidBlock)
+      << "all sizes zero -> no largest victim (strict > 0, as the "
+         "historical scan)";
+}
+
+TEST(StateTable, VictimQueriesMatchReferenceScans) {
+  apcc::Rng rng(7);
+  StateTable t(32);
+  std::vector<std::uint64_t> sizes;
+  for (int b = 0; b < 32; ++b) sizes.push_back(rng.next_below(8) * 16);
+  t.set_block_sizes(sizes);
+  for (int step = 0; step < 2000; ++step) {
+    const auto b = static_cast<cfg::BlockId>(rng.next_below(32));
+    switch (rng.next_below(4)) {
+      case 0:
+        t.set_form(b, static_cast<BlockForm>(rng.next_below(3)));
+        break;
+      case 1: t.touch(b, rng.next_below(64)); break;
+      case 2: t.set_executing(b, rng.next_bool(0.2)); break;
+      default: break;
+    }
+    const auto protect = rng.next_bool(0.5)
+                             ? static_cast<cfg::BlockId>(rng.next_below(32))
+                             : cfg::kInvalidBlock;
+    ASSERT_EQ(t.lru_victim(protect), t.lru_victim_reference(protect));
+    ASSERT_EQ(t.mru_victim(protect), t.mru_victim_reference(protect));
+    ASSERT_EQ(t.largest_victim(protect),
+              t.largest_victim_reference(protect));
+  }
+}
+
+TEST(StateTable, DecompressedUnorderedTracksMembership) {
+  StateTable t = make_states(6, {1, 4});
+  EXPECT_EQ(t.decompressed_unordered().size(), 2u);
+  t.set_form(1, BlockForm::kCompressed);
+  t.set_form(2, BlockForm::kDecompressed);
+  t.set_form(4, BlockForm::kDecompressing);
+  EXPECT_EQ(t.decompressed_blocks(), (std::vector<cfg::BlockId>{2}));
+  EXPECT_EQ(t.count(BlockForm::kDecompressing), 1u);
+}
+
 TEST(StateTable, RememberSetDeduplicates) {
   BlockState s;
   s.add_patch(3);
   s.add_patch(3);
   s.add_patch(5);
-  EXPECT_EQ(s.remember_set.size(), 2u);
+  EXPECT_EQ(s.remember_set().size(), 2u);
   EXPECT_TRUE(s.is_patched_for(3));
   EXPECT_FALSE(s.is_patched_for(7));
   s.clear_patches();
-  EXPECT_TRUE(s.remember_set.empty());
+  EXPECT_TRUE(s.remember_set().empty());
 }
 
 }  // namespace

@@ -48,7 +48,7 @@ TEST(Planner, PaperExamplePreAllFromB0) {
   const cfg::Cfg g = cfg::figure2_cfg();
   StateTable states = all_compressed(g);
   for (const cfg::BlockId b : {0u, 1u, 2u, 3u, 6u, 7u}) {
-    states[b].form = BlockForm::kDecompressed;
+    states.set_form(b, BlockForm::kDecompressed);
   }
   const DecompressionPlanner planner(g, states, pre_all(2), nullptr);
   const auto plan = planner.plan_on_exit(0, 0);
@@ -59,7 +59,7 @@ TEST(Planner, PaperExamplePreSingleFromB0PicksExactlyOne) {
   const cfg::Cfg g = cfg::figure2_cfg();
   StateTable states = all_compressed(g);
   for (const cfg::BlockId b : {0u, 1u, 2u, 3u, 6u, 7u}) {
-    states[b].form = BlockForm::kDecompressed;
+    states.set_form(b, BlockForm::kDecompressed);
   }
   const ProfilePredictor predictor(g, 2);
   const DecompressionPlanner planner(g, states, pre_single(2), &predictor);
@@ -91,8 +91,8 @@ TEST(Planner, Figure2B7NotPlannedWithK2) {
 TEST(Planner, AlreadyDecompressedBlocksSkipped) {
   const cfg::Cfg g = cfg::figure2_cfg();
   StateTable states = all_compressed(g);
-  states[1].form = BlockForm::kDecompressed;
-  states[2].form = BlockForm::kDecompressing;
+  states.set_form(1, BlockForm::kDecompressed);
+  states.set_form(2, BlockForm::kDecompressing);
   const DecompressionPlanner planner(g, states, pre_all(1), nullptr);
   const auto plan = planner.plan_on_exit(0, 0);
   EXPECT_TRUE(plan.empty())
@@ -127,7 +127,7 @@ TEST(Planner, PreSingleEmptyWhenFrontierClear) {
   const cfg::Cfg g = cfg::figure5_cfg();
   StateTable states(g.block_count());
   for (cfg::BlockId b = 0; b < g.block_count(); ++b) {
-    states[b].form = BlockForm::kDecompressed;
+    states.set_form(b, BlockForm::kDecompressed);
   }
   const ProfilePredictor predictor(g, 2);
   const DecompressionPlanner planner(g, states, pre_single(2), &predictor);

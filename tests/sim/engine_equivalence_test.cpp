@@ -1,0 +1,153 @@
+// Differential regression test for the indexed engine hot path.
+//
+// The engine keeps two implementations of its per-step queries: the
+// pre-index O(B) full-table scans (EngineConfig::reference_scans, the
+// original shipping behaviour) and the indexed structures (ready-event
+// min-heap, ordered victim indexes, decompressed-id list). This test
+// runs a policy grid through both and asserts the RunResult counters
+// and the emitted event streams are bit-identical, so any divergence in
+// settle order, victim tie-breaking, or k-edge bookkeeping fails loudly.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "workloads/suite.hpp"
+
+namespace apcc::sim {
+namespace {
+
+using GridParam =
+    std::tuple<runtime::DecompressionStrategy, std::uint32_t,
+               runtime::VictimPolicy, bool /*background*/, bool /*budget*/>;
+
+struct Capture {
+  RunResult result;
+  std::vector<Event> events;
+};
+
+bool operator==(const Event& a, const Event& b) {
+  return a.kind == b.kind && a.time == b.time && a.block == b.block &&
+         a.aux == b.aux && a.value == b.value;
+}
+
+const workloads::Workload& workload() {
+  static const workloads::Workload w =
+      workloads::make_workload(workloads::WorkloadKind::kGsmLike);
+  return w;
+}
+
+const runtime::BlockImage& image() {
+  static const runtime::BlockImage img = [] {
+    std::vector<compress::Bytes> bytes = workload().block_bytes;
+    auto codec =
+        compress::make_codec(compress::CodecKind::kSharedHuffman, bytes);
+    return runtime::BlockImage(workload().cfg, std::move(bytes),
+                               std::move(codec));
+  }();
+  return img;
+}
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<GridParam> {
+ protected:
+  static EngineConfig config_for(const GridParam& p, bool reference) {
+    EngineConfig config;
+    config.policy.strategy = std::get<0>(p);
+    config.policy.compress_k = std::get<1>(p);
+    config.policy.predecompress_k = 2;
+    config.policy.victim_policy = std::get<2>(p);
+    config.policy.background_compression = std::get<3>(p);
+    config.policy.background_decompression = std::get<3>(p);
+    if (std::get<4>(p)) {
+      // Tight budget: forces the eviction and helper-backpressure paths.
+      std::uint64_t largest = 0;
+      for (const auto b : workload().trace) {
+        largest = std::max(largest, workload().cfg.block(b).size_bytes());
+      }
+      config.policy.memory_budget = largest * 3 + 32;
+    }
+    config.reference_scans = reference;
+    return config;
+  }
+
+  Capture run(bool reference) {
+    Capture c;
+    Engine engine(workload().cfg, image(),
+                  config_for(GetParam(), reference));
+    engine.set_event_sink(
+        [&c](const Event& e) { c.events.push_back(e); });
+    c.result = engine.run(workload().trace);
+    return c;
+  }
+};
+
+TEST_P(EngineEquivalenceTest, IndexedMatchesReferenceBitExactly) {
+  const Capture ref = run(/*reference=*/true);
+  const Capture fast = run(/*reference=*/false);
+
+  const RunResult& a = ref.result;
+  const RunResult& b = fast.result;
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.baseline_cycles, b.baseline_cycles);
+  EXPECT_EQ(a.busy_cycles, b.busy_cycles);
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles);
+  EXPECT_EQ(a.exception_cycles, b.exception_cycles);
+  EXPECT_EQ(a.critical_decompress_cycles, b.critical_decompress_cycles);
+  EXPECT_EQ(a.patch_cycles, b.patch_cycles);
+  EXPECT_EQ(a.block_entries, b.block_entries);
+  EXPECT_EQ(a.exceptions, b.exceptions);
+  EXPECT_EQ(a.demand_decompressions, b.demand_decompressions);
+  EXPECT_EQ(a.predecompressions, b.predecompressions);
+  EXPECT_EQ(a.predecompress_hits, b.predecompress_hits);
+  EXPECT_EQ(a.predecompress_partial, b.predecompress_partial);
+  EXPECT_EQ(a.wasted_predecompressions, b.wasted_predecompressions);
+  EXPECT_EQ(a.deletions, b.deletions);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.patches, b.patches);
+  EXPECT_EQ(a.unpatches, b.unpatches);
+  EXPECT_EQ(a.dropped_requests, b.dropped_requests);
+  EXPECT_EQ(a.decomp_helper_busy_cycles, b.decomp_helper_busy_cycles);
+  EXPECT_EQ(a.comp_helper_busy_cycles, b.comp_helper_busy_cycles);
+  EXPECT_EQ(a.original_image_bytes, b.original_image_bytes);
+  EXPECT_EQ(a.compressed_area_bytes, b.compressed_area_bytes);
+  EXPECT_EQ(a.peak_occupancy_bytes, b.peak_occupancy_bytes);
+  EXPECT_EQ(a.avg_occupancy_bytes, b.avg_occupancy_bytes);
+
+  ASSERT_EQ(ref.events.size(), fast.events.size());
+  for (std::size_t i = 0; i < ref.events.size(); ++i) {
+    ASSERT_TRUE(ref.events[i] == fast.events[i])
+        << "event " << i << " diverged: reference "
+        << event_kind_name(ref.events[i].kind) << "@" << ref.events[i].time
+        << " block " << ref.events[i].block << " vs indexed "
+        << event_kind_name(fast.events[i].kind) << "@"
+        << fast.events[i].time << " block " << fast.events[i].block;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(runtime::DecompressionStrategy::kOnDemand,
+                          runtime::DecompressionStrategy::kPreAll,
+                          runtime::DecompressionStrategy::kPreSingle),
+        ::testing::Values(1u, 4u, 32u),
+        ::testing::Values(runtime::VictimPolicy::kLru,
+                          runtime::VictimPolicy::kMru,
+                          runtime::VictimPolicy::kLargest),
+        ::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      std::string name = runtime::strategy_name(std::get<0>(info.param));
+      name += "_k" + std::to_string(std::get<1>(info.param));
+      name += "_";
+      name += runtime::victim_policy_name(std::get<2>(info.param));
+      name += std::get<3>(info.param) ? "_bg" : "_inline";
+      name += std::get<4>(info.param) ? "_budget" : "_unbounded";
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace apcc::sim

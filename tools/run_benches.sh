@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Run the performance-trajectory benches and emit their JSON series.
+#
+#   tools/run_benches.sh [build-dir] [out-dir]
+#
+# Produces, in out-dir (default: the build dir):
+#   BENCH_engine.json  -- E11 engine hot-path throughput (steps/sec)
+#   BENCH_codecs.json  -- E4 codec + huffman decoder throughput
+#
+# The JSON comes from google-benchmark's --benchmark_format=json, so a
+# tracking dashboard can diff runs across PRs.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-${BUILD_DIR}}"
+
+if [[ ! -x "${BUILD_DIR}/bench_e11_engine_throughput" ]]; then
+  echo "error: ${BUILD_DIR}/bench_e11_engine_throughput not built" >&2
+  echo "hint: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+
+echo "== E11 engine throughput -> ${OUT_DIR}/BENCH_engine.json"
+"${BUILD_DIR}/bench_e11_engine_throughput" \
+    --benchmark_format=json \
+    --benchmark_out="${OUT_DIR}/BENCH_engine.json" \
+    --benchmark_out_format=json
+
+echo "== E4 codec throughput -> ${OUT_DIR}/BENCH_codecs.json"
+"${BUILD_DIR}/bench_e4_codecs" \
+    --benchmark_filter='bm_(huffman_decode|decompress)' \
+    --benchmark_format=json \
+    --benchmark_out="${OUT_DIR}/BENCH_codecs.json" \
+    --benchmark_out_format=json
+
+echo "done."
