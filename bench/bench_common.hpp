@@ -11,6 +11,7 @@
 
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "core/report.hpp"
@@ -22,9 +23,14 @@ namespace apcc::bench {
 
 /// Build-once cache of the six suite workloads (interpreter runs are the
 /// expensive part; the benches reuse them across tables and timings).
+/// Mutex-guarded: sweep benches call this from pool workers, and an
+/// unguarded std::map insert is a data race. Map nodes are stable, so a
+/// returned reference stays valid while other threads insert.
 inline const workloads::Workload& cached_workload(workloads::WorkloadKind kind) {
+  static auto* mutex = new std::mutex();
   static auto* cache = new std::map<workloads::WorkloadKind,
                                     workloads::Workload>();
+  const std::lock_guard<std::mutex> lock(*mutex);
   auto it = cache->find(kind);
   if (it == cache->end()) {
     it = cache->emplace(kind, workloads::make_workload(kind)).first;

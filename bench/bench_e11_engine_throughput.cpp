@@ -75,12 +75,19 @@ const SweepWorkload& sweep_workload(std::size_t blocks,
   return cache->emplace(key, std::move(w)).first->second;
 }
 
-sim::EngineConfig sweep_config(bool reference) {
+/// Engine mode under test: the fully indexed engine with the memoized
+/// planner, the indexed engine still running the per-exit frontier BFS
+/// (isolates the FrontierCache's contribution), and the full pre-index
+/// reference.
+enum class EngineMode { kIndexed, kBfsPlanner, kReference };
+
+sim::EngineConfig sweep_config(EngineMode mode) {
   sim::EngineConfig config;
   config.policy.strategy = runtime::DecompressionStrategy::kPreAll;
   config.policy.compress_k = 8;
   config.policy.predecompress_k = 1;
-  config.reference_scans = reference;
+  config.reference_scans = (mode == EngineMode::kReference);
+  config.reference_frontiers = (mode != EngineMode::kIndexed);
   return config;
 }
 
@@ -100,20 +107,21 @@ void print_tables() {
   // (its steps/sec rate is what matters, and it is rate-stable).
   const struct {
     const char* name;
-    bool reference;
+    EngineMode mode;
     std::uint64_t steps;
-  } rows[] = {{"reference-scans", true, 100'000},
-              {"indexed", false, 1'000'000}};
+  } rows[] = {{"reference-scans", EngineMode::kReference, 100'000},
+              {"indexed+bfs-planner", EngineMode::kBfsPlanner, 1'000'000},
+              {"indexed+memoized", EngineMode::kIndexed, 1'000'000}};
   for (const auto& row : rows) {
     const auto& w = sweep_workload(10'000, row.steps);
-    sim::Engine engine(w.graph, *w.image, sweep_config(row.reference));
+    sim::Engine engine(w.graph, *w.image, sweep_config(row.mode));
     const auto start = std::chrono::steady_clock::now();
     const sim::RunResult r = engine.run(w.trace);
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
     const double rate =
         static_cast<double>(r.block_entries) / elapsed.count();
-    if (row.reference) reference_rate = rate;
+    if (row.mode == EngineMode::kReference) reference_rate = rate;
     table.row()
         .cell(row.name)
         .cell(std::uint64_t{10'000})
@@ -124,15 +132,25 @@ void print_tables() {
   std::cout << table.render() << '\n';
 }
 
+const char* mode_label(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kIndexed: return "indexed";
+    case EngineMode::kBfsPlanner: return "bfs-planner";
+    case EngineMode::kReference: return "reference";
+  }
+  return "?";
+}
+
 void bm_engine_steps(benchmark::State& state) {
   const auto blocks = static_cast<std::size_t>(state.range(0));
-  const bool reference = state.range(1) != 0;
+  const auto mode = static_cast<EngineMode>(state.range(1));
+  const bool reference = mode == EngineMode::kReference;
   // Budget the reference path's O(blocks)-per-step cost down so a
   // timing iteration stays in the hundreds of milliseconds.
   const std::uint64_t steps =
       reference ? (blocks >= 10'000 ? 20'000 : 200'000) : 1'000'000;
   const auto& w = sweep_workload(blocks, steps);
-  sim::Engine engine(w.graph, *w.image, sweep_config(reference));
+  sim::Engine engine(w.graph, *w.image, sweep_config(mode));
   std::uint64_t total_steps = 0;
   for (auto _ : state) {
     const sim::RunResult r = engine.run(w.trace);
@@ -140,10 +158,10 @@ void bm_engine_steps(benchmark::State& state) {
     total_steps += r.block_entries;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(total_steps));
-  state.SetLabel(reference ? "reference" : "indexed");
+  state.SetLabel(mode_label(mode));
 }
 BENCHMARK(bm_engine_steps)
-    ->ArgsProduct({{1'000, 10'000}, {0, 1}})
+    ->ArgsProduct({{1'000, 10'000}, {0, 1, 2}})
     ->Unit(benchmark::kMillisecond);
 
 void bm_engine_budget_evictions(benchmark::State& state) {
@@ -151,7 +169,8 @@ void bm_engine_budget_evictions(benchmark::State& state) {
   // on every placement.
   const bool reference = state.range(0) != 0;
   const auto& w = sweep_workload(10'000, reference ? 20'000 : 500'000);
-  sim::EngineConfig config = sweep_config(reference);
+  sim::EngineConfig config =
+      sweep_config(reference ? EngineMode::kReference : EngineMode::kIndexed);
   config.policy.memory_budget = 4096;  // a handful of resident copies
   config.policy.victim_policy = runtime::VictimPolicy::kLru;
   sim::Engine engine(w.graph, *w.image, config);

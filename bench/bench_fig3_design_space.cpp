@@ -6,6 +6,7 @@
 // memory/performance grid, which is the quantitative content the taxonomy
 // implies. Compression always uses the k-edge algorithm, as in the paper.
 #include "bench/bench_common.hpp"
+#include "sweep/sweep.hpp"
 
 namespace {
 
@@ -18,19 +19,28 @@ void print_tables() {
   const auto& workload =
       bench::cached_workload(workloads::WorkloadKind::kGsmLike);
 
-  std::vector<core::ReportRow> rows;
+  // One system (one compressed image), the whole grid sharded across
+  // worker threads; outcomes come back in task order, identical to the
+  // sequential loop this replaced.
+  const auto system = core::CodeCompressionSystem::from_workload(workload);
+  std::vector<sweep::SweepTask> tasks;
   for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
                               runtime::DecompressionStrategy::kPreAll,
                               runtime::DecompressionStrategy::kPreSingle}) {
     for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
-      core::SystemConfig config;
-      config.policy.strategy = strategy;
-      config.policy.compress_k = k;
-      config.policy.predecompress_k = k;
-      rows.push_back({std::string(runtime::strategy_name(strategy)) +
-                          "/k=" + std::to_string(k),
-                      bench::run_config(workload, config)});
+      sweep::SweepTask task;
+      task.label = std::string(runtime::strategy_name(strategy)) +
+                   "/k=" + std::to_string(k);
+      task.config = system.engine_config();
+      task.config.policy.strategy = strategy;
+      task.config.policy.compress_k = k;
+      task.config.policy.predecompress_k = k;
+      tasks.push_back(std::move(task));
     }
+  }
+  std::vector<core::ReportRow> rows;
+  for (auto& outcome : system.run_sweep(tasks)) {
+    rows.push_back({std::move(outcome.label), outcome.result});
   }
   std::cout << core::render_comparison(rows) << '\n';
   std::cout << "Shape check (paper S4): pre-all favours performance over\n"

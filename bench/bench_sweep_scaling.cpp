@@ -1,0 +1,155 @@
+// Sweep scaling: sharded policy-grid throughput across worker counts.
+//
+// The fig3 / E10 grids are embarrassingly parallel -- every grid point
+// is an independent Engine run over the same immutable BlockImage -- and
+// sweep::run_sweep shards them across a thread pool. This bench builds a
+// fig3-style grid (strategy x k x budget x fit, 72 points) on the
+// gsm-like workload and reports wall clock and speedup per worker count;
+// the google-benchmark registrations below emit the stable series for
+// BENCH_sweep.json. Parallel outcomes are byte-identical to the
+// sequential grid (tests/sweep/sweep_test.cpp pins that); the table's
+// checksum column makes a divergence visible here too.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "support/table.hpp"
+#include "sweep/sweep.hpp"
+
+namespace {
+
+using namespace apcc;
+
+const core::CodeCompressionSystem& sweep_system() {
+  static const auto* system = new core::CodeCompressionSystem(
+      core::CodeCompressionSystem::from_workload(
+          bench::cached_workload(workloads::WorkloadKind::kGsmLike)));
+  return *system;
+}
+
+/// The fig3-style grid: every decompression strategy x a k sweep x
+/// {unbounded, tight} budget x {first, best} fit.
+std::vector<sweep::SweepTask> make_grid() {
+  const auto& workload =
+      bench::cached_workload(workloads::WorkloadKind::kGsmLike);
+  std::uint64_t largest = 0;
+  for (const auto b : workload.trace) {
+    largest = std::max(largest, workload.cfg.block(b).size_bytes());
+  }
+  std::vector<sweep::SweepTask> tasks;
+  for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
+                              runtime::DecompressionStrategy::kPreAll,
+                              runtime::DecompressionStrategy::kPreSingle}) {
+    for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      for (const bool tight_budget : {false, true}) {
+        for (const auto fit :
+             {memory::FitPolicy::kFirstFit, memory::FitPolicy::kBestFit}) {
+          sweep::SweepTask task;
+          task.config = sweep_system().engine_config();
+          task.config.policy.strategy = strategy;
+          task.config.policy.compress_k = k;
+          task.config.policy.predecompress_k = k;
+          task.config.fit = fit;
+          if (tight_budget) {
+            task.config.policy.memory_budget = largest * 3 + 32;
+          }
+          task.label = std::string(runtime::strategy_name(strategy)) +
+                       "/k=" + std::to_string(k) +
+                       (tight_budget ? "/tight" : "/unbounded") +
+                       (fit == memory::FitPolicy::kBestFit ? "/best-fit"
+                                                           : "/first-fit");
+          tasks.push_back(std::move(task));
+        }
+      }
+    }
+  }
+  return tasks;
+}
+
+/// Order-sensitive digest of the grid outcomes: any divergence between
+/// worker counts (ordering, dropped task, differing counters) changes it.
+std::uint64_t grid_checksum(const std::vector<sweep::SweepOutcome>& outcomes) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& o : outcomes) {
+    mix(o.index);
+    mix(o.result.total_cycles);
+    mix(o.result.exceptions);
+    mix(o.result.predecompressions);
+    mix(o.result.evictions);
+    mix(o.result.peak_occupancy_bytes);
+  }
+  return h;
+}
+
+void print_tables() {
+  bench::print_header(
+      "Sweep scaling",
+      "sharded policy-grid sweep (fig3-style grid, gsm-like workload)\n"
+      "wall clock and speedup vs a 1-worker sequential grid");
+  const auto tasks = make_grid();
+  std::cout << "hardware threads: " << std::thread::hardware_concurrency()
+            << " (speedup saturates there; on one vCPU the pool can only\n"
+               "add scheduling overhead, so expect ~1.0 or slightly below)\n\n";
+
+  TextTable table;
+  table.row()
+      .cell("workers")
+      .cell("tasks")
+      .cell("wall ms")
+      .cell("speedup")
+      .cell("checksum");
+  double sequential_ms = 0.0;
+  for (const unsigned workers : {1u, 2u, 4u, 8u}) {
+    sweep::SweepOptions options;
+    options.workers = workers;
+    const auto start = std::chrono::steady_clock::now();
+    const auto outcomes = sweep_system().run_sweep(tasks, options);
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (workers == 1) sequential_ms = elapsed.count();
+    char checksum[32];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(grid_checksum(outcomes)));
+    table.row()
+        .cell(std::uint64_t{workers})
+        .cell(std::uint64_t{outcomes.size()})
+        .cell(elapsed.count(), 1)
+        .cell(sequential_ms > 0 ? sequential_ms / elapsed.count() : 1.0, 2)
+        .cell(checksum);
+  }
+  std::cout << table.render() << '\n';
+  std::cout << "Shape check: identical checksums across worker counts\n"
+               "(deterministic sharding), speedup approaching the worker\n"
+               "count until the grid runs out of tasks per worker.\n\n";
+}
+
+void bm_sweep_grid(benchmark::State& state) {
+  const auto tasks = make_grid();
+  sweep::SweepOptions options;
+  options.workers = static_cast<unsigned>(state.range(0));
+  std::uint64_t grid_points = 0;
+  for (auto _ : state) {
+    const auto outcomes = sweep_system().run_sweep(tasks, options);
+    benchmark::DoNotOptimize(outcomes.data());
+    grid_points += outcomes.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(grid_points));
+  state.SetLabel(std::to_string(options.workers) + "-worker");
+}
+BENCHMARK(bm_sweep_grid)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+APCC_BENCH_MAIN(print_tables)

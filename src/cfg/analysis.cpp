@@ -145,23 +145,22 @@ std::vector<unsigned> loop_depths(const Cfg& cfg) {
   return depth;
 }
 
-std::vector<BlockId> frontier_within(const Cfg& cfg, BlockId from,
+namespace {
+
+/// Shared BFS for the exit-of-`from` metric: every block's minimum edge
+/// count from the exit of `from`, bounded to depth `k` (UINT_MAX for
+/// unbounded). Direct successors seed at distance 1, so `from` itself
+/// only gets a distance if a cycle returns to it -- the shortest cycle
+/// length. dist[b] == UINT_MAX means "not reachable within k".
+std::vector<unsigned> exit_distances(const Cfg& cfg, BlockId from,
                                      unsigned k) {
-  APCC_CHECK(from < cfg.block_count(), "block id out of range");
-  std::vector<BlockId> result;
-  if (k == 0) return result;
-  // BFS bounded to depth k. `from` enters the result only if re-reached.
   std::vector<unsigned> dist(cfg.block_count(), UINT_MAX);
+  if (k == 0) return dist;
   std::deque<BlockId> queue;
-  std::set<BlockId> reached;
-  // Seed with direct successors at distance 1.
   for (const BlockId s : cfg.successor_ids(from)) {
     if (dist[s] == UINT_MAX) {
       dist[s] = 1;
       queue.push_back(s);
-      reached.insert(s);
-    } else if (s == from) {
-      reached.insert(s);  // self-loop
     }
   }
   while (!queue.empty()) {
@@ -172,20 +171,43 @@ std::vector<BlockId> frontier_within(const Cfg& cfg, BlockId from,
       if (dist[s] == UINT_MAX) {
         dist[s] = dist[b] + 1;
         queue.push_back(s);
-        reached.insert(s);
-      } else {
-        reached.insert(s);  // already seen; still within k via this path
       }
     }
   }
-  // `reached` may contain blocks first seen beyond k through the final
-  // relaxation; filter by recorded distance.
-  for (const BlockId b : reached) {
-    if (dist[b] != UINT_MAX && dist[b] <= k) {
-      result.push_back(b);
-    }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<BlockId> frontier_within(const Cfg& cfg, BlockId from,
+                                     unsigned k) {
+  APCC_CHECK(from < cfg.block_count(), "block id out of range");
+  std::vector<BlockId> result;
+  if (k == 0) return result;
+  // BFS bounded to depth k; `dist` records membership directly, so the
+  // id-ordered sweep below yields the sorted frontier. `from` enters the
+  // result only if re-reached through a cycle of length <= k.
+  const std::vector<unsigned> dist = exit_distances(cfg, from, k);
+  for (BlockId b = 0; b < cfg.block_count(); ++b) {
+    if (dist[b] != UINT_MAX) result.push_back(b);
   }
-  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<FrontierEntry> frontier_distances(const Cfg& cfg, BlockId from,
+                                              unsigned k) {
+  APCC_CHECK(from < cfg.block_count(), "block id out of range");
+  std::vector<FrontierEntry> result;
+  if (k == 0) return result;
+  const std::vector<unsigned> dist = exit_distances(cfg, from, k);
+  for (BlockId b = 0; b < cfg.block_count(); ++b) {
+    if (dist[b] != UINT_MAX) result.push_back(FrontierEntry{b, dist[b]});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const FrontierEntry& a, const FrontierEntry& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.block < b.block;
+            });
   return result;
 }
 
@@ -193,11 +215,18 @@ std::optional<unsigned> edge_distance(const Cfg& cfg, BlockId from,
                                       BlockId to) {
   APCC_CHECK(from < cfg.block_count() && to < cfg.block_count(),
              "block id out of range");
-  if (from == to) return 0u;
+  // Seeding from the successors (distance 1) makes from == to mean "the
+  // shortest cycle through `from`", matching frontier_within's view of
+  // self-reachability instead of the old hard-coded 0.
   std::vector<unsigned> dist(cfg.block_count(), UINT_MAX);
   std::deque<BlockId> queue;
-  dist[from] = 0;
-  queue.push_back(from);
+  for (const BlockId s : cfg.successor_ids(from)) {
+    if (dist[s] == UINT_MAX) {
+      dist[s] = 1;
+      if (s == to) return dist[s];
+      queue.push_back(s);
+    }
+  }
   while (!queue.empty()) {
     const BlockId b = queue.front();
     queue.pop_front();

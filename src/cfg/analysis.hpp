@@ -48,8 +48,25 @@ struct NaturalLoop {
 [[nodiscard]] std::vector<BlockId> frontier_within(const Cfg& cfg,
                                                    BlockId from, unsigned k);
 
-/// Minimum number of edges on a path from `from` to `to`; nullopt if
-/// unreachable. Distance 0 means from == to.
+/// A frontier block together with its distance from the exit of the
+/// query block (the number of edges on the shortest path, in [1, k]).
+struct FrontierEntry {
+  BlockId block = kInvalidBlock;
+  unsigned distance = 0;
+};
+
+/// `frontier_within` plus each block's edge distance, from one bounded
+/// BFS, sorted by (distance, id) -- the planner's request order. The
+/// blocks are exactly frontier_within(cfg, from, k), and each distance
+/// equals edge_distance(cfg, from, block).
+[[nodiscard]] std::vector<FrontierEntry> frontier_distances(const Cfg& cfg,
+                                                            BlockId from,
+                                                            unsigned k);
+
+/// Minimum number of edges on a non-empty path from `from` to `to`;
+/// nullopt if unreachable. For from == to this is the shortest cycle
+/// through `from` (nullopt when no cycle returns to it), consistent with
+/// frontier_within's treatment of self-reachability.
 [[nodiscard]] std::optional<unsigned> edge_distance(const Cfg& cfg,
                                                     BlockId from, BlockId to);
 

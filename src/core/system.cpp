@@ -38,18 +38,36 @@ sim::RunResult CodeCompressionSystem::run() const {
   return run(default_trace_);
 }
 
+sim::EngineConfig CodeCompressionSystem::engine_config() const {
+  return sim::EngineConfig{config_.policy, config_.costs, config_.fit,
+                           config_.reference_scans,
+                           config_.reference_frontiers};
+}
+
 sim::RunResult CodeCompressionSystem::run(const cfg::BlockTrace& trace) const {
-  sim::EngineConfig ec{config_.policy, config_.costs, config_.fit};
-  sim::Engine engine(cfg_, *image_, ec);
+  sim::Engine engine(cfg_, *image_, engine_config());
   return engine.run(trace);
 }
 
 sim::RunResult CodeCompressionSystem::run_with_events(
     const cfg::BlockTrace& trace, sim::EventSink sink) const {
-  sim::EngineConfig ec{config_.policy, config_.costs, config_.fit};
-  sim::Engine engine(cfg_, *image_, ec);
+  sim::Engine engine(cfg_, *image_, engine_config());
   engine.set_event_sink(std::move(sink));
   return engine.run(trace);
+}
+
+std::vector<sweep::SweepOutcome> CodeCompressionSystem::run_sweep(
+    const std::vector<sweep::SweepTask>& tasks,
+    const sweep::SweepOptions& options) const {
+  APCC_CHECK(!default_trace_.empty(),
+             "no default trace; pass one to run_sweep(trace, tasks)");
+  return run_sweep(default_trace_, tasks, options);
+}
+
+std::vector<sweep::SweepOutcome> CodeCompressionSystem::run_sweep(
+    const cfg::BlockTrace& trace, const std::vector<sweep::SweepTask>& tasks,
+    const sweep::SweepOptions& options) const {
+  return sweep::run_sweep(cfg_, *image_, trace, tasks, options);
 }
 
 std::uint64_t CodeCompressionSystem::compressed_image_bytes() const {

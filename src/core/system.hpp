@@ -21,6 +21,7 @@
 #include "cfg/cfg.hpp"
 #include "runtime/block_image.hpp"
 #include "sim/engine.hpp"
+#include "sweep/sweep.hpp"
 #include "workloads/suite.hpp"
 
 namespace apcc::core {
@@ -31,6 +32,9 @@ struct SystemConfig {
   runtime::Policy policy{};
   runtime::CostModel costs{};
   memory::FitPolicy fit = memory::FitPolicy::kFirstFit;
+  /// Debug cross-check paths (see sim::EngineConfig).
+  bool reference_scans = false;
+  bool reference_frontiers = false;
 };
 
 class CodeCompressionSystem {
@@ -55,6 +59,23 @@ class CodeCompressionSystem {
   /// Like run(), but streaming engine events into `sink`.
   [[nodiscard]] sim::RunResult run_with_events(const cfg::BlockTrace& trace,
                                                sim::EventSink sink) const;
+
+  /// Run a policy grid over this system's image and default trace,
+  /// sharded across worker threads (sweep::run_sweep). Every task shares
+  /// the immutable image; outcomes come back in task order, identical to
+  /// running the grid sequentially.
+  [[nodiscard]] std::vector<sweep::SweepOutcome> run_sweep(
+      const std::vector<sweep::SweepTask>& tasks,
+      const sweep::SweepOptions& options = {}) const;
+
+  /// Same, over an explicit trace.
+  [[nodiscard]] std::vector<sweep::SweepOutcome> run_sweep(
+      const cfg::BlockTrace& trace, const std::vector<sweep::SweepTask>& tasks,
+      const sweep::SweepOptions& options = {}) const;
+
+  /// The engine knob subset of this system's config, the starting point
+  /// for building SweepTasks that vary one policy axis at a time.
+  [[nodiscard]] sim::EngineConfig engine_config() const;
 
   [[nodiscard]] const cfg::Cfg& cfg() const { return cfg_; }
   [[nodiscard]] const runtime::BlockImage& image() const { return *image_; }

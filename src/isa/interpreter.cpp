@@ -1,5 +1,7 @@
 #include "isa/interpreter.hpp"
 
+#include <limits>
+
 #include "support/assert.hpp"
 
 namespace apcc::isa {
@@ -71,10 +73,14 @@ bool Interpreter::step() {
   const std::int32_t a = reg(inst.rs1);
   const std::int32_t b = reg(inst.rs2);
   auto ua = static_cast<std::uint32_t>(a);
+  auto ub = static_cast<std::uint32_t>(b);
+  // Add/sub/mul wrap modulo 2^32 like the modelled hardware; doing them
+  // in unsigned keeps the wrap defined (signed overflow is UB).
+  auto wrap = [](std::uint32_t v) { return static_cast<std::int32_t>(v); };
 
   switch (inst.opcode) {
-    case Opcode::kAdd: set_reg(inst.rd, a + b); break;
-    case Opcode::kSub: set_reg(inst.rd, a - b); break;
+    case Opcode::kAdd: set_reg(inst.rd, wrap(ua + ub)); break;
+    case Opcode::kSub: set_reg(inst.rd, wrap(ua - ub)); break;
     case Opcode::kAnd: set_reg(inst.rd, a & b); break;
     case Opcode::kOr: set_reg(inst.rd, a | b); break;
     case Opcode::kXor: set_reg(inst.rd, a ^ b); break;
@@ -89,14 +95,23 @@ bool Interpreter::step() {
     case Opcode::kSra:
       set_reg(inst.rd, a >> (static_cast<std::uint32_t>(b) & 31u));
       break;
-    case Opcode::kMul: set_reg(inst.rd, a * b); break;
+    case Opcode::kMul: set_reg(inst.rd, wrap(ua * ub)); break;
     case Opcode::kDiv:
       // Division by zero is defined as zero: embedded targets often trap,
       // but a deterministic value keeps synthetic workloads total.
-      set_reg(inst.rd, b == 0 ? 0 : a / b);
+      // INT_MIN / -1 overflows in hardware too; define it as wrapping.
+      if (b == 0) {
+        set_reg(inst.rd, 0);
+      } else if (a == std::numeric_limits<std::int32_t>::min() && b == -1) {
+        set_reg(inst.rd, a);
+      } else {
+        set_reg(inst.rd, a / b);
+      }
       break;
     case Opcode::kSlt: set_reg(inst.rd, a < b ? 1 : 0); break;
-    case Opcode::kAddi: set_reg(inst.rd, a + inst.imm); break;
+    case Opcode::kAddi:
+      set_reg(inst.rd, wrap(ua + static_cast<std::uint32_t>(inst.imm)));
+      break;
     case Opcode::kAndi: set_reg(inst.rd, a & inst.imm); break;
     case Opcode::kOri: set_reg(inst.rd, a | inst.imm); break;
     case Opcode::kXori: set_reg(inst.rd, a ^ inst.imm); break;

@@ -1,0 +1,45 @@
+// Memoized k-edge frontiers for the decompression planner.
+//
+// The planner's candidate set at a block exit -- every block within k
+// edges of the exit, with its minimum edge distance -- is static given
+// (CFG, predecompress_k). The seed re-ran a bounded BFS per frontier
+// block per exit; this cache computes each block's candidate list once
+// (lazily, on the first exit of that block) and hands out a span the
+// planner filters by the *dynamic* part of the query, the current
+// BlockForm. Entries are pre-sorted by (distance, id), the planner's
+// request order, so the filter preserves ordering for free.
+//
+// The cache is not thread-safe: it is owned by one DecompressionPlanner,
+// which is owned by one Engine, and engines are single-threaded. Sharded
+// sweeps (sweep::run_sweep) give every worker its own Engine and thus
+// its own cache.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cfg/analysis.hpp"
+
+namespace apcc::runtime {
+
+class FrontierCache {
+ public:
+  FrontierCache(const cfg::Cfg& cfg, unsigned k);
+
+  /// Candidate list for the exit of `block`: every block within k edges,
+  /// with its distance, sorted by (distance, id). Computed on first use,
+  /// O(1) afterwards. The span stays valid for the cache's lifetime.
+  [[nodiscard]] std::span<const cfg::FrontierEntry> candidates(
+      cfg::BlockId block) const;
+
+  [[nodiscard]] unsigned k() const { return k_; }
+
+ private:
+  const cfg::Cfg& cfg_;
+  unsigned k_;
+  // Lazily filled; entries_[b] is meaningful only once computed_[b].
+  mutable std::vector<std::vector<cfg::FrontierEntry>> entries_;
+  mutable std::vector<bool> computed_;
+};
+
+}  // namespace apcc::runtime

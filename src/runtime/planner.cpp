@@ -1,6 +1,7 @@
 #include "runtime/planner.hpp"
 
 #include <algorithm>
+#include <climits>
 
 #include "support/assert.hpp"
 
@@ -9,14 +10,34 @@ namespace apcc::runtime {
 DecompressionPlanner::DecompressionPlanner(const cfg::Cfg& cfg,
                                            const StateTable& states,
                                            const Policy& policy,
-                                           const Predictor* predictor)
-    : cfg_(cfg), states_(states), policy_(policy), predictor_(predictor) {
+                                           const Predictor* predictor,
+                                           bool reference_frontiers)
+    : cfg_(cfg),
+      states_(states),
+      policy_(policy),
+      predictor_(predictor),
+      reference_frontiers_(reference_frontiers),
+      frontiers_(cfg, policy.predecompress_k) {
   if (policy_.strategy == DecompressionStrategy::kPreSingle) {
     APCC_CHECK(predictor_ != nullptr, "pre-single requires a predictor");
   }
 }
 
 std::vector<cfg::BlockId> DecompressionPlanner::compressed_frontier(
+    cfg::BlockId block) const {
+  if (reference_frontiers_) return compressed_frontier_reference(block);
+  // The cached candidates are already sorted by (distance, id); keeping
+  // only the compressed ones preserves that order.
+  std::vector<cfg::BlockId> out;
+  for (const cfg::FrontierEntry& c : frontiers_.candidates(block)) {
+    if (states_[c.block].form() == BlockForm::kCompressed) {
+      out.push_back(c.block);
+    }
+  }
+  return out;
+}
+
+std::vector<cfg::BlockId> DecompressionPlanner::compressed_frontier_reference(
     cfg::BlockId block) const {
   const auto frontier =
       cfg::frontier_within(cfg_, block, policy_.predecompress_k);

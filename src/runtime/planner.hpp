@@ -5,9 +5,18 @@
 // "when the execution thread exits basic block B1, the decompression
 // thread starts decompressing B7") and emits an ordered request list for
 // the decompression helper.
+//
+// The candidate geometry (which blocks are within k edges, and how far)
+// is static given the CFG, so it comes from a per-block FrontierCache;
+// each exit only filters the cached list by the dynamic BlockForm. The
+// seed's per-exit BFS (frontier_within + edge_distance per candidate)
+// is kept behind `reference_frontiers` as the debug cross-check path,
+// mirroring EngineConfig::reference_scans; both paths produce identical
+// request lists and the differential tests pin that.
 #pragma once
 
 #include "cfg/analysis.hpp"
+#include "runtime/frontier_cache.hpp"
 #include "runtime/policy.hpp"
 #include "runtime/predictor.hpp"
 #include "runtime/state.hpp"
@@ -16,9 +25,12 @@ namespace apcc::runtime {
 
 class DecompressionPlanner {
  public:
-  /// `predictor` may be null unless the strategy is kPreSingle.
+  /// `predictor` may be null unless the strategy is kPreSingle. With
+  /// `reference_frontiers` the planner re-runs the bounded BFS on every
+  /// exit instead of reading the memoized FrontierCache.
   DecompressionPlanner(const cfg::Cfg& cfg, const StateTable& states,
-                       const Policy& policy, const Predictor* predictor);
+                       const Policy& policy, const Predictor* predictor,
+                       bool reference_frontiers = false);
 
   /// Called when the execution thread exits `block` (trace position
   /// `trace_index`). Returns the blocks to request, nearest-first, all
@@ -32,10 +44,17 @@ class DecompressionPlanner {
   [[nodiscard]] std::vector<cfg::BlockId> compressed_frontier(
       cfg::BlockId block) const;
 
+  /// The pre-cache implementation: one frontier BFS plus one edge-
+  /// distance BFS per compressed candidate, every call.
+  [[nodiscard]] std::vector<cfg::BlockId> compressed_frontier_reference(
+      cfg::BlockId block) const;
+
   const cfg::Cfg& cfg_;
   const StateTable& states_;
   Policy policy_;
   const Predictor* predictor_;
+  bool reference_frontiers_;
+  FrontierCache frontiers_;
 };
 
 }  // namespace apcc::runtime

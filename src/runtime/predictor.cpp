@@ -1,6 +1,7 @@
 #include "runtime/predictor.hpp"
 
 #include <algorithm>
+#include <climits>
 
 #include "support/assert.hpp"
 
@@ -52,20 +53,29 @@ cfg::BlockId ProfilePredictor::predict(
 }
 
 StaticPredictor::StaticPredictor(const cfg::Cfg& cfg, std::uint32_t k)
-    : cfg_(cfg), k_(k), loop_depth_(cfg::loop_depths(cfg)) {}
+    : cfg_(cfg),
+      k_(k),
+      loop_depth_(cfg::loop_depths(cfg)),
+      frontiers_(cfg, k) {}
 
 cfg::BlockId StaticPredictor::predict(
     cfg::BlockId from, const std::vector<cfg::BlockId>& candidates,
     std::size_t /*trace_index*/) const {
   APCC_CHECK(!candidates.empty(), "predict() needs candidates");
+  const auto frontier = frontiers_.candidates(from);
+  const auto distance_of = [&frontier](cfg::BlockId c) {
+    for (const cfg::FrontierEntry& e : frontier) {
+      if (e.block == c) return e.distance;
+    }
+    return UINT_MAX;  // outside the frontier: rank as unreachable
+  };
   cfg::BlockId best = candidates.front();
   unsigned best_depth = 0;
   unsigned best_dist = UINT_MAX;
   bool first = true;
   for (const cfg::BlockId c : candidates) {
     const unsigned depth = loop_depth_[c];
-    const auto dist = cfg::edge_distance(cfg_, from, c);
-    const unsigned d = dist.value_or(UINT_MAX);
+    const unsigned d = distance_of(c);
     const bool better = first || depth > best_depth ||
                         (depth == best_depth && d < best_dist) ||
                         (depth == best_depth && d == best_dist && c < best);
@@ -76,7 +86,6 @@ cfg::BlockId StaticPredictor::predict(
       first = false;
     }
   }
-  (void)k_;
   return best;
 }
 

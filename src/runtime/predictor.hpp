@@ -17,6 +17,7 @@
 #include "cfg/analysis.hpp"
 #include "cfg/cfg.hpp"
 #include "cfg/trace.hpp"
+#include "runtime/frontier_cache.hpp"
 #include "runtime/policy.hpp"
 
 namespace apcc::runtime {
@@ -53,7 +54,11 @@ class ProfilePredictor final : public Predictor {
   std::uint32_t k_;
 };
 
-/// Structural heuristic predictor.
+/// Structural heuristic predictor. Candidate distances come from the
+/// same memoized FrontierCache the planner uses (one bounded BFS per
+/// exit block, ever) instead of one edge_distance BFS per candidate per
+/// exit; a candidate outside the k-edge frontier of `from` (out of
+/// predict()'s contract) ranks as unreachable.
 class StaticPredictor final : public Predictor {
  public:
   StaticPredictor(const cfg::Cfg& cfg, std::uint32_t k);
@@ -69,6 +74,7 @@ class StaticPredictor final : public Predictor {
   const cfg::Cfg& cfg_;
   std::uint32_t k_;
   std::vector<unsigned> loop_depth_;
+  FrontierCache frontiers_;
 };
 
 /// Oracle predictor: picks the candidate that the trace actually reaches

@@ -422,7 +422,8 @@ RunResult Engine::run(const cfg::BlockTrace& trace) {
   predictor_ = runtime::make_predictor(config_.policy.predictor, cfg_,
                                        config_.policy.predecompress_k, trace);
   planner_ = std::make_unique<runtime::DecompressionPlanner>(
-      cfg_, *states_, config_.policy, predictor_.get());
+      cfg_, *states_, config_.policy, predictor_.get(),
+      config_.reference_frontiers);
   extra_.assign(cfg_.block_count(), ExtraBlockInfo{});
 
   result_.original_image_bytes = layout_->original_image_bytes();

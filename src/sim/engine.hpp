@@ -75,6 +75,10 @@ struct EngineConfig {
   /// indexed structures. Both paths produce bit-identical RunResults and
   /// event streams; the differential test pins that.
   bool reference_scans = false;
+  /// Debug: have the planner re-run the per-exit frontier BFS instead of
+  /// reading the memoized FrontierCache. Same bit-identical guarantee,
+  /// pinned by the same differential test.
+  bool reference_frontiers = false;
 };
 
 /// Simulates one trace against one compressed image. Engines are

@@ -165,12 +165,98 @@ TEST(Frontier, ExitBlockHasEmptyFrontier) {
   EXPECT_TRUE(frontier_within(g, 4, 5).empty());
 }
 
+/// 0 -> 0 (self-loop), 0 -> 1 -> 2.
+Cfg self_loop_graph() {
+  Cfg g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_block(static_cast<std::uint32_t>(i * 4), 4);
+  }
+  g.add_edge(0, 0, EdgeKind::kBranchTaken);
+  g.add_edge(0, 1, EdgeKind::kFallThrough);
+  g.add_edge(1, 2, EdgeKind::kFallThrough);
+  g.normalize_probabilities();
+  return g;
+}
+
+/// 0 -> {1, 2} -> 3 with an unreachable block 4.
+Cfg diamond_graph() {
+  Cfg g;
+  for (int i = 0; i < 5; ++i) {
+    g.add_block(static_cast<std::uint32_t>(i * 4), 4);
+  }
+  g.add_edge(0, 1, EdgeKind::kFallThrough);
+  g.add_edge(0, 2, EdgeKind::kBranchTaken);
+  g.add_edge(1, 3, EdgeKind::kJump);
+  g.add_edge(2, 3, EdgeKind::kJump);
+  g.normalize_probabilities();
+  return g;
+}
+
+TEST(Frontier, SelfLoopGraphPinned) {
+  const Cfg g = self_loop_graph();
+  EXPECT_EQ(frontier_within(g, 0, 1), (std::vector<BlockId>{0, 1}));
+  EXPECT_EQ(frontier_within(g, 0, 2), (std::vector<BlockId>{0, 1, 2}));
+  EXPECT_EQ(frontier_within(g, 1, 2), (std::vector<BlockId>{2}));
+}
+
+TEST(Frontier, DiamondGraphPinned) {
+  const Cfg g = diamond_graph();
+  EXPECT_EQ(frontier_within(g, 0, 1), (std::vector<BlockId>{1, 2}));
+  EXPECT_EQ(frontier_within(g, 0, 2), (std::vector<BlockId>{1, 2, 3}));
+  EXPECT_EQ(frontier_within(g, 0, 8), (std::vector<BlockId>{1, 2, 3}))
+      << "unreachable block 4 never enters the frontier";
+  EXPECT_TRUE(frontier_within(g, 4, 8).empty());
+}
+
+TEST(FrontierDistances, MatchFrontierAndEdgeDistance) {
+  for (const Cfg& g :
+       {loop_graph(), self_loop_graph(), diamond_graph(), figure2_cfg()}) {
+    for (BlockId from = 0; from < g.block_count(); ++from) {
+      for (const unsigned k : {0u, 1u, 2u, 3u, 8u}) {
+        const auto entries = frontier_distances(g, from, k);
+        std::vector<BlockId> blocks;
+        for (const auto& e : entries) blocks.push_back(e.block);
+        std::sort(blocks.begin(), blocks.end());
+        EXPECT_EQ(blocks, frontier_within(g, from, k));
+        for (const auto& e : entries) {
+          EXPECT_EQ(e.distance, edge_distance(g, from, e.block).value());
+          EXPECT_GE(e.distance, 1u);
+          EXPECT_LE(e.distance, k);
+        }
+        // Sorted by (distance, id): the planner's request order.
+        for (std::size_t i = 1; i < entries.size(); ++i) {
+          const auto& a = entries[i - 1];
+          const auto& b = entries[i];
+          EXPECT_TRUE(a.distance < b.distance ||
+                      (a.distance == b.distance && a.block < b.block));
+        }
+      }
+    }
+  }
+}
+
 TEST(EdgeDistance, BasicDistances) {
   const Cfg g = loop_graph();
-  EXPECT_EQ(edge_distance(g, 0, 0).value(), 0u);
   EXPECT_EQ(edge_distance(g, 0, 1).value(), 1u);
   EXPECT_EQ(edge_distance(g, 0, 3).value(), 3u);
   EXPECT_EQ(edge_distance(g, 3, 0), std::nullopt);
+}
+
+TEST(EdgeDistance, SelfDistanceIsShortestCycle) {
+  const Cfg g = loop_graph();
+  // 1 -> 2 -> 1 is the shortest cycle through 1 and 2.
+  EXPECT_EQ(edge_distance(g, 1, 1).value(), 2u);
+  EXPECT_EQ(edge_distance(g, 2, 2).value(), 2u);
+  // No cycle returns to 0, 3 or 4.
+  EXPECT_EQ(edge_distance(g, 0, 0), std::nullopt);
+  EXPECT_EQ(edge_distance(g, 3, 3), std::nullopt);
+  EXPECT_EQ(edge_distance(g, 4, 4), std::nullopt);
+}
+
+TEST(EdgeDistance, SelfLoopDistanceIsOne) {
+  const Cfg g = self_loop_graph();
+  EXPECT_EQ(edge_distance(g, 0, 0).value(), 1u);
+  EXPECT_EQ(edge_distance(g, 1, 1), std::nullopt);
 }
 
 TEST(EdgeDistance, Figure2B1ToB7IsExactlyThree) {

@@ -134,5 +134,98 @@ TEST(Planner, PreSingleEmptyWhenFrontierClear) {
   EXPECT_TRUE(planner.plan_on_exit(0, 0).empty());
 }
 
+TEST(Planner, SelfCycleSortsAtCycleLengthNotZero) {
+  // Regression: edge_distance(b, b) used to return 0, so a compressed
+  // block re-reached through a cycle sorted ahead of genuinely nearer
+  // successors. Graph: 0 -> {1, 2}, 1 -> 0; exiting 0 with k=2 the
+  // frontier is {1@1, 2@1, 0@2} and 0 must come LAST.
+  cfg::Cfg g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_block(static_cast<std::uint32_t>(i * 4), 4);
+  }
+  g.add_edge(0, 1, cfg::EdgeKind::kFallThrough);
+  g.add_edge(0, 2, cfg::EdgeKind::kBranchTaken);
+  g.add_edge(1, 0, cfg::EdgeKind::kJump);
+  g.normalize_probabilities();
+  StateTable states = all_compressed(g);
+  for (const bool reference : {false, true}) {
+    const DecompressionPlanner planner(g, states, pre_all(2), nullptr,
+                                       reference);
+    EXPECT_EQ(planner.plan_on_exit(0, 0),
+              (std::vector<cfg::BlockId>{1, 2, 0}))
+        << (reference ? "reference" : "memoized") << " planner order";
+  }
+}
+
+TEST(Planner, SelfLoopSortsAtDistanceOne) {
+  // A literal self-loop is a cycle of length 1: it ties with the direct
+  // successors and the id tie-break applies, instead of jumping the queue
+  // at the old distance 0.
+  cfg::Cfg g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_block(static_cast<std::uint32_t>(i * 4), 4);
+  }
+  g.add_edge(1, 1, cfg::EdgeKind::kBranchTaken);
+  g.add_edge(1, 0, cfg::EdgeKind::kFallThrough);
+  g.add_edge(1, 2, cfg::EdgeKind::kJump);
+  g.normalize_probabilities();
+  StateTable states = all_compressed(g);
+  for (const bool reference : {false, true}) {
+    const DecompressionPlanner planner(g, states, pre_all(1), nullptr,
+                                       reference);
+    EXPECT_EQ(planner.plan_on_exit(1, 0),
+              (std::vector<cfg::BlockId>{0, 1, 2}))
+        << (reference ? "reference" : "memoized") << " planner order";
+  }
+}
+
+TEST(Planner, MemoizedMatchesReferenceAcrossFormsAndK) {
+  // Differential: the FrontierCache path must emit exactly the reference
+  // BFS path's request list for every exit block, k, and a spread of
+  // dynamic BlockForm assignments.
+  for (const cfg::Cfg& g : {cfg::figure2_cfg(), cfg::figure5_cfg(),
+                            cfg::figure1_cfg()}) {
+    for (const std::uint32_t k : {1u, 2u, 3u, 4u, 8u}) {
+      for (const unsigned pattern : {0u, 1u, 2u, 3u}) {
+        StateTable states(g.block_count());
+        for (cfg::BlockId b = 0; b < g.block_count(); ++b) {
+          // Deterministic mixed forms: compressed / decompressed /
+          // decompressing, shifted per pattern.
+          switch ((b + pattern) % 4) {
+            case 1: states.set_form(b, BlockForm::kDecompressed); break;
+            case 3: states.set_form(b, BlockForm::kDecompressing); break;
+            default: break;  // compressed
+          }
+        }
+        const DecompressionPlanner memoized(g, states, pre_all(k), nullptr,
+                                            /*reference_frontiers=*/false);
+        const DecompressionPlanner reference(g, states, pre_all(k), nullptr,
+                                             /*reference_frontiers=*/true);
+        for (cfg::BlockId b = 0; b < g.block_count(); ++b) {
+          EXPECT_EQ(memoized.plan_on_exit(b, 0), reference.plan_on_exit(b, 0))
+              << "exit block " << b << " k " << k << " pattern " << pattern;
+        }
+      }
+    }
+  }
+}
+
+TEST(Planner, MemoizedSeesFormChangesBetweenExits) {
+  // The cache memoizes geometry only; the dynamic form filter must see
+  // state changes made after construction.
+  const cfg::Cfg g = cfg::figure2_cfg();
+  StateTable states = all_compressed(g);
+  const DecompressionPlanner planner(g, states, pre_all(2), nullptr);
+  const auto before = planner.plan_on_exit(0, 0);
+  ASSERT_FALSE(before.empty());
+  for (const cfg::BlockId b : before) {
+    states.set_form(b, BlockForm::kDecompressed);
+  }
+  EXPECT_TRUE(planner.plan_on_exit(0, 0).empty());
+  states.set_form(before.front(), BlockForm::kCompressed);
+  EXPECT_EQ(planner.plan_on_exit(0, 0),
+            (std::vector<cfg::BlockId>{before.front()}));
+}
+
 }  // namespace
 }  // namespace apcc::runtime

@@ -3,10 +3,15 @@
 // The engine keeps two implementations of its per-step queries: the
 // pre-index O(B) full-table scans (EngineConfig::reference_scans, the
 // original shipping behaviour) and the indexed structures (ready-event
-// min-heap, ordered victim indexes, decompressed-id list). This test
-// runs a policy grid through both and asserts the RunResult counters
-// and the emitted event streams are bit-identical, so any divergence in
-// settle order, victim tie-breaking, or k-edge bookkeeping fails loudly.
+// min-heap, ordered victim indexes, decompressed-id list) -- and, since
+// the FrontierCache, two implementations of the planner's candidate
+// query (EngineConfig::reference_frontiers re-runs the per-exit BFS).
+// This test runs a policy grid through the full-reference engine
+// (both flags), the frontier-reference engine (BFS planner over indexed
+// scans), and the fully indexed+memoized engine, and asserts RunResult
+// counters and emitted event streams are bit-identical across all
+// three, so any divergence in settle order, victim tie-breaking, k-edge
+// bookkeeping, or planner request order fails loudly.
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -51,7 +56,13 @@ const runtime::BlockImage& image() {
 
 class EngineEquivalenceTest : public ::testing::TestWithParam<GridParam> {
  protected:
-  static EngineConfig config_for(const GridParam& p, bool reference) {
+  enum class Mode {
+    kReference,          // reference scans + reference frontier BFS
+    kReferenceFrontiers, // indexed scans, reference frontier BFS
+    kIndexed,            // indexed scans + memoized FrontierCache
+  };
+
+  static EngineConfig config_for(const GridParam& p, Mode mode) {
     EngineConfig config;
     config.policy.strategy = std::get<0>(p);
     config.policy.compress_k = std::get<1>(p);
@@ -67,62 +78,75 @@ class EngineEquivalenceTest : public ::testing::TestWithParam<GridParam> {
       }
       config.policy.memory_budget = largest * 3 + 32;
     }
-    config.reference_scans = reference;
+    config.reference_scans = (mode == Mode::kReference);
+    config.reference_frontiers = (mode != Mode::kIndexed);
     return config;
   }
 
-  Capture run(bool reference) {
+  Capture run(Mode mode) {
     Capture c;
-    Engine engine(workload().cfg, image(),
-                  config_for(GetParam(), reference));
+    Engine engine(workload().cfg, image(), config_for(GetParam(), mode));
     engine.set_event_sink(
         [&c](const Event& e) { c.events.push_back(e); });
     c.result = engine.run(workload().trace);
     return c;
   }
+
+  static void expect_same_result(const RunResult& a, const RunResult& b,
+                                 const char* what) {
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.total_cycles, b.total_cycles);
+    EXPECT_EQ(a.baseline_cycles, b.baseline_cycles);
+    EXPECT_EQ(a.busy_cycles, b.busy_cycles);
+    EXPECT_EQ(a.stall_cycles, b.stall_cycles);
+    EXPECT_EQ(a.exception_cycles, b.exception_cycles);
+    EXPECT_EQ(a.critical_decompress_cycles, b.critical_decompress_cycles);
+    EXPECT_EQ(a.patch_cycles, b.patch_cycles);
+    EXPECT_EQ(a.block_entries, b.block_entries);
+    EXPECT_EQ(a.exceptions, b.exceptions);
+    EXPECT_EQ(a.demand_decompressions, b.demand_decompressions);
+    EXPECT_EQ(a.predecompressions, b.predecompressions);
+    EXPECT_EQ(a.predecompress_hits, b.predecompress_hits);
+    EXPECT_EQ(a.predecompress_partial, b.predecompress_partial);
+    EXPECT_EQ(a.wasted_predecompressions, b.wasted_predecompressions);
+    EXPECT_EQ(a.deletions, b.deletions);
+    EXPECT_EQ(a.evictions, b.evictions);
+    EXPECT_EQ(a.patches, b.patches);
+    EXPECT_EQ(a.unpatches, b.unpatches);
+    EXPECT_EQ(a.dropped_requests, b.dropped_requests);
+    EXPECT_EQ(a.decomp_helper_busy_cycles, b.decomp_helper_busy_cycles);
+    EXPECT_EQ(a.comp_helper_busy_cycles, b.comp_helper_busy_cycles);
+    EXPECT_EQ(a.original_image_bytes, b.original_image_bytes);
+    EXPECT_EQ(a.compressed_area_bytes, b.compressed_area_bytes);
+    EXPECT_EQ(a.peak_occupancy_bytes, b.peak_occupancy_bytes);
+    EXPECT_EQ(a.avg_occupancy_bytes, b.avg_occupancy_bytes);
+  }
+
+  static void expect_same_events(const Capture& ref, const Capture& fast,
+                                 const char* what) {
+    ASSERT_EQ(ref.events.size(), fast.events.size()) << what;
+    for (std::size_t i = 0; i < ref.events.size(); ++i) {
+      ASSERT_TRUE(ref.events[i] == fast.events[i])
+          << what << ": event " << i << " diverged: reference "
+          << event_kind_name(ref.events[i].kind) << "@" << ref.events[i].time
+          << " block " << ref.events[i].block << " vs indexed "
+          << event_kind_name(fast.events[i].kind) << "@"
+          << fast.events[i].time << " block " << fast.events[i].block;
+    }
+  }
 };
 
 TEST_P(EngineEquivalenceTest, IndexedMatchesReferenceBitExactly) {
-  const Capture ref = run(/*reference=*/true);
-  const Capture fast = run(/*reference=*/false);
+  const Capture ref = run(Mode::kReference);
+  const Capture frontier_ref = run(Mode::kReferenceFrontiers);
+  const Capture fast = run(Mode::kIndexed);
 
-  const RunResult& a = ref.result;
-  const RunResult& b = fast.result;
-  EXPECT_EQ(a.total_cycles, b.total_cycles);
-  EXPECT_EQ(a.baseline_cycles, b.baseline_cycles);
-  EXPECT_EQ(a.busy_cycles, b.busy_cycles);
-  EXPECT_EQ(a.stall_cycles, b.stall_cycles);
-  EXPECT_EQ(a.exception_cycles, b.exception_cycles);
-  EXPECT_EQ(a.critical_decompress_cycles, b.critical_decompress_cycles);
-  EXPECT_EQ(a.patch_cycles, b.patch_cycles);
-  EXPECT_EQ(a.block_entries, b.block_entries);
-  EXPECT_EQ(a.exceptions, b.exceptions);
-  EXPECT_EQ(a.demand_decompressions, b.demand_decompressions);
-  EXPECT_EQ(a.predecompressions, b.predecompressions);
-  EXPECT_EQ(a.predecompress_hits, b.predecompress_hits);
-  EXPECT_EQ(a.predecompress_partial, b.predecompress_partial);
-  EXPECT_EQ(a.wasted_predecompressions, b.wasted_predecompressions);
-  EXPECT_EQ(a.deletions, b.deletions);
-  EXPECT_EQ(a.evictions, b.evictions);
-  EXPECT_EQ(a.patches, b.patches);
-  EXPECT_EQ(a.unpatches, b.unpatches);
-  EXPECT_EQ(a.dropped_requests, b.dropped_requests);
-  EXPECT_EQ(a.decomp_helper_busy_cycles, b.decomp_helper_busy_cycles);
-  EXPECT_EQ(a.comp_helper_busy_cycles, b.comp_helper_busy_cycles);
-  EXPECT_EQ(a.original_image_bytes, b.original_image_bytes);
-  EXPECT_EQ(a.compressed_area_bytes, b.compressed_area_bytes);
-  EXPECT_EQ(a.peak_occupancy_bytes, b.peak_occupancy_bytes);
-  EXPECT_EQ(a.avg_occupancy_bytes, b.avg_occupancy_bytes);
-
-  ASSERT_EQ(ref.events.size(), fast.events.size());
-  for (std::size_t i = 0; i < ref.events.size(); ++i) {
-    ASSERT_TRUE(ref.events[i] == fast.events[i])
-        << "event " << i << " diverged: reference "
-        << event_kind_name(ref.events[i].kind) << "@" << ref.events[i].time
-        << " block " << ref.events[i].block << " vs indexed "
-        << event_kind_name(fast.events[i].kind) << "@"
-        << fast.events[i].time << " block " << fast.events[i].block;
-  }
+  expect_same_result(ref.result, fast.result,
+                     "full-reference vs indexed counters");
+  expect_same_result(frontier_ref.result, fast.result,
+                     "reference-frontiers vs memoized counters");
+  expect_same_events(ref, fast, "full-reference vs indexed");
+  expect_same_events(frontier_ref, fast, "reference-frontiers vs memoized");
 }
 
 INSTANTIATE_TEST_SUITE_P(

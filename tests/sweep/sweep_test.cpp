@@ -1,0 +1,205 @@
+// Sharded sweep tests: the parallel policy-grid runner must be
+// byte-identical to the sequential grid, regardless of worker count,
+// and its sink/exception plumbing must behave.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/system.hpp"
+#include "support/assert.hpp"
+#include "sweep/sweep.hpp"
+#include "workloads/suite.hpp"
+
+namespace apcc::sweep {
+namespace {
+
+const core::CodeCompressionSystem& system_under_test() {
+  static const auto* system = new core::CodeCompressionSystem(
+      core::CodeCompressionSystem::from_workload(
+          workloads::make_workload(workloads::WorkloadKind::kGsmLike)));
+  return *system;
+}
+
+/// A mixed grid: every strategy, a k sweep, both budget modes, all
+/// victim policies -- enough variety that a sharding bug (dropped task,
+/// reordered results, crosstalk through shared state) shows up.
+std::vector<SweepTask> mixed_grid() {
+  const auto& system = system_under_test();
+  std::uint64_t largest = 0;
+  for (const auto b : system.default_trace()) {
+    largest = std::max(largest, system.cfg().block(b).size_bytes());
+  }
+  std::vector<SweepTask> tasks;
+  for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
+                              runtime::DecompressionStrategy::kPreAll,
+                              runtime::DecompressionStrategy::kPreSingle}) {
+    for (const std::uint32_t k : {1u, 4u, 16u}) {
+      for (const auto victim :
+           {runtime::VictimPolicy::kLru, runtime::VictimPolicy::kMru}) {
+        for (const bool tight : {false, true}) {
+          SweepTask task;
+          task.config = system.engine_config();
+          task.config.policy.strategy = strategy;
+          task.config.policy.compress_k = k;
+          task.config.policy.predecompress_k = 2;
+          task.config.policy.victim_policy = victim;
+          if (tight) task.config.policy.memory_budget = largest * 3 + 32;
+          task.label = std::string(runtime::strategy_name(strategy)) + "/k" +
+                       std::to_string(k) +
+                       runtime::victim_policy_name(victim) +
+                       (tight ? "/tight" : "/unbounded");
+          tasks.push_back(std::move(task));
+        }
+      }
+    }
+  }
+  return tasks;
+}
+
+void expect_identical(const SweepOutcome& a, const SweepOutcome& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.label, b.label);
+  const sim::RunResult& x = a.result;
+  const sim::RunResult& y = b.result;
+  EXPECT_EQ(x.total_cycles, y.total_cycles);
+  EXPECT_EQ(x.baseline_cycles, y.baseline_cycles);
+  EXPECT_EQ(x.busy_cycles, y.busy_cycles);
+  EXPECT_EQ(x.stall_cycles, y.stall_cycles);
+  EXPECT_EQ(x.exception_cycles, y.exception_cycles);
+  EXPECT_EQ(x.critical_decompress_cycles, y.critical_decompress_cycles);
+  EXPECT_EQ(x.patch_cycles, y.patch_cycles);
+  EXPECT_EQ(x.block_entries, y.block_entries);
+  EXPECT_EQ(x.exceptions, y.exceptions);
+  EXPECT_EQ(x.demand_decompressions, y.demand_decompressions);
+  EXPECT_EQ(x.predecompressions, y.predecompressions);
+  EXPECT_EQ(x.predecompress_hits, y.predecompress_hits);
+  EXPECT_EQ(x.predecompress_partial, y.predecompress_partial);
+  EXPECT_EQ(x.wasted_predecompressions, y.wasted_predecompressions);
+  EXPECT_EQ(x.deletions, y.deletions);
+  EXPECT_EQ(x.evictions, y.evictions);
+  EXPECT_EQ(x.patches, y.patches);
+  EXPECT_EQ(x.unpatches, y.unpatches);
+  EXPECT_EQ(x.dropped_requests, y.dropped_requests);
+  EXPECT_EQ(x.decomp_helper_busy_cycles, y.decomp_helper_busy_cycles);
+  EXPECT_EQ(x.comp_helper_busy_cycles, y.comp_helper_busy_cycles);
+  EXPECT_EQ(x.original_image_bytes, y.original_image_bytes);
+  EXPECT_EQ(x.compressed_area_bytes, y.compressed_area_bytes);
+  EXPECT_EQ(x.peak_occupancy_bytes, y.peak_occupancy_bytes);
+  EXPECT_EQ(x.avg_occupancy_bytes, y.avg_occupancy_bytes);
+  EXPECT_EQ(x.codec_ratio, y.codec_ratio);
+}
+
+TEST(Sweep, ParallelIdenticalToSequential) {
+  const auto tasks = mixed_grid();
+  SweepOptions sequential;
+  sequential.workers = 1;
+  const auto expected = system_under_test().run_sweep(tasks, sequential);
+  ASSERT_EQ(expected.size(), tasks.size());
+
+  for (const unsigned workers : {2u, 4u, 8u}) {
+    SweepOptions options;
+    options.workers = workers;
+    const auto got = system_under_test().run_sweep(tasks, options);
+    ASSERT_EQ(got.size(), expected.size()) << workers << " workers";
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_identical(expected[i], got[i]);
+    }
+  }
+}
+
+TEST(Sweep, OutcomesComeBackInTaskOrder) {
+  const auto tasks = mixed_grid();
+  SweepOptions options;
+  options.workers = 4;
+  const auto outcomes = system_under_test().run_sweep(tasks, options);
+  ASSERT_EQ(outcomes.size(), tasks.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].index, i);
+    EXPECT_EQ(outcomes[i].label, tasks[i].label);
+  }
+}
+
+TEST(Sweep, EmptyGridIsEmpty) {
+  EXPECT_TRUE(system_under_test().run_sweep({}).empty());
+}
+
+TEST(Sweep, MoreWorkersThanTasks) {
+  auto tasks = mixed_grid();
+  tasks.resize(3);
+  SweepOptions options;
+  options.workers = 16;
+  const auto outcomes = system_under_test().run_sweep(tasks, options);
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].index, i);
+  }
+}
+
+TEST(Sweep, ResolveWorkersClampsToTasks) {
+  SweepOptions options;
+  options.workers = 8;
+  EXPECT_EQ(resolve_workers(options, 3), 3u);
+  EXPECT_EQ(resolve_workers(options, 100), 8u);
+  options.workers = 0;
+  EXPECT_GE(resolve_workers(options, 100), 1u);
+  EXPECT_EQ(resolve_workers(options, 0), 1u);
+}
+
+TEST(Sweep, WorkerFailureRethrownOnCaller) {
+  auto tasks = mixed_grid();
+  ASSERT_GE(tasks.size(), 4u);
+  // A budget smaller than any executed block: the engine's placement
+  // loop finds no victim and no in-flight completion, and throws.
+  tasks[2].config.policy.memory_budget = 1;
+  for (const unsigned workers : {1u, 4u}) {
+    SweepOptions options;
+    options.workers = workers;
+    EXPECT_THROW(
+        { (void)system_under_test().run_sweep(tasks, options); },
+        apcc::CheckError)
+        << workers << " workers";
+  }
+}
+
+TEST(Sweep, ReferenceAndMemoizedEnginesAgreeUnderSharding) {
+  // The sweep is also how the reference/memoized differential scales
+  // out: the same grid with both debug flags on must match the indexed
+  // engines task for task.
+  auto tasks = mixed_grid();
+  tasks.resize(12);
+  auto reference_tasks = tasks;
+  for (auto& t : reference_tasks) {
+    t.config.reference_scans = true;
+    t.config.reference_frontiers = true;
+  }
+  SweepOptions options;
+  options.workers = 4;
+  const auto fast = system_under_test().run_sweep(tasks, options);
+  const auto ref = system_under_test().run_sweep(reference_tasks, options);
+  ASSERT_EQ(fast.size(), ref.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    expect_identical(ref[i], fast[i]);
+  }
+}
+
+TEST(ResultSinkTest, SortsByIndexAndDrains) {
+  ResultSink sink;
+  for (const std::size_t i : {3u, 0u, 2u, 1u}) {
+    SweepOutcome o;
+    o.index = i;
+    o.label = "t" + std::to_string(i);
+    sink.push(std::move(o));
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  const auto sorted = sink.take_sorted();
+  ASSERT_EQ(sorted.size(), 4u);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i].index, i);
+    EXPECT_EQ(sorted[i].label, "t" + std::to_string(i));
+  }
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_TRUE(sink.take_sorted().empty());
+}
+
+}  // namespace
+}  // namespace apcc::sweep

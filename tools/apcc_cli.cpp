@@ -5,9 +5,13 @@
 //   cfg <file.s>                 assemble; print the CFG as Graphviz DOT
 //   sim <file.s> [options]      assemble, execute for the access pattern,
 //                                then simulate under a policy and report
+//   sweep <file.s> [options]    run the strategy x k policy grid over the
+//                                program, sharded across worker threads
+//                                (the grid supplies --strategy/--kc/--kd
+//                                itself; those flags are ignored here)
 //   suite [options]              run the built-in workload suite
 //
-// sim/suite options:
+// sim/sweep/suite options:
 //   --codec null|mtf-rle|huffman|huffman-shared|lzss|codepack
 //   --strategy on-demand|pre-all|pre-single
 //   --predictor profile|static|oracle
@@ -15,6 +19,7 @@
 //   --kd N            pre-decompression k (default 2)
 //   --budget BYTES    decompressed-area budget (default unbounded)
 //   --units N         decompression helper units (default 1)
+//   --workers N       sweep worker threads (default: hardware concurrency)
 //   --csv             emit CSV instead of the text report
 //
 // Exit code 0 on success, 1 on usage errors, 2 on input errors.
@@ -34,6 +39,7 @@
 #include "isa/disasm.hpp"
 #include "isa/interpreter.hpp"
 #include "support/strings.hpp"
+#include "sweep/sweep.hpp"
 
 namespace {
 
@@ -42,10 +48,12 @@ using namespace apcc;
 [[noreturn]] void usage(const std::string& message = {}) {
   if (!message.empty()) std::cerr << "error: " << message << "\n\n";
   std::cerr <<
-      "usage: apcc_cli <asm|cfg|sim> <file.s> [options]\n"
+      "usage: apcc_cli <asm|cfg|sim|sweep> <file.s> [options]\n"
       "       apcc_cli suite [options]\n"
       "options: --codec K --strategy S --predictor P --kc N --kd N\n"
-      "         --budget BYTES --units N --csv\n";
+      "         --budget BYTES --units N --workers N --csv\n"
+      "(sweep grids over strategy and k itself: --strategy/--kc/--kd\n"
+      " are ignored there)\n";
   std::exit(message.empty() ? 0 : 1);
 }
 
@@ -86,6 +94,7 @@ runtime::PredictorKind parse_predictor(const std::string& name) {
 
 struct CliOptions {
   core::SystemConfig config;
+  sweep::SweepOptions sweep;
   bool csv = false;
 };
 
@@ -115,6 +124,9 @@ CliOptions parse_options(const std::vector<std::string>& args,
           static_cast<std::uint64_t>(parse_int(need_value(i++)));
     } else if (a == "--units") {
       opts.config.policy.decompress_units =
+          static_cast<unsigned>(parse_int(need_value(i++)));
+    } else if (a == "--workers") {
+      opts.sweep.workers =
           static_cast<unsigned>(parse_int(need_value(i++)));
     } else if (a == "--csv") {
       opts.csv = true;
@@ -190,6 +202,34 @@ int cmd_sim(const std::string& path, const CliOptions& opts) {
   return report(workload_from_file(path), opts);
 }
 
+int cmd_sweep(const std::string& path, const CliOptions& opts) {
+  const auto w = workload_from_file(path);
+  const auto system =
+      core::CodeCompressionSystem::from_workload(w, opts.config);
+  std::vector<sweep::SweepTask> tasks;
+  for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
+                              runtime::DecompressionStrategy::kPreAll,
+                              runtime::DecompressionStrategy::kPreSingle}) {
+    for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+      sweep::SweepTask task;
+      task.label = std::string(runtime::strategy_name(strategy)) +
+                   "/k=" + std::to_string(k);
+      task.config = system.engine_config();
+      task.config.policy.strategy = strategy;
+      task.config.policy.compress_k = k;
+      task.config.policy.predecompress_k = k;
+      tasks.push_back(std::move(task));
+    }
+  }
+  std::vector<core::ReportRow> rows;
+  for (auto& outcome : system.run_sweep(tasks, opts.sweep)) {
+    rows.push_back({std::move(outcome.label), outcome.result});
+  }
+  std::cout << (opts.csv ? core::to_csv(rows)
+                         : core::render_comparison(rows));
+  return 0;
+}
+
 int cmd_suite(const CliOptions& opts) {
   std::vector<core::ReportRow> rows;
   for (const auto kind : workloads::all_workload_kinds()) {
@@ -217,6 +257,7 @@ int main(int argc, char** argv) {
     if (cmd == "asm") return cmd_asm(args[1]);
     if (cmd == "cfg") return cmd_cfg(args[1]);
     if (cmd == "sim") return cmd_sim(args[1], parse_options(args, 2));
+    if (cmd == "sweep") return cmd_sweep(args[1], parse_options(args, 2));
     usage("unknown command '" + cmd + "'");
   } catch (const apcc::CheckError& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -6,6 +6,8 @@
 # Produces, in out-dir (default: the build dir):
 #   BENCH_engine.json  -- E11 engine hot-path throughput (steps/sec)
 #   BENCH_codecs.json  -- E4 codec + huffman decoder throughput
+#   BENCH_sweep.json   -- sharded policy-grid sweep scaling (grid pts/sec
+#                         at 1/2/4/8 workers)
 #
 # The JSON comes from google-benchmark's --benchmark_format=json, so a
 # tracking dashboard can diff runs across PRs.
@@ -33,6 +35,13 @@ echo "== E4 codec throughput -> ${OUT_DIR}/BENCH_codecs.json"
     --benchmark_filter='bm_(huffman_decode|decompress)' \
     --benchmark_format=json \
     --benchmark_out="${OUT_DIR}/BENCH_codecs.json" \
+    --benchmark_out_format=json
+
+echo "== sweep scaling -> ${OUT_DIR}/BENCH_sweep.json"
+"${BUILD_DIR}/bench_sweep_scaling" \
+    --benchmark_filter='bm_sweep_grid' \
+    --benchmark_format=json \
+    --benchmark_out="${OUT_DIR}/BENCH_sweep.json" \
     --benchmark_out_format=json
 
 echo "done."
