@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <mutex>
@@ -20,6 +21,15 @@
 #include "workloads/suite.hpp"
 
 namespace apcc::bench {
+
+/// CI smoke mode: when APCC_BENCH_QUICK is set (tools/run_benches.sh
+/// --quick), benches shrink their scales -- fewer workloads, smaller
+/// grids -- so the per-PR artifact job finishes in seconds. The JSON
+/// series keep the same benchmark names; only ranges/table sizes shrink.
+inline bool quick_mode() {
+  const char* env = std::getenv("APCC_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 /// Build-once cache of the six suite workloads (interpreter runs are the
 /// expensive part; the benches reuse them across tables and timings).

@@ -20,4 +20,11 @@ std::span<const cfg::FrontierEntry> FrontierCache::candidates(
   return entries_[block];
 }
 
+void FrontierCache::materialize() {
+  for (cfg::BlockId b = 0; b < computed_.size(); ++b) {
+    (void)candidates(b);
+  }
+  materialized_ = true;
+}
+
 }  // namespace apcc::runtime

@@ -9,10 +9,17 @@
 // BlockForm. Entries are pre-sorted by (distance, id), the planner's
 // request order, so the filter preserves ordering for free.
 //
-// The cache is not thread-safe: it is owned by one DecompressionPlanner,
-// which is owned by one Engine, and engines are single-threaded. Sharded
-// sweeps (sweep::run_sweep) give every worker its own Engine and thus
-// its own cache.
+// Ownership and thread-safety: a lazily-filled cache is not thread-safe
+// and is owned by one DecompressionPlanner / StaticPredictor inside one
+// single-threaded Engine. But the geometry is keyed on (CFG, k) alone,
+// so campaign runs (sweep::run_campaign) build one cache per
+// (workload, k), call materialize() -- which computes every block's list
+// eagerly and freezes the cache -- and hand a `const FrontierCache*` to
+// every engine sharing that key. A materialized cache is immutable, so
+// concurrent candidates() calls are pure reads; the borrowed lists are
+// the exact values an owned cache would compute, which keeps borrowed
+// and owned runs bit-identical (pinned by tests/sweep and the engine
+// equivalence grid).
 #pragma once
 
 #include <span>
@@ -32,11 +39,23 @@ class FrontierCache {
   [[nodiscard]] std::span<const cfg::FrontierEntry> candidates(
       cfg::BlockId block) const;
 
+  /// Eagerly compute every block's candidate list. After this the cache
+  /// is immutable: candidates() never writes, so the cache may be shared
+  /// read-only across threads (the contract EngineConfig::
+  /// shared_frontiers relies on).
+  void materialize();
+
+  [[nodiscard]] bool materialized() const { return materialized_; }
+
   [[nodiscard]] unsigned k() const { return k_; }
+
+  /// The CFG this geometry was computed on; borrowers check identity.
+  [[nodiscard]] const cfg::Cfg& cfg() const { return cfg_; }
 
  private:
   const cfg::Cfg& cfg_;
   unsigned k_;
+  bool materialized_ = false;
   // Lazily filled; entries_[b] is meaningful only once computed_[b].
   mutable std::vector<std::vector<cfg::FrontierEntry>> entries_;
   mutable std::vector<bool> computed_;

@@ -11,15 +11,27 @@ DecompressionPlanner::DecompressionPlanner(const cfg::Cfg& cfg,
                                            const StateTable& states,
                                            const Policy& policy,
                                            const Predictor* predictor,
-                                           bool reference_frontiers)
+                                           bool reference_frontiers,
+                                           const FrontierCache* shared_frontiers)
     : cfg_(cfg),
       states_(states),
       policy_(policy),
       predictor_(predictor),
-      reference_frontiers_(reference_frontiers),
-      frontiers_(cfg, policy.predecompress_k) {
+      reference_frontiers_(reference_frontiers) {
   if (policy_.strategy == DecompressionStrategy::kPreSingle) {
     APCC_CHECK(predictor_ != nullptr, "pre-single requires a predictor");
+  }
+  if (shared_frontiers != nullptr) {
+    APCC_CHECK(&shared_frontiers->cfg() == &cfg_,
+               "shared FrontierCache built on a different CFG");
+    APCC_CHECK(shared_frontiers->k() == policy_.predecompress_k,
+               "shared FrontierCache k does not match predecompress_k");
+    APCC_CHECK(shared_frontiers->materialized(),
+               "shared FrontierCache must be materialized (immutable)");
+    frontiers_ = shared_frontiers;
+  } else {
+    owned_frontiers_.emplace(cfg_, policy_.predecompress_k);
+    frontiers_ = &*owned_frontiers_;
   }
 }
 
@@ -29,7 +41,7 @@ std::vector<cfg::BlockId> DecompressionPlanner::compressed_frontier(
   // The cached candidates are already sorted by (distance, id); keeping
   // only the compressed ones preserves that order.
   std::vector<cfg::BlockId> out;
-  for (const cfg::FrontierEntry& c : frontiers_.candidates(block)) {
+  for (const cfg::FrontierEntry& c : frontiers_->candidates(block)) {
     if (states_[c.block].form() == BlockForm::kCompressed) {
       out.push_back(c.block);
     }

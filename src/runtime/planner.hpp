@@ -13,7 +13,16 @@
 // is kept behind `reference_frontiers` as the debug cross-check path,
 // mirroring EngineConfig::reference_scans; both paths produce identical
 // request lists and the differential tests pin that.
+//
+// The geometry is keyed on (CFG, predecompress_k) alone, so a campaign
+// that runs many engines over one workload can pass a shared,
+// materialized (immutable) FrontierCache; the planner then borrows it
+// instead of building its own. Borrowed and owned geometry produce
+// bit-identical plans -- the cache holds the same frontier_distances
+// lists either way.
 #pragma once
+
+#include <optional>
 
 #include "cfg/analysis.hpp"
 #include "runtime/frontier_cache.hpp"
@@ -28,9 +37,18 @@ class DecompressionPlanner {
   /// `predictor` may be null unless the strategy is kPreSingle. With
   /// `reference_frontiers` the planner re-runs the bounded BFS on every
   /// exit instead of reading the memoized FrontierCache.
+  /// `shared_frontiers`, when non-null, must be a materialized cache
+  /// built on `cfg` with k == policy.predecompress_k; the planner
+  /// borrows it instead of owning its own geometry.
   DecompressionPlanner(const cfg::Cfg& cfg, const StateTable& states,
                        const Policy& policy, const Predictor* predictor,
-                       bool reference_frontiers = false);
+                       bool reference_frontiers = false,
+                       const FrontierCache* shared_frontiers = nullptr);
+
+  // frontiers_ may point into owned_frontiers_; a copy/move would leave
+  // it aimed at the source object's storage.
+  DecompressionPlanner(const DecompressionPlanner&) = delete;
+  DecompressionPlanner& operator=(const DecompressionPlanner&) = delete;
 
   /// Called when the execution thread exits `block` (trace position
   /// `trace_index`). Returns the blocks to request, nearest-first, all
@@ -54,7 +72,9 @@ class DecompressionPlanner {
   Policy policy_;
   const Predictor* predictor_;
   bool reference_frontiers_;
-  FrontierCache frontiers_;
+  // Geometry: owned unless a shared cache was borrowed at construction.
+  std::optional<FrontierCache> owned_frontiers_;
+  const FrontierCache* frontiers_;
 };
 
 }  // namespace apcc::runtime

@@ -52,17 +52,28 @@ cfg::BlockId ProfilePredictor::predict(
   return candidates.front();  // unreachable under probabilities: first wins
 }
 
-StaticPredictor::StaticPredictor(const cfg::Cfg& cfg, std::uint32_t k)
-    : cfg_(cfg),
-      k_(k),
-      loop_depth_(cfg::loop_depths(cfg)),
-      frontiers_(cfg, k) {}
+StaticPredictor::StaticPredictor(const cfg::Cfg& cfg, std::uint32_t k,
+                                 const FrontierCache* shared_frontiers)
+    : cfg_(cfg), k_(k), loop_depth_(cfg::loop_depths(cfg)) {
+  if (shared_frontiers != nullptr) {
+    APCC_CHECK(&shared_frontiers->cfg() == &cfg_,
+               "shared FrontierCache built on a different CFG");
+    APCC_CHECK(shared_frontiers->k() == k_,
+               "shared FrontierCache k does not match predictor k");
+    APCC_CHECK(shared_frontiers->materialized(),
+               "shared FrontierCache must be materialized (immutable)");
+    frontiers_ = shared_frontiers;
+  } else {
+    owned_frontiers_.emplace(cfg_, k_);
+    frontiers_ = &*owned_frontiers_;
+  }
+}
 
 cfg::BlockId StaticPredictor::predict(
     cfg::BlockId from, const std::vector<cfg::BlockId>& candidates,
     std::size_t /*trace_index*/) const {
   APCC_CHECK(!candidates.empty(), "predict() needs candidates");
-  const auto frontier = frontiers_.candidates(from);
+  const auto frontier = frontiers_->candidates(from);
   const auto distance_of = [&frontier](cfg::BlockId c) {
     for (const cfg::FrontierEntry& e : frontier) {
       if (e.block == c) return e.distance;
@@ -112,12 +123,13 @@ cfg::BlockId OraclePredictor::predict(
 std::unique_ptr<Predictor> make_predictor(PredictorKind kind,
                                           const cfg::Cfg& cfg,
                                           std::uint32_t k,
-                                          const cfg::BlockTrace& trace) {
+                                          const cfg::BlockTrace& trace,
+                                          const FrontierCache* shared_frontiers) {
   switch (kind) {
     case PredictorKind::kProfile:
       return std::make_unique<ProfilePredictor>(cfg, k);
     case PredictorKind::kStatic:
-      return std::make_unique<StaticPredictor>(cfg, k);
+      return std::make_unique<StaticPredictor>(cfg, k, shared_frontiers);
     case PredictorKind::kOracle:
       return std::make_unique<OraclePredictor>(cfg, trace);
   }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "cfg/analysis.hpp"
 #include "cfg/cfg.hpp"
@@ -59,9 +60,19 @@ class ProfilePredictor final : public Predictor {
 /// exit block, ever) instead of one edge_distance BFS per candidate per
 /// exit; a candidate outside the k-edge frontier of `from` (out of
 /// predict()'s contract) ranks as unreachable.
+///
+/// Like the planner, the predictor can borrow a shared materialized
+/// cache (same (CFG, k) key) instead of owning one -- campaign engines
+/// pass the cache they already share with their planner.
 class StaticPredictor final : public Predictor {
  public:
-  StaticPredictor(const cfg::Cfg& cfg, std::uint32_t k);
+  StaticPredictor(const cfg::Cfg& cfg, std::uint32_t k,
+                  const FrontierCache* shared_frontiers = nullptr);
+
+  // frontiers_ may point into owned_frontiers_; a copy/move would leave
+  // it aimed at the source object's storage.
+  StaticPredictor(const StaticPredictor&) = delete;
+  StaticPredictor& operator=(const StaticPredictor&) = delete;
 
   [[nodiscard]] cfg::BlockId predict(
       cfg::BlockId from, const std::vector<cfg::BlockId>& candidates,
@@ -74,7 +85,8 @@ class StaticPredictor final : public Predictor {
   const cfg::Cfg& cfg_;
   std::uint32_t k_;
   std::vector<unsigned> loop_depth_;
-  FrontierCache frontiers_;
+  std::optional<FrontierCache> owned_frontiers_;
+  const FrontierCache* frontiers_;
 };
 
 /// Oracle predictor: picks the candidate that the trace actually reaches
@@ -95,9 +107,11 @@ class OraclePredictor final : public Predictor {
 };
 
 /// Factory keyed on PredictorKind. The oracle needs the trace; others
-/// ignore it.
+/// ignore it. `shared_frontiers` (optional, used by kStatic only) is a
+/// materialized (CFG, k) geometry cache to borrow instead of owning.
 [[nodiscard]] std::unique_ptr<Predictor> make_predictor(
     PredictorKind kind, const cfg::Cfg& cfg, std::uint32_t k,
-    const cfg::BlockTrace& trace);
+    const cfg::BlockTrace& trace,
+    const FrontierCache* shared_frontiers = nullptr);
 
 }  // namespace apcc::runtime

@@ -420,10 +420,11 @@ RunResult Engine::run(const cfg::BlockTrace& trace) {
   kedge_ = std::make_unique<runtime::KEdgeCompressionManager>(
       *states_, config_.policy.compress_k, config_.reference_scans);
   predictor_ = runtime::make_predictor(config_.policy.predictor, cfg_,
-                                       config_.policy.predecompress_k, trace);
+                                       config_.policy.predecompress_k, trace,
+                                       config_.shared_frontiers);
   planner_ = std::make_unique<runtime::DecompressionPlanner>(
       cfg_, *states_, config_.policy, predictor_.get(),
-      config_.reference_frontiers);
+      config_.reference_frontiers, config_.shared_frontiers);
   extra_.assign(cfg_.block_count(), ExtraBlockInfo{});
 
   result_.original_image_bytes = layout_->original_image_bytes();

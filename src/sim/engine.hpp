@@ -79,6 +79,13 @@ struct EngineConfig {
   /// reading the memoized FrontierCache. Same bit-identical guarantee,
   /// pinned by the same differential test.
   bool reference_frontiers = false;
+  /// Optional shared read-only planner geometry: a *materialized*
+  /// FrontierCache built on this engine's CFG with
+  /// k == policy.predecompress_k. Campaign runs (sweep::run_campaign)
+  /// set this so every engine over the same (workload, k) borrows one
+  /// cache instead of rebuilding it; null means the planner/predictor
+  /// own their own. Borrowed runs are bit-identical to owned runs.
+  const runtime::FrontierCache* shared_frontiers = nullptr;
 };
 
 /// Simulates one trace against one compressed image. Engines are

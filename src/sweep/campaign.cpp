@@ -1,0 +1,81 @@
+#include "sweep/campaign.hpp"
+
+#include <map>
+
+#include "sim/engine.hpp"
+#include "support/assert.hpp"
+#include "sweep/pool.hpp"
+
+namespace apcc::sweep {
+
+namespace {
+
+/// Materialized (workload, predecompress_k) geometry, built once before
+/// the pool starts so workers only ever read it.
+using GeometryMap =
+    std::vector<std::map<unsigned, std::unique_ptr<runtime::FrontierCache>>>;
+
+GeometryMap build_geometry(const std::vector<CampaignWorkload>& workloads,
+                           const std::vector<SweepTask>& grid) {
+  GeometryMap geometry(workloads.size());
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    for (const SweepTask& task : grid) {
+      const unsigned k = task.config.policy.predecompress_k;
+      auto& slot = geometry[w][k];
+      if (!slot) {
+        slot = std::make_unique<runtime::FrontierCache>(*workloads[w].cfg, k);
+        slot->materialize();
+      }
+    }
+  }
+  return geometry;
+}
+
+}  // namespace
+
+std::vector<CampaignResult> run_campaign(
+    const std::vector<CampaignWorkload>& workloads,
+    const std::vector<SweepTask>& grid, const CampaignOptions& options) {
+  std::vector<CampaignResult> results(workloads.size());
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const CampaignWorkload& workload = workloads[w];
+    APCC_CHECK(workload.cfg != nullptr && workload.image != nullptr &&
+                   workload.trace != nullptr,
+               "campaign workload '" + workload.name +
+                   "' has a null cfg/image/trace");
+    results[w].workload = workload.name;
+  }
+  if (workloads.empty() || grid.empty()) return results;
+
+  GeometryMap geometry;
+  if (options.share_frontiers) geometry = build_geometry(workloads, grid);
+
+  // Flatten the (workload x task) matrix workload-major: cell i is
+  // workload i / |grid|, task i % |grid| -- so the one-worker inline
+  // order is exactly "each workload's grid sequentially".
+  const std::size_t total = workloads.size() * grid.size();
+  SweepOptions pool_options;
+  pool_options.workers = options.workers;
+  const unsigned workers = resolve_workers(pool_options, total);
+
+  std::vector<ResultSink> sinks(workloads.size());
+  detail::parallel_for_index(total, workers, [&](std::size_t i) {
+    const std::size_t w = i / grid.size();
+    const std::size_t t = i % grid.size();
+    const CampaignWorkload& workload = workloads[w];
+    sim::EngineConfig config = grid[t].config;
+    if (options.share_frontiers) {
+      config.shared_frontiers =
+          geometry[w].at(config.policy.predecompress_k).get();
+    }
+    sim::Engine engine(*workload.cfg, *workload.image, config);
+    sinks[w].push(SweepOutcome{t, grid[t].label, engine.run(*workload.trace)});
+  });
+
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    results[w].outcomes = sinks[w].take_sorted();
+  }
+  return results;
+}
+
+}  // namespace apcc::sweep

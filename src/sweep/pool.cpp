@@ -1,0 +1,53 @@
+#include "sweep/pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apcc::sweep::detail {
+
+void parallel_for_index(std::size_t total, unsigned workers,
+                        const std::function<void(std::size_t)>& fn) {
+  if (total == 0) return;
+
+  if (workers <= 1) {
+    // Inline: no pool, no atomics -- this is also the sequential
+    // reference the differential tests compare the sharded paths
+    // against.
+    for (std::size_t i = 0; i < total; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(failure_mutex);
+          if (!failure) failure = std::current_exception();
+        }
+        // The results are discarded on failure anyway; stop handing out
+        // work so the pool drains quickly.
+        next.store(total, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace apcc::sweep::detail

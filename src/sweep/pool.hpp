@@ -1,0 +1,27 @@
+// Shared work-stealing index pool for the sweep and campaign runners.
+//
+// Both run_sweep (one workload x policy grid) and run_campaign
+// (workload suite x policy grid) reduce to the same shape: N independent
+// tasks identified by a flat index, claimed off an atomic counter by a
+// fixed set of worker threads. This header is the one implementation of
+// that loop, so the two runners cannot drift in their pool semantics
+// (inline execution at one worker, first-failure capture, fast drain on
+// error).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace apcc::sweep::detail {
+
+/// Run `fn(i)` for every i in [0, total), sharded across `workers`
+/// threads via an atomic work-stealing counter. `workers` must be >= 1;
+/// 1 runs every index inline on the calling thread with no pool at all.
+/// The first exception thrown by any `fn(i)` is rethrown on the calling
+/// thread after the pool drains (remaining indexes are abandoned so the
+/// drain is quick). `fn` must be safe to call concurrently from
+/// `workers` threads for distinct indexes.
+void parallel_for_index(std::size_t total, unsigned workers,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace apcc::sweep::detail

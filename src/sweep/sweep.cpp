@@ -1,9 +1,9 @@
 #include "sweep/sweep.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 #include <thread>
+
+#include "sweep/pool.hpp"
 
 namespace apcc::sweep {
 
@@ -30,23 +30,15 @@ std::vector<SweepOutcome> ResultSink::take_sorted() {
 
 unsigned resolve_workers(const SweepOptions& options,
                          std::size_t task_count) {
-  unsigned workers =
-      options.workers != 0 ? options.workers
-                           : std::max(1u, std::thread::hardware_concurrency());
+  // hardware_concurrency() is allowed to return 0 ("not computable"), so
+  // the 0-means-auto default clamps to at least one worker.
+  unsigned workers = options.workers != 0
+                         ? options.workers
+                         : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
   if (task_count < workers) workers = static_cast<unsigned>(task_count);
   return std::max(1u, workers);
 }
-
-namespace {
-
-SweepOutcome run_one(const cfg::Cfg& cfg, const runtime::BlockImage& image,
-                     const cfg::BlockTrace& trace,
-                     const std::vector<SweepTask>& tasks, std::size_t i) {
-  sim::Engine engine(cfg, image, tasks[i].config);
-  return SweepOutcome{i, tasks[i].label, engine.run(trace)};
-}
-
-}  // namespace
 
 std::vector<SweepOutcome> run_sweep(const cfg::Cfg& cfg,
                                     const runtime::BlockImage& image,
@@ -56,46 +48,11 @@ std::vector<SweepOutcome> run_sweep(const cfg::Cfg& cfg,
   if (tasks.empty()) return {};
   const unsigned workers = resolve_workers(options, tasks.size());
 
-  if (workers == 1) {
-    // Inline: no pool, no sink overhead -- this is also the sequential
-    // reference the differential test compares the sharded path against.
-    std::vector<SweepOutcome> out;
-    out.reserve(tasks.size());
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      out.push_back(run_one(cfg, image, trace, tasks, i));
-    }
-    return out;
-  }
-
   ResultSink sink;
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr failure;
-  std::mutex failure_mutex;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= tasks.size()) return;
-      try {
-        sink.push(run_one(cfg, image, trace, tasks, i));
-      } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(failure_mutex);
-          if (!failure) failure = std::current_exception();
-        }
-        // The results are discarded on failure anyway; stop handing out
-        // work so the pool drains quickly.
-        next.store(tasks.size(), std::memory_order_relaxed);
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-
-  if (failure) std::rethrow_exception(failure);
+  detail::parallel_for_index(tasks.size(), workers, [&](std::size_t i) {
+    sim::Engine engine(cfg, image, tasks[i].config);
+    sink.push(SweepOutcome{i, tasks[i].label, engine.run(trace)});
+  });
   return sink.take_sorted();
 }
 

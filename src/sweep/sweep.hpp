@@ -9,6 +9,10 @@
 // a thread-safe ResultSink and come back in task order, so the parallel
 // sweep is byte-identical to running the grid sequentially (the
 // differential test in tests/sweep pins that).
+//
+// The pool loop itself lives in sweep/pool.hpp and is shared with the
+// suite-wide campaign runner (sweep/campaign.hpp), which runs one grid
+// over many workloads through the same machinery.
 #pragma once
 
 #include <cstddef>

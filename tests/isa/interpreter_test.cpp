@@ -9,13 +9,6 @@
 namespace apcc::isa {
 namespace {
 
-Interpreter run_program(const Program& p) {
-  Interpreter interp(p);
-  const ExecResult r = interp.run();
-  EXPECT_EQ(r.stop, StopReason::kHalted);
-  return interp;
-}
-
 TEST(Interpreter, ArithmeticChain) {
   const Program p = assemble(
       ".func main\n"

@@ -210,6 +210,57 @@ TEST(Planner, MemoizedMatchesReferenceAcrossFormsAndK) {
   }
 }
 
+TEST(Planner, BorrowedGeometryMatchesOwnedExactly) {
+  // Campaign engines borrow one materialized (CFG, k) FrontierCache
+  // instead of owning one; the plans must be identical for every exit
+  // block and a spread of dynamic forms.
+  for (const cfg::Cfg& g : {cfg::figure2_cfg(), cfg::figure5_cfg()}) {
+    for (const std::uint32_t k : {1u, 2u, 4u}) {
+      FrontierCache shared(g, k);
+      shared.materialize();
+      for (const unsigned pattern : {0u, 1u, 2u}) {
+        StateTable states(g.block_count());
+        for (cfg::BlockId b = 0; b < g.block_count(); ++b) {
+          if ((b + pattern) % 3 == 1) {
+            states.set_form(b, BlockForm::kDecompressed);
+          }
+        }
+        const DecompressionPlanner owned(g, states, pre_all(k), nullptr);
+        const DecompressionPlanner borrowed(g, states, pre_all(k), nullptr,
+                                            /*reference_frontiers=*/false,
+                                            &shared);
+        for (cfg::BlockId b = 0; b < g.block_count(); ++b) {
+          EXPECT_EQ(borrowed.plan_on_exit(b, 0), owned.plan_on_exit(b, 0))
+              << "exit block " << b << " k " << k << " pattern " << pattern;
+        }
+      }
+    }
+  }
+}
+
+TEST(Planner, BorrowedGeometryMustMatchKeyAndBeMaterialized) {
+  const cfg::Cfg g = cfg::figure2_cfg();
+  StateTable states = all_compressed(g);
+  FrontierCache wrong_k(g, 3);
+  wrong_k.materialize();
+  EXPECT_THROW(DecompressionPlanner(g, states, pre_all(2), nullptr, false,
+                                    &wrong_k),
+               apcc::CheckError)
+      << "borrowing k=3 geometry for a k=2 policy must be rejected";
+  FrontierCache lazy(g, 2);
+  EXPECT_THROW(
+      DecompressionPlanner(g, states, pre_all(2), nullptr, false, &lazy),
+      apcc::CheckError)
+      << "a lazily-filled cache is mutable and must not be shared";
+  const cfg::Cfg other = cfg::figure5_cfg();
+  FrontierCache other_cfg(other, 2);
+  other_cfg.materialize();
+  EXPECT_THROW(DecompressionPlanner(g, states, pre_all(2), nullptr, false,
+                                    &other_cfg),
+               apcc::CheckError)
+      << "geometry computed on a different CFG must be rejected";
+}
+
 TEST(Planner, MemoizedSeesFormChangesBetweenExits) {
   // The cache memoizes geometry only; the dynamic form filter must see
   // state changes made after construction.

@@ -63,6 +63,38 @@ TEST(StaticPredictor, TieBreaksByDistanceThenId) {
   EXPECT_EQ(p.predict(0, {1, 2}, 0), 1u);
 }
 
+TEST(StaticPredictor, BorrowedGeometryPredictsIdenticallyToOwned) {
+  // Campaign engines hand the static predictor the same materialized
+  // (CFG, k) cache their planner borrows; predictions must not change.
+  for (const cfg::Cfg& g : {cfg::figure1_cfg(), cfg::figure2_cfg()}) {
+    for (const std::uint32_t k : {1u, 2u, 3u}) {
+      FrontierCache shared(g, k);
+      shared.materialize();
+      const StaticPredictor owned(g, k);
+      const StaticPredictor borrowed(g, k, &shared);
+      for (cfg::BlockId from = 0; from < g.block_count(); ++from) {
+        std::vector<cfg::BlockId> candidates;
+        for (const auto& entry : shared.candidates(from)) {
+          candidates.push_back(entry.block);
+        }
+        if (candidates.empty()) continue;
+        EXPECT_EQ(borrowed.predict(from, candidates, 0),
+                  owned.predict(from, candidates, 0))
+            << "from block " << from << " k " << k;
+      }
+    }
+  }
+}
+
+TEST(StaticPredictor, BorrowedGeometryMustMatchKeyAndBeMaterialized) {
+  const cfg::Cfg g = cfg::figure2_cfg();
+  FrontierCache wrong_k(g, 3);
+  wrong_k.materialize();
+  EXPECT_THROW(StaticPredictor(g, 2, &wrong_k), apcc::CheckError);
+  FrontierCache lazy(g, 2);
+  EXPECT_THROW(StaticPredictor(g, 2, &lazy), apcc::CheckError);
+}
+
 TEST(OraclePredictor, PicksNextReachableBeyondTheImmediateSuccessor) {
   const cfg::Cfg g = cfg::figure5_cfg();
   const cfg::BlockTrace trace = {0, 1, 0, 1, 3};

@@ -8,10 +8,12 @@
 // query (EngineConfig::reference_frontiers re-runs the per-exit BFS).
 // This test runs a policy grid through the full-reference engine
 // (both flags), the frontier-reference engine (BFS planner over indexed
-// scans), and the fully indexed+memoized engine, and asserts RunResult
-// counters and emitted event streams are bit-identical across all
-// three, so any divergence in settle order, victim tie-breaking, k-edge
-// bookkeeping, or planner request order fails loudly.
+// scans), the fully indexed+memoized engine, and the campaign-style
+// engine borrowing a shared materialized FrontierCache
+// (EngineConfig::shared_frontiers), and asserts RunResult counters and
+// emitted event streams are bit-identical across all four, so any
+// divergence in settle order, victim tie-breaking, k-edge bookkeeping,
+// planner request order, or borrowed-vs-owned geometry fails loudly.
 #include <gtest/gtest.h>
 
 #include <tuple>
@@ -43,6 +45,19 @@ const workloads::Workload& workload() {
   return w;
 }
 
+// The campaign's geometry key is (CFG, predecompress_k); the grid below
+// fixes predecompress_k = 2, so one materialized cache serves every
+// borrowed-geometry engine in this suite -- exactly how run_campaign
+// shares it.
+const runtime::FrontierCache& shared_frontiers() {
+  static const auto* cache = [] {
+    auto* c = new runtime::FrontierCache(workload().cfg, 2);
+    c->materialize();
+    return c;
+  }();
+  return *cache;
+}
+
 const runtime::BlockImage& image() {
   static const runtime::BlockImage img = [] {
     std::vector<compress::Bytes> bytes = workload().block_bytes;
@@ -60,6 +75,7 @@ class EngineEquivalenceTest : public ::testing::TestWithParam<GridParam> {
     kReference,          // reference scans + reference frontier BFS
     kReferenceFrontiers, // indexed scans, reference frontier BFS
     kIndexed,            // indexed scans + memoized FrontierCache
+    kBorrowedGeometry,   // indexed scans + borrowed shared FrontierCache
   };
 
   static EngineConfig config_for(const GridParam& p, Mode mode) {
@@ -79,7 +95,11 @@ class EngineEquivalenceTest : public ::testing::TestWithParam<GridParam> {
       config.policy.memory_budget = largest * 3 + 32;
     }
     config.reference_scans = (mode == Mode::kReference);
-    config.reference_frontiers = (mode != Mode::kIndexed);
+    config.reference_frontiers =
+        (mode == Mode::kReference || mode == Mode::kReferenceFrontiers);
+    if (mode == Mode::kBorrowedGeometry) {
+      config.shared_frontiers = &shared_frontiers();
+    }
     return config;
   }
 
@@ -140,13 +160,17 @@ TEST_P(EngineEquivalenceTest, IndexedMatchesReferenceBitExactly) {
   const Capture ref = run(Mode::kReference);
   const Capture frontier_ref = run(Mode::kReferenceFrontiers);
   const Capture fast = run(Mode::kIndexed);
+  const Capture borrowed = run(Mode::kBorrowedGeometry);
 
   expect_same_result(ref.result, fast.result,
                      "full-reference vs indexed counters");
   expect_same_result(frontier_ref.result, fast.result,
                      "reference-frontiers vs memoized counters");
+  expect_same_result(borrowed.result, fast.result,
+                     "borrowed-geometry vs owned-geometry counters");
   expect_same_events(ref, fast, "full-reference vs indexed");
   expect_same_events(frontier_ref, fast, "reference-frontiers vs memoized");
+  expect_same_events(borrowed, fast, "borrowed-geometry vs owned-geometry");
 }
 
 INSTANTIATE_TEST_SUITE_P(

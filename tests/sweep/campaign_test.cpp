@@ -1,0 +1,254 @@
+// Campaign tests: the suite x grid runner must be byte-identical to
+// running each workload's grid sequentially through run_sweep -- for
+// any worker count, with shared (borrowed, materialized) FrontierCache
+// geometry on and off -- and its per-workload grouping, error and
+// geometry plumbing must behave.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/system.hpp"
+#include "runtime/frontier_cache.hpp"
+#include "support/assert.hpp"
+#include "sweep/campaign.hpp"
+#include "workloads/suite.hpp"
+
+namespace apcc::sweep {
+namespace {
+
+const std::vector<workloads::WorkloadKind>& kinds_under_test() {
+  static const auto* kinds = new std::vector<workloads::WorkloadKind>{
+      workloads::WorkloadKind::kAdpcmLike, workloads::WorkloadKind::kCrcLike,
+      workloads::WorkloadKind::kG721Like};
+  return *kinds;
+}
+
+const std::vector<core::CodeCompressionSystem>& systems_under_test() {
+  static const auto* systems = [] {
+    auto* out = new std::vector<core::CodeCompressionSystem>();
+    for (const auto kind : kinds_under_test()) {
+      out->push_back(core::CodeCompressionSystem::from_workload(
+          workloads::make_workload(kind)));
+    }
+    return out;
+  }();
+  return *systems;
+}
+
+std::vector<CampaignWorkload> campaign_workloads() {
+  std::vector<CampaignWorkload> workloads;
+  const auto& systems = systems_under_test();
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    workloads.push_back(CampaignWorkload{
+        workloads::workload_name(kinds_under_test()[i]), &systems[i].cfg(),
+        &systems[i].image(), &systems[i].default_trace()});
+  }
+  return workloads;
+}
+
+/// A mixed grid shared by every workload: all strategies, two ks, both
+/// budget modes. The tight budget is sized off the largest executed
+/// block across all test workloads so one grid is valid everywhere.
+std::vector<SweepTask> shared_grid() {
+  std::uint64_t largest = 0;
+  for (const auto& system : systems_under_test()) {
+    for (const auto b : system.default_trace()) {
+      largest = std::max(largest, system.cfg().block(b).size_bytes());
+    }
+  }
+  std::vector<SweepTask> tasks;
+  for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
+                              runtime::DecompressionStrategy::kPreAll,
+                              runtime::DecompressionStrategy::kPreSingle}) {
+    for (const std::uint32_t k : {1u, 4u}) {
+      for (const bool tight : {false, true}) {
+        SweepTask task;
+        task.config.policy.strategy = strategy;
+        task.config.policy.compress_k = k;
+        task.config.policy.predecompress_k = k;
+        if (tight) task.config.policy.memory_budget = largest * 3 + 32;
+        task.label = std::string(runtime::strategy_name(strategy)) + "/k" +
+                     std::to_string(k) + (tight ? "/tight" : "/unbounded");
+        tasks.push_back(std::move(task));
+      }
+    }
+  }
+  return tasks;
+}
+
+void expect_identical(const SweepOutcome& a, const SweepOutcome& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.label, b.label);
+  const sim::RunResult& x = a.result;
+  const sim::RunResult& y = b.result;
+  EXPECT_EQ(x.total_cycles, y.total_cycles);
+  EXPECT_EQ(x.baseline_cycles, y.baseline_cycles);
+  EXPECT_EQ(x.busy_cycles, y.busy_cycles);
+  EXPECT_EQ(x.stall_cycles, y.stall_cycles);
+  EXPECT_EQ(x.exception_cycles, y.exception_cycles);
+  EXPECT_EQ(x.critical_decompress_cycles, y.critical_decompress_cycles);
+  EXPECT_EQ(x.patch_cycles, y.patch_cycles);
+  EXPECT_EQ(x.block_entries, y.block_entries);
+  EXPECT_EQ(x.exceptions, y.exceptions);
+  EXPECT_EQ(x.demand_decompressions, y.demand_decompressions);
+  EXPECT_EQ(x.predecompressions, y.predecompressions);
+  EXPECT_EQ(x.predecompress_hits, y.predecompress_hits);
+  EXPECT_EQ(x.predecompress_partial, y.predecompress_partial);
+  EXPECT_EQ(x.wasted_predecompressions, y.wasted_predecompressions);
+  EXPECT_EQ(x.deletions, y.deletions);
+  EXPECT_EQ(x.evictions, y.evictions);
+  EXPECT_EQ(x.patches, y.patches);
+  EXPECT_EQ(x.unpatches, y.unpatches);
+  EXPECT_EQ(x.dropped_requests, y.dropped_requests);
+  EXPECT_EQ(x.decomp_helper_busy_cycles, y.decomp_helper_busy_cycles);
+  EXPECT_EQ(x.comp_helper_busy_cycles, y.comp_helper_busy_cycles);
+  EXPECT_EQ(x.original_image_bytes, y.original_image_bytes);
+  EXPECT_EQ(x.compressed_area_bytes, y.compressed_area_bytes);
+  EXPECT_EQ(x.peak_occupancy_bytes, y.peak_occupancy_bytes);
+  EXPECT_EQ(x.avg_occupancy_bytes, y.avg_occupancy_bytes);
+  EXPECT_EQ(x.codec_ratio, y.codec_ratio);
+}
+
+TEST(Campaign, ParallelCampaignIdenticalToSequentialPerWorkloadGrids) {
+  const auto workloads = campaign_workloads();
+  const auto grid = shared_grid();
+
+  // The reference: each workload's grid run sequentially through the
+  // single-workload runner, geometry owned per engine.
+  std::vector<std::vector<SweepOutcome>> expected;
+  SweepOptions sequential;
+  sequential.workers = 1;
+  for (const auto& w : workloads) {
+    expected.push_back(run_sweep(*w.cfg, *w.image, *w.trace, grid, sequential));
+  }
+
+  for (const bool share : {false, true}) {
+    for (const unsigned workers : {1u, 2u, 4u}) {
+      CampaignOptions options;
+      options.workers = workers;
+      options.share_frontiers = share;
+      const auto results = run_campaign(workloads, grid, options);
+      ASSERT_EQ(results.size(), workloads.size())
+          << workers << " workers, share=" << share;
+      for (std::size_t w = 0; w < results.size(); ++w) {
+        SCOPED_TRACE(results[w].workload + " @ " + std::to_string(workers) +
+                     " workers, share=" + std::to_string(share));
+        EXPECT_EQ(results[w].workload, workloads[w].name);
+        ASSERT_EQ(results[w].outcomes.size(), expected[w].size());
+        for (std::size_t i = 0; i < expected[w].size(); ++i) {
+          expect_identical(expected[w][i], results[w].outcomes[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Campaign, OutcomesGroupedPerWorkloadInTaskOrder) {
+  const auto workloads = campaign_workloads();
+  const auto grid = shared_grid();
+  CampaignOptions options;
+  options.workers = 4;
+  const auto results = run_campaign(workloads, grid, options);
+  ASSERT_EQ(results.size(), workloads.size());
+  for (std::size_t w = 0; w < results.size(); ++w) {
+    EXPECT_EQ(results[w].workload, workloads[w].name);
+    ASSERT_EQ(results[w].outcomes.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      EXPECT_EQ(results[w].outcomes[i].index, i);
+      EXPECT_EQ(results[w].outcomes[i].label, grid[i].label);
+    }
+  }
+}
+
+TEST(Campaign, EmptyGridYieldsNamedEmptyResults) {
+  const auto results = run_campaign(campaign_workloads(), {});
+  ASSERT_EQ(results.size(), kinds_under_test().size());
+  for (std::size_t w = 0; w < results.size(); ++w) {
+    EXPECT_EQ(results[w].workload,
+              workloads::workload_name(kinds_under_test()[w]));
+    EXPECT_TRUE(results[w].outcomes.empty());
+  }
+}
+
+TEST(Campaign, EmptyWorkloadsYieldNothing) {
+  EXPECT_TRUE(run_campaign({}, shared_grid()).empty());
+}
+
+TEST(Campaign, NullWorkloadInputsAreRejected) {
+  auto workloads = campaign_workloads();
+  workloads[1].trace = nullptr;
+  EXPECT_THROW({ (void)run_campaign(workloads, shared_grid()); },
+               apcc::CheckError);
+}
+
+TEST(Campaign, WorkerFailureRethrownOnCaller) {
+  const auto workloads = campaign_workloads();
+  auto grid = shared_grid();
+  // A budget smaller than any executed block: the engine's placement
+  // loop finds no victim and no in-flight completion, and throws --
+  // from a pool worker, which must surface on the calling thread.
+  grid[2].config.policy.memory_budget = 1;
+  for (const unsigned workers : {1u, 4u}) {
+    CampaignOptions options;
+    options.workers = workers;
+    EXPECT_THROW({ (void)run_campaign(workloads, grid, options); },
+                 apcc::CheckError)
+        << workers << " workers";
+  }
+}
+
+TEST(Campaign, MaterializedCacheHoldsTheSameListsAsALazyOne) {
+  // The geometry-sharing invariant at its root: a materialized cache
+  // hands out exactly the lists a per-engine lazy cache would compute,
+  // for every block and every k the campaign would key on.
+  const auto& system = systems_under_test().front();
+  for (const unsigned k : {1u, 4u}) {
+    runtime::FrontierCache shared(system.cfg(), k);
+    shared.materialize();
+    EXPECT_TRUE(shared.materialized());
+    EXPECT_EQ(shared.k(), k);
+    const runtime::FrontierCache lazy(system.cfg(), k);
+    for (cfg::BlockId b = 0; b < system.cfg().block_count(); ++b) {
+      const auto got = shared.candidates(b);
+      const auto want = lazy.candidates(b);
+      ASSERT_EQ(got.size(), want.size()) << "block " << b << " k " << k;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].block, want[i].block);
+        EXPECT_EQ(got[i].distance, want[i].distance);
+      }
+    }
+  }
+}
+
+TEST(Campaign, CoreEntryPointMatchesSweepLayer) {
+  // core::run_campaign is a veneer over sweep::run_campaign using each
+  // system's default trace; the two must agree exactly.
+  const auto& systems = systems_under_test();
+  std::vector<core::CampaignEntry> entries;
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    entries.push_back(
+        {workloads::workload_name(kinds_under_test()[i]), &systems[i]});
+  }
+  const auto grid = shared_grid();
+  CampaignOptions options;
+  options.workers = 2;
+  const auto via_core = core::run_campaign(entries, grid, options);
+  const auto via_sweep = run_campaign(campaign_workloads(), grid, options);
+  ASSERT_EQ(via_core.size(), via_sweep.size());
+  for (std::size_t w = 0; w < via_core.size(); ++w) {
+    EXPECT_EQ(via_core[w].workload, via_sweep[w].workload);
+    ASSERT_EQ(via_core[w].outcomes.size(), via_sweep[w].outcomes.size());
+    for (std::size_t i = 0; i < via_core[w].outcomes.size(); ++i) {
+      expect_identical(via_sweep[w].outcomes[i], via_core[w].outcomes[i]);
+    }
+  }
+}
+
+TEST(Campaign, CoreEntryPointRejectsNullSystem) {
+  std::vector<core::CampaignEntry> entries = {{"broken", nullptr}};
+  EXPECT_THROW({ (void)core::run_campaign(entries, shared_grid()); },
+               apcc::CheckError);
+}
+
+}  // namespace
+}  // namespace apcc::sweep

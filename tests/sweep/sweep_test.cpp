@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 
 #include "core/system.hpp"
 #include "support/assert.hpp"
@@ -145,6 +146,23 @@ TEST(Sweep, ResolveWorkersClampsToTasks) {
   EXPECT_EQ(resolve_workers(options, 0), 1u);
 }
 
+TEST(Sweep, ResolveWorkersNeverResolvesToZero) {
+  // workers == 0 defers to std::thread::hardware_concurrency(), which
+  // the standard allows to return 0 ("not computable"); the resolver
+  // must clamp that to one worker, never zero -- a zero-worker pool
+  // would run nothing and hang the caller's expectations (and the
+  // 1-vCPU CI box is exactly where concurrency detection gets flaky).
+  SweepOptions auto_workers;
+  auto_workers.workers = 0;
+  for (const std::size_t tasks : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{1000}}) {
+    const unsigned resolved = resolve_workers(auto_workers, tasks);
+    EXPECT_GE(resolved, 1u) << tasks << " tasks";
+    EXPECT_LE(resolved, tasks) << tasks << " tasks";
+  }
+  EXPECT_EQ(resolve_workers(auto_workers, 0), 1u);
+}
+
 TEST(Sweep, WorkerFailureRethrownOnCaller) {
   auto tasks = mixed_grid();
   ASSERT_GE(tasks.size(), 4u);
@@ -199,6 +217,35 @@ TEST(ResultSinkTest, SortsByIndexAndDrains) {
   }
   EXPECT_EQ(sink.size(), 0u);
   EXPECT_TRUE(sink.take_sorted().empty());
+}
+
+TEST(ResultSinkTest, ConcurrentOutOfOrderPushesDrainSorted) {
+  // The campaign/sweep pools push from many workers in whatever order
+  // tasks finish; the sink must drain to task order regardless. Each
+  // thread pushes its stripe of indexes *backwards* so the sink sees
+  // heavy intra- and inter-thread disorder.
+  constexpr std::size_t kPerThread = 64;
+  constexpr unsigned kThreads = 4;
+  ResultSink sink;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (std::size_t i = kPerThread; i-- > 0;) {
+        SweepOutcome o;
+        o.index = t * kPerThread + i;
+        o.label = "t" + std::to_string(o.index);
+        sink.push(std::move(o));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(sink.size(), std::size_t{kThreads} * kPerThread);
+  const auto sorted = sink.take_sorted();
+  ASSERT_EQ(sorted.size(), std::size_t{kThreads} * kPerThread);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i].index, i);
+    EXPECT_EQ(sorted[i].label, "t" + std::to_string(i));
+  }
 }
 
 }  // namespace

@@ -10,8 +10,14 @@
 //                                (the grid supplies --strategy/--kc/--kd
 //                                itself; those flags are ignored here)
 //   suite [options]              run the built-in workload suite
+//   campaign [options]           run the strategy x k grid over *every*
+//                                suite workload as one campaign: the whole
+//                                (workload x task) matrix shares one pool,
+//                                and engines over the same (workload, k)
+//                                borrow one materialized FrontierCache
+//                                (disable with --no-shared-frontiers)
 //
-// sim/sweep/suite options:
+// sim/sweep/suite/campaign options:
 //   --codec null|mtf-rle|huffman|huffman-shared|lzss|codepack
 //   --strategy on-demand|pre-all|pre-single
 //   --predictor profile|static|oracle
@@ -19,7 +25,9 @@
 //   --kd N            pre-decompression k (default 2)
 //   --budget BYTES    decompressed-area budget (default unbounded)
 //   --units N         decompression helper units (default 1)
-//   --workers N       sweep worker threads (default: hardware concurrency)
+//   --workers N       sweep/campaign worker threads (default: hardware
+//                     concurrency)
+//   --no-shared-frontiers   campaign: every engine owns its geometry
 //   --csv             emit CSV instead of the text report
 //
 // Exit code 0 on success, 1 on usage errors, 2 on input errors.
@@ -49,11 +57,12 @@ using namespace apcc;
   if (!message.empty()) std::cerr << "error: " << message << "\n\n";
   std::cerr <<
       "usage: apcc_cli <asm|cfg|sim|sweep> <file.s> [options]\n"
-      "       apcc_cli suite [options]\n"
+      "       apcc_cli <suite|campaign> [options]\n"
       "options: --codec K --strategy S --predictor P --kc N --kd N\n"
-      "         --budget BYTES --units N --workers N --csv\n"
-      "(sweep grids over strategy and k itself: --strategy/--kc/--kd\n"
-      " are ignored there)\n";
+      "         --budget BYTES --units N --workers N\n"
+      "         --no-shared-frontiers --csv\n"
+      "(sweep and campaign grid over strategy and k themselves:\n"
+      " --strategy/--kc/--kd are ignored there)\n";
   std::exit(message.empty() ? 0 : 1);
 }
 
@@ -95,6 +104,7 @@ runtime::PredictorKind parse_predictor(const std::string& name) {
 struct CliOptions {
   core::SystemConfig config;
   sweep::SweepOptions sweep;
+  sweep::CampaignOptions campaign;
   bool csv = false;
 };
 
@@ -128,6 +138,9 @@ CliOptions parse_options(const std::vector<std::string>& args,
     } else if (a == "--workers") {
       opts.sweep.workers =
           static_cast<unsigned>(parse_int(need_value(i++)));
+      opts.campaign.workers = opts.sweep.workers;
+    } else if (a == "--no-shared-frontiers") {
+      opts.campaign.share_frontiers = false;
     } else if (a == "--csv") {
       opts.csv = true;
     } else {
@@ -202,10 +215,9 @@ int cmd_sim(const std::string& path, const CliOptions& opts) {
   return report(workload_from_file(path), opts);
 }
 
-int cmd_sweep(const std::string& path, const CliOptions& opts) {
-  const auto w = workload_from_file(path);
-  const auto system =
-      core::CodeCompressionSystem::from_workload(w, opts.config);
+/// The sweep/campaign policy grid: every decompression strategy x a k
+/// sweep, varied over the baseline engine config.
+std::vector<sweep::SweepTask> strategy_k_grid(const sim::EngineConfig& base) {
   std::vector<sweep::SweepTask> tasks;
   for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
                               runtime::DecompressionStrategy::kPreAll,
@@ -214,19 +226,69 @@ int cmd_sweep(const std::string& path, const CliOptions& opts) {
       sweep::SweepTask task;
       task.label = std::string(runtime::strategy_name(strategy)) +
                    "/k=" + std::to_string(k);
-      task.config = system.engine_config();
+      task.config = base;
       task.config.policy.strategy = strategy;
       task.config.policy.compress_k = k;
       task.config.policy.predecompress_k = k;
       tasks.push_back(std::move(task));
     }
   }
+  return tasks;
+}
+
+int cmd_sweep(const std::string& path, const CliOptions& opts) {
+  const auto w = workload_from_file(path);
+  const auto system =
+      core::CodeCompressionSystem::from_workload(w, opts.config);
+  const auto tasks = strategy_k_grid(system.engine_config());
   std::vector<core::ReportRow> rows;
   for (auto& outcome : system.run_sweep(tasks, opts.sweep)) {
     rows.push_back({std::move(outcome.label), outcome.result});
   }
   std::cout << (opts.csv ? core::to_csv(rows)
                          : core::render_comparison(rows));
+  return 0;
+}
+
+int cmd_campaign(const CliOptions& opts) {
+  // Build every suite workload, then run the shared grid over all of
+  // them as one campaign (one pool, shared per-(workload, k) geometry).
+  std::vector<core::CodeCompressionSystem> systems;
+  std::vector<std::string> names;
+  for (const auto kind : workloads::all_workload_kinds()) {
+    const auto w = workloads::make_workload(kind);
+    names.push_back(w.name);
+    systems.push_back(
+        core::CodeCompressionSystem::from_workload(w, opts.config));
+  }
+  std::vector<core::CampaignEntry> entries;
+  entries.reserve(systems.size());
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    entries.push_back({names[i], &systems[i]});
+  }
+  const auto grid = strategy_k_grid(systems.front().engine_config());
+  const auto results = core::run_campaign(entries, grid, opts.campaign);
+  if (opts.csv) {
+    // One flat CSV: label = workload/task, ready for cross-workload
+    // plotting.
+    std::vector<core::ReportRow> rows;
+    for (const auto& result : results) {
+      for (const auto& outcome : result.outcomes) {
+        rows.push_back({result.workload + "/" + outcome.label,
+                        outcome.result});
+      }
+    }
+    std::cout << core::to_csv(rows);
+  } else {
+    for (const auto& result : results) {
+      std::vector<core::ReportRow> rows;
+      for (const auto& outcome : result.outcomes) {
+        rows.push_back({outcome.label, outcome.result});
+      }
+      std::cout << "== " << result.workload << " ==\n"
+                << core::render_comparison(rows) << '\n';
+    }
+  }
   return 0;
 }
 
@@ -252,6 +314,9 @@ int main(int argc, char** argv) {
     const std::string& cmd = args[0];
     if (cmd == "suite") {
       return cmd_suite(parse_options(args, 1));
+    }
+    if (cmd == "campaign") {
+      return cmd_campaign(parse_options(args, 1));
     }
     if (args.size() < 2) usage("command needs a file argument");
     if (cmd == "asm") return cmd_asm(args[1]);

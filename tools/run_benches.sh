@@ -1,37 +1,59 @@
 #!/usr/bin/env bash
 # Run the performance-trajectory benches and emit their JSON series.
 #
-#   tools/run_benches.sh [build-dir] [out-dir]
+#   tools/run_benches.sh [--quick] [build-dir] [out-dir]
 #
 # Produces, in out-dir (default: the build dir):
-#   BENCH_engine.json  -- E11 engine hot-path throughput (steps/sec)
-#   BENCH_codecs.json  -- E4 codec + huffman decoder throughput
-#   BENCH_sweep.json   -- sharded policy-grid sweep scaling (grid pts/sec
-#                         at 1/2/4/8 workers)
+#   BENCH_engine.json   -- E11 engine hot-path throughput (steps/sec)
+#   BENCH_codecs.json   -- E4 codec + huffman decoder throughput
+#   BENCH_sweep.json    -- sharded policy-grid sweep scaling (grid pts/sec
+#                          at 1/2/4/8 workers)
+#   BENCH_campaign.json -- suite x grid campaign throughput (matrix
+#                          cells/sec, shared vs owned FrontierCache
+#                          geometry)
+#
+# --quick is the CI smoke mode: benches shrink their scales (via
+# APCC_BENCH_QUICK) and google-benchmark runs minimal repetitions, so the
+# per-PR artifact job finishes fast. Series names are unchanged; only the
+# absolute numbers are smoke-grade.
 #
 # The JSON comes from google-benchmark's --benchmark_format=json, so a
 # tracking dashboard can diff runs across PRs.
 set -euo pipefail
 
+# QUICK_ARGS expands via ${QUICK_ARGS[@]+...} below: plain "${arr[@]}"
+# on an empty array trips `set -u` on bash < 4.4 (stock macOS bash).
+QUICK_ARGS=()
+if [[ "${1:-}" == "--quick" ]]; then
+  shift
+  export APCC_BENCH_QUICK=1
+  QUICK_ARGS=(--benchmark_min_time=0.05)
+fi
+
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BUILD_DIR}}"
 
-if [[ ! -x "${BUILD_DIR}/bench_e11_engine_throughput" ]]; then
-  echo "error: ${BUILD_DIR}/bench_e11_engine_throughput not built" >&2
-  echo "hint: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
-  exit 1
-fi
+for bench in bench_e11_engine_throughput bench_e4_codecs \
+             bench_sweep_scaling bench_campaign; do
+  if [[ ! -x "${BUILD_DIR}/${bench}" ]]; then
+    echo "error: ${BUILD_DIR}/${bench} not built" >&2
+    echo "hint: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+  fi
+done
 
 mkdir -p "${OUT_DIR}"
 
 echo "== E11 engine throughput -> ${OUT_DIR}/BENCH_engine.json"
 "${BUILD_DIR}/bench_e11_engine_throughput" \
+    ${QUICK_ARGS[@]+"${QUICK_ARGS[@]}"} \
     --benchmark_format=json \
     --benchmark_out="${OUT_DIR}/BENCH_engine.json" \
     --benchmark_out_format=json
 
 echo "== E4 codec throughput -> ${OUT_DIR}/BENCH_codecs.json"
 "${BUILD_DIR}/bench_e4_codecs" \
+    ${QUICK_ARGS[@]+"${QUICK_ARGS[@]}"} \
     --benchmark_filter='bm_(huffman_decode|decompress)' \
     --benchmark_format=json \
     --benchmark_out="${OUT_DIR}/BENCH_codecs.json" \
@@ -39,9 +61,18 @@ echo "== E4 codec throughput -> ${OUT_DIR}/BENCH_codecs.json"
 
 echo "== sweep scaling -> ${OUT_DIR}/BENCH_sweep.json"
 "${BUILD_DIR}/bench_sweep_scaling" \
+    ${QUICK_ARGS[@]+"${QUICK_ARGS[@]}"} \
     --benchmark_filter='bm_sweep_grid' \
     --benchmark_format=json \
     --benchmark_out="${OUT_DIR}/BENCH_sweep.json" \
+    --benchmark_out_format=json
+
+echo "== campaign throughput -> ${OUT_DIR}/BENCH_campaign.json"
+"${BUILD_DIR}/bench_campaign" \
+    ${QUICK_ARGS[@]+"${QUICK_ARGS[@]}"} \
+    --benchmark_filter='bm_campaign' \
+    --benchmark_format=json \
+    --benchmark_out="${OUT_DIR}/BENCH_campaign.json" \
     --benchmark_out_format=json
 
 echo "done."
