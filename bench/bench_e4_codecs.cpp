@@ -134,6 +134,35 @@ void bm_huffman_decode(benchmark::State& state) {
 }
 BENCHMARK(bm_huffman_decode)->Arg(0)->Arg(1);
 
+// Encoder-level A/B on identical inputs: batched (code,len)-pair
+// concatenation through the 64-bit accumulator (encode_all, what
+// compress() ships) against the per-symbol write_bits reference. Both
+// emit bit-identical streams (tests/compress/huffman_test.cpp pins
+// that); this isolates the symbol-encode loop from training and
+// allocation, the compress cost a warm Service artifact cache pays
+// exactly once per (workload, codec).
+void bm_huffman_encode(benchmark::State& state) {
+  const bool batched = state.range(0) != 0;
+  const auto& blocks = all_suite_blocks();
+  const compress::SharedHuffmanCodec codec(blocks);
+  std::size_t i = 0;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    const auto& block = blocks[i++ % blocks.size()];
+    apcc::BitWriter writer;
+    if (batched) {
+      codec.code().encode_all(writer, block);
+    } else {
+      for (const std::uint8_t b : block) codec.code().encode(writer, b);
+    }
+    benchmark::DoNotOptimize(writer.take());
+    bytes += block.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetLabel(batched ? "batched" : "per-symbol");
+}
+BENCHMARK(bm_huffman_encode)->Arg(0)->Arg(1);
+
 }  // namespace
 
 APCC_BENCH_MAIN(print_tables)

@@ -1,0 +1,198 @@
+// Service throughput: cold vs warm artifact cache on the persistent
+// job-submission API.
+//
+// The PR 0-3 entry points rebuild the compressed BlockImage (codec
+// training + per-block compression) and frontier geometry on every
+// call. serving::Service builds them once per (workload, codec) /
+// (workload, k) key on its pool and serves every later job from the
+// cache, so the steady-state cost of a submit is just the engine run.
+// This bench measures exactly that delta: the direct one-shot path,
+// a cold Service submit (first touch, artifacts built), and a warm
+// Service submit (every artifact borrowed) -- the google-benchmark
+// registrations emit the stable series for BENCH_service.json.
+//
+// Caveat (docs/PERFORMANCE.md): 1-vCPU CI box -- the pool cannot show
+// parallel speedup; the cold/warm delta (cached codec training +
+// compression + geometry) is visible even single-threaded, and the
+// differential tests pin warm == cold == direct byte-identically.
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "serving/service.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace apcc;
+
+constexpr auto kKind = workloads::WorkloadKind::kGsmLike;
+
+/// FNV digest over the counters every mode must agree on.
+std::uint64_t result_checksum(const sim::RunResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(r.total_cycles);
+  mix(r.exceptions);
+  mix(r.predecompressions);
+  mix(r.evictions);
+  mix(r.peak_occupancy_bytes);
+  return h;
+}
+
+void print_tables() {
+  bench::print_header(
+      "Service submit latency",
+      "persistent Service vs one-shot CodeCompressionSystem;\n"
+      "cold submit builds artifacts, warm submit borrows them");
+  const auto& workload = bench::cached_workload(kKind);
+  const int reps = bench::quick_mode() ? 5 : 20;
+
+  TextTable table;
+  table.row()
+      .cell("mode")
+      .cell("requests")
+      .cell("total ms")
+      .cell("ms/request")
+      .cell("checksum");
+  auto add_row = [&](const char* mode, int requests, double ms,
+                     std::uint64_t checksum) {
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(checksum));
+    table.row()
+        .cell(mode)
+        .cell(std::uint64_t{static_cast<std::uint64_t>(requests)})
+        .cell(ms, 2)
+        .cell(ms / requests, 3)
+        .cell(digest);
+  };
+
+  {
+    // The PR 0-3 shape: every request rebuilds image + geometry.
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t checksum = 0;
+    for (int i = 0; i < reps; ++i) {
+      const auto system =
+          core::CodeCompressionSystem::from_workload(workload, {});
+      checksum = result_checksum(system.run());
+    }
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    add_row("direct one-shot", reps, elapsed.count(), checksum);
+  }
+  {
+    // Cold: a fresh Service per request -- registration plus the first
+    // submit, which builds image and geometry on the pool.
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t checksum = 0;
+    for (int i = 0; i < reps; ++i) {
+      serving::Service service({1});
+      const auto id = service.register_workload(workload);
+      checksum = result_checksum(
+          service.submit(serving::RunJob{id}).wait());
+    }
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    add_row("service cold", reps, elapsed.count(), checksum);
+  }
+  {
+    // Warm: one persistent Service, every request borrows the cache.
+    serving::Service service({1});
+    const auto id = service.register_workload(workload);
+    (void)service.submit(serving::RunJob{id}).wait();  // prime
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t checksum = 0;
+    for (int i = 0; i < reps; ++i) {
+      checksum = result_checksum(
+          service.submit(serving::RunJob{id}).wait());
+    }
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    add_row("service warm", reps, elapsed.count(), checksum);
+    const auto stats = service.cache_stats();
+    std::cout << table.render() << '\n';
+    std::cout << "warm cache stats: " << stats.images_built
+              << " image build(s), " << stats.image_borrows
+              << " image borrow(s), " << stats.frontiers_built
+              << " frontier build(s), " << stats.frontier_borrows
+              << " frontier borrow(s)\n"
+              << "Shape check: one checksum everywhere (cached artifacts\n"
+                 "change nothing), and the warm cache serves every repeat\n"
+                 "request from 1 image + 1 frontier build. On this box the\n"
+                 "per-request wall numbers are scheduling-noise-grade (a\n"
+                 "submit pays two context switches on one vCPU); the\n"
+                 "steady-state bm_service_* series below is the signal.\n\n";
+  }
+}
+
+void bm_direct_run(benchmark::State& state) {
+  const auto& workload = bench::cached_workload(kKind);
+  for (auto _ : state) {
+    const auto system =
+        core::CodeCompressionSystem::from_workload(workload, {});
+    benchmark::DoNotOptimize(system.run());
+  }
+  state.SetLabel("one-shot from_workload + run");
+}
+BENCHMARK(bm_direct_run)->Unit(benchmark::kMillisecond);
+
+void bm_service_cold_run(benchmark::State& state) {
+  const auto& workload = bench::cached_workload(kKind);
+  for (auto _ : state) {
+    serving::Service service({1});
+    const auto id = service.register_workload(workload);
+    benchmark::DoNotOptimize(service.submit(serving::RunJob{id}).wait());
+  }
+  state.SetLabel("fresh Service per submit");
+}
+BENCHMARK(bm_service_cold_run)->Unit(benchmark::kMillisecond);
+
+void bm_service_warm_run(benchmark::State& state) {
+  const auto& workload = bench::cached_workload(kKind);
+  serving::Service service({1});
+  const auto id = service.register_workload(workload);
+  (void)service.submit(serving::RunJob{id}).wait();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.submit(serving::RunJob{id}).wait());
+  }
+  state.SetLabel("persistent Service, cached artifacts");
+}
+BENCHMARK(bm_service_warm_run)->Unit(benchmark::kMillisecond);
+
+void bm_service_warm_sweep(benchmark::State& state) {
+  // A 6-task grid per submit: the per-job scheduling + sink overhead on
+  // top of the cached-artifact engine runs.
+  const auto& workload = bench::cached_workload(kKind);
+  serving::Service service({1});
+  const auto id = service.register_workload(workload);
+  std::vector<sweep::SweepTask> tasks;
+  for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
+                              runtime::DecompressionStrategy::kPreAll,
+                              runtime::DecompressionStrategy::kPreSingle}) {
+    for (const std::uint32_t k : {1u, 4u}) {
+      sweep::SweepTask task;
+      task.label = std::to_string(k);
+      task.config.policy.strategy = strategy;
+      task.config.policy.compress_k = k;
+      task.config.policy.predecompress_k = k;
+      tasks.push_back(std::move(task));
+    }
+  }
+  serving::SweepJob job{id, {}, tasks, true};
+  (void)service.submit(job).wait();
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    cells += service.submit(job).wait().size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  state.SetLabel("6-task grid, cached artifacts");
+}
+BENCHMARK(bm_service_warm_sweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+APCC_BENCH_MAIN(print_tables)

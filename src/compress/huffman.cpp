@@ -200,6 +200,30 @@ void CanonicalCode::encode(BitWriter& writer, std::uint8_t symbol) const {
   writer.write_bits(codes_[symbol], len);
 }
 
+void CanonicalCode::encode_all(BitWriter& writer, ByteView input) const {
+  // Local accumulator of pending code bits, right-aligned. Before an
+  // append it holds < 32 bits and a code adds <= kMaxCodeLength == 15,
+  // so it never overflows 64; the oldest 32 bits flush in one
+  // write_bits call, preserving the per-symbol MSB-first bit order.
+  std::uint64_t acc = 0;
+  unsigned acc_bits = 0;
+  for (const std::uint8_t symbol : input) {
+    const unsigned len = lengths_[symbol];
+    APCC_CHECK(len > 0, "symbol has no code (not in training data)");
+    acc = (acc << len) | codes_[symbol];
+    acc_bits += len;
+    if (acc_bits >= 32) {
+      writer.write_bits(static_cast<std::uint32_t>(acc >> (acc_bits - 32)),
+                        32);
+      acc_bits -= 32;
+      acc &= (std::uint64_t{1} << acc_bits) - 1;
+    }
+  }
+  if (acc_bits > 0) {
+    writer.write_bits(static_cast<std::uint32_t>(acc), acc_bits);
+  }
+}
+
 std::uint8_t CanonicalCode::decode_reference(BitReader& reader) const {
   std::uint32_t code = 0;
   for (unsigned len = 1; len <= kMaxCodeLength; ++len) {
@@ -244,9 +268,7 @@ Bytes HuffmanCodec::compress(ByteView input) const {
   for (const std::uint8_t len : lengths) {
     writer.write_bits(len, 4);
   }
-  for (const std::uint8_t b : input) {
-    code.encode(writer, b);
-  }
+  code.encode_all(writer, input);
   return writer.take();
 }
 
@@ -295,9 +317,7 @@ SharedHuffmanCodec::SharedHuffmanCodec(std::span<const Bytes> training_blocks)
 Bytes SharedHuffmanCodec::compress(ByteView input) const {
   if (input.empty()) return {};
   BitWriter writer;
-  for (const std::uint8_t b : input) {
-    code_.encode(writer, b);
-  }
+  code_.encode_all(writer, input);
   return writer.take();
 }
 

@@ -50,8 +50,16 @@ class CanonicalCode {
   explicit CanonicalCode(const CodeLengths& lengths,
                          bool build_decode_tables = true);
 
-  /// Encode one symbol into the writer.
+  /// Encode one symbol into the writer (the reference path; the batch
+  /// encoder below must produce bit-identical streams).
   void encode(apcc::BitWriter& writer, std::uint8_t symbol) const;
+
+  /// Encode every byte of `input`: the (code, length) pairs are
+  /// pre-concatenated through a local 64-bit accumulator and flushed to
+  /// the writer 32 bits at a time, so the stream costs one write_bits
+  /// call per ~32 output bits instead of one per symbol. Bit-identical
+  /// to calling encode() per symbol (differential-tested).
+  void encode_all(apcc::BitWriter& writer, ByteView input) const;
 
   /// Decode one symbol from the reader via the two-level lookup table.
   /// Throws CheckError on invalid prefixes (corrupt stream).

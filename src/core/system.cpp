@@ -38,10 +38,18 @@ sim::RunResult CodeCompressionSystem::run() const {
   return run(default_trace_);
 }
 
+sim::EngineConfig engine_config(const SystemConfig& config) {
+  sim::EngineConfig engine;
+  engine.policy = config.policy;
+  engine.costs = config.costs;
+  engine.fit = config.fit;
+  engine.reference_scans = config.reference_scans;
+  engine.reference_frontiers = config.reference_frontiers;
+  return engine;
+}
+
 sim::EngineConfig CodeCompressionSystem::engine_config() const {
-  return sim::EngineConfig{config_.policy, config_.costs, config_.fit,
-                           config_.reference_scans,
-                           config_.reference_frontiers};
+  return core::engine_config(config_);
 }
 
 sim::RunResult CodeCompressionSystem::run(const cfg::BlockTrace& trace) const {

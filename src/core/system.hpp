@@ -1,7 +1,14 @@
-// CodeCompressionSystem: the top-level APCC API.
+// CodeCompressionSystem: the one-shot APCC API.
 //
 // Wraps the full pipeline -- CFG, per-block compression, runtime policy,
-// and the three-thread execution engine -- behind one object:
+// and the three-thread execution engine -- behind one object. This is
+// the synchronous, build-per-call veneer: each from_workload call
+// compresses the image afresh and each run owns its engine state. For
+// repeated submissions over a persistent workload set -- cached
+// compressed images, cached frontier geometry, several grids in flight
+// on one shared pool -- use serving::Service (docs/API.md), for which
+// these entry points are the kept-for-compatibility reference: a
+// Service job's outcome is byte-identical to the equivalent call here.
 //
 //   auto workload = workloads::make_workload(WorkloadKind::kGsmLike);
 //   core::SystemConfig config;
@@ -37,6 +44,11 @@ struct SystemConfig {
   bool reference_scans = false;
   bool reference_frontiers = false;
 };
+
+/// The engine knob subset of a SystemConfig -- the one mapping every
+/// layer (CodeCompressionSystem, serving::Service cells, the CLI's grid
+/// builder) uses, so they cannot drift field by field.
+[[nodiscard]] sim::EngineConfig engine_config(const SystemConfig& config);
 
 class CodeCompressionSystem {
  public:

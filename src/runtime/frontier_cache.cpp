@@ -27,4 +27,51 @@ void FrontierCache::materialize() {
   materialized_ = true;
 }
 
+const FrontierCache* SharedFrontier::acquire(bool* built_this_call) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (state_ == State::kReady) {
+      if (built_this_call != nullptr) *built_this_call = false;
+      return &cache_;
+    }
+    if (state_ == State::kIdle) {
+      state_ = State::kBuilding;
+      builder_ = std::this_thread::get_id();
+      lock.unlock();
+      // The expensive part (one bounded BFS per block) runs off the
+      // lock: only callers wanting *this* key wait, everyone else keeps
+      // going. No one reads cache_ until state_ flips to kReady below,
+      // and that flip happens-before every waiter's (and later
+      // acquirer's) read via the mutex, so the off-lock writes are safe.
+      try {
+        cache_.materialize();
+      } catch (...) {
+        // Roll the claim back and wake waiters so they re-claim (and
+        // surface the build failure themselves) instead of blocking on
+        // a ready flip that will never come.
+        lock.lock();
+        state_ = State::kIdle;
+        ready_cv_.notify_all();
+        throw;
+      }
+      lock.lock();
+      state_ = State::kReady;
+      ready_cv_.notify_all();
+      if (built_this_call != nullptr) *built_this_call = true;
+      return &cache_;
+    }
+    ready_cv_.wait(lock, [&] { return state_ != State::kBuilding; });
+  }
+}
+
+bool SharedFrontier::ready() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return state_ == State::kReady;
+}
+
+std::thread::id SharedFrontier::builder() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return builder_;
+}
+
 }  // namespace apcc::runtime

@@ -22,7 +22,11 @@
 // equivalence grid).
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "cfg/analysis.hpp"
@@ -59,6 +63,65 @@ class FrontierCache {
   // Lazily filled; entries_[b] is meaningful only once computed_[b].
   mutable std::vector<std::vector<cfg::FrontierEntry>> entries_;
   mutable std::vector<bool> computed_;
+};
+
+/// The geometry cache key: frontier candidate lists depend on the CFG
+/// (by identity -- campaign/serving workloads hold their Cfg at a stable
+/// address) and predecompress_k, nothing else. This is the key both the
+/// campaign runner and serving::Service deduplicate artifacts under.
+struct FrontierKey {
+  const cfg::Cfg* cfg = nullptr;
+  unsigned k = 0;
+
+  [[nodiscard]] bool operator==(const FrontierKey&) const = default;
+  /// Ordered so the key works in std::map (deterministic iteration).
+  [[nodiscard]] bool operator<(const FrontierKey& other) const {
+    return cfg != other.cfg ? cfg < other.cfg : k < other.k;
+  }
+};
+
+/// Async materialize handshake around one (CFG, k) FrontierCache.
+///
+/// Pool workers that need a key's geometry race on acquire(): the first
+/// caller claims the build and runs materialize() on its own thread
+/// (off the handshake lock, so cells over other keys keep simulating);
+/// concurrent callers block until the builder flips the slot to ready.
+/// Afterwards every acquire() is a lock-free-in-spirit read of an
+/// immutable, materialized cache. This is how geometry materialization
+/// moves off the submitting thread and overlaps with simulation: the
+/// submitter only creates empty slots, the pool builds on demand.
+class SharedFrontier {
+ public:
+  SharedFrontier(const cfg::Cfg& cfg, unsigned k) : cache_(cfg, k) {}
+
+  SharedFrontier(const SharedFrontier&) = delete;
+  SharedFrontier& operator=(const SharedFrontier&) = delete;
+
+  /// Claim-build or wait, then return the materialized cache. The mutex
+  /// acquire/release pair orders the builder's writes before every
+  /// reader's first borrow, so the returned cache is safe for concurrent
+  /// candidates() reads. When `built_this_call` is non-null it is set to
+  /// whether *this* call ran the build (artifact-cache accounting). If a
+  /// build throws, the claim is rolled back and waiters wake to re-claim
+  /// -- every caller either returns a ready cache or propagates a build
+  /// failure; none deadlocks.
+  [[nodiscard]] const FrontierCache* acquire(bool* built_this_call = nullptr);
+
+  /// True once a builder has finished (never blocks).
+  [[nodiscard]] bool ready() const;
+
+  /// The thread that ran materialize(); meaningful once ready(). Tests
+  /// pin that this is a pool worker, not the submitting thread.
+  [[nodiscard]] std::thread::id builder() const;
+
+ private:
+  enum class State : std::uint8_t { kIdle, kBuilding, kReady };
+
+  FrontierCache cache_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  State state_ = State::kIdle;
+  std::thread::id builder_{};
 };
 
 }  // namespace apcc::runtime

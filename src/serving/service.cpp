@@ -1,0 +1,311 @@
+#include "serving/service.hpp"
+
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "compress/codec.hpp"
+#include "sim/engine.hpp"
+
+namespace apcc::serving {
+
+/// Claim-build / wait handshake around one (workload, codec) compressed
+/// image. Same shape as runtime::SharedFrontier: the first cell that
+/// needs the artifact builds it on its own (pool) thread off the slot
+/// lock; concurrent cells block on the cv; afterwards the image is
+/// immutable and borrowed without locks.
+struct Service::ImageSlot {
+  enum class State : std::uint8_t { kIdle, kBuilding, kReady };
+
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  State state = State::kIdle;
+  std::unique_ptr<const runtime::BlockImage> image;
+};
+
+/// One registered workload plus its image artifacts. The workload lives
+/// behind a unique_ptr so its Cfg / trace / bytes keep stable addresses
+/// for the cache keys and the borrowing engines; map nodes are stable
+/// too, so slot pointers stay valid while other keys are inserted.
+/// (Frontier geometry lives in the service-wide frontiers_ map, keyed
+/// by runtime::FrontierKey -- CFG identity + k.)
+struct Service::Registered {
+  std::unique_ptr<const workloads::Workload> workload;
+  std::map<compress::CodecKind, std::unique_ptr<ImageSlot>> images;
+};
+
+Service::Service(ServiceOptions options) {
+  unsigned workers = options.workers != 0
+                         ? options.workers
+                         : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  pool_ = std::make_unique<sweep::Pool>(workers);
+}
+
+Service::~Service() = default;
+
+WorkloadId Service::register_workload(workloads::Workload workload) {
+  auto entry = std::make_unique<Registered>();
+  entry->workload =
+      std::make_unique<const workloads::Workload>(std::move(workload));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  registry_.push_back(std::move(entry));
+  return registry_.size() - 1;
+}
+
+std::size_t Service::workload_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return registry_.size();
+}
+
+const workloads::Workload& Service::workload(WorkloadId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  APCC_CHECK(id < registry_.size(), "unknown workload id");
+  return *registry_[id]->workload;
+}
+
+Service::Registered& Service::entry(WorkloadId id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  APCC_CHECK(id < registry_.size(), "unknown workload id");
+  return *registry_[id];
+}
+
+const runtime::BlockImage& Service::image_for(
+    Registered& entry, const core::SystemConfig& config) {
+  ImageSlot* slot = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& owned = entry.images[config.codec];
+    if (!owned) owned = std::make_unique<ImageSlot>();
+    slot = owned.get();
+  }
+
+  std::unique_lock<std::mutex> slot_lock(slot->mutex);
+  for (;;) {
+    if (slot->state == ImageSlot::State::kReady) {
+      slot_lock.unlock();
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.image_borrows;
+      return *slot->image;
+    }
+    if (slot->state == ImageSlot::State::kIdle) {
+      slot->state = ImageSlot::State::kBuilding;
+      slot_lock.unlock();
+      // Build off the lock: exactly what from_workload does -- train
+      // the codec on a copy of the block bytes, then freeze the image
+      // -- so a cached image is byte-identical to a per-call one.
+      const workloads::Workload& w = *entry.workload;
+      std::unique_ptr<const runtime::BlockImage> image;
+      try {
+        std::vector<compress::Bytes> bytes = w.block_bytes;
+        auto codec = compress::make_codec(config.codec, bytes);
+        image = std::make_unique<const runtime::BlockImage>(
+            w.cfg, std::move(bytes), std::move(codec));
+      } catch (...) {
+        // Roll the claim back and wake waiters so they re-claim (and
+        // hit the build failure themselves) rather than deadlock on a
+        // ready flip that will never come.
+        slot_lock.lock();
+        slot->state = ImageSlot::State::kIdle;
+        slot->ready_cv.notify_all();
+        throw;
+      }
+      slot_lock.lock();
+      slot->image = std::move(image);
+      slot->state = ImageSlot::State::kReady;
+      slot->ready_cv.notify_all();
+      slot_lock.unlock();
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.images_built;
+      return *slot->image;
+    }
+    slot->ready_cv.wait(slot_lock, [&] {
+      return slot->state != ImageSlot::State::kBuilding;
+    });
+  }
+}
+
+const runtime::FrontierCache* Service::frontiers_for(Registered& entry,
+                                                     unsigned k) {
+  const runtime::FrontierKey key{&entry.workload->cfg, k};
+  runtime::SharedFrontier* slot = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& owned = frontiers_[key];
+    if (!owned) {
+      owned =
+          std::make_unique<runtime::SharedFrontier>(entry.workload->cfg, k);
+    }
+    slot = owned.get();
+  }
+  bool built = false;
+  const runtime::FrontierCache* cache = slot->acquire(&built);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (built) {
+      ++stats_.frontiers_built;
+    } else {
+      ++stats_.frontier_borrows;
+    }
+  }
+  return cache;
+}
+
+sim::EngineConfig Service::cell_config(Registered& entry,
+                                       const sim::EngineConfig& base,
+                                       bool share_frontiers) {
+  sim::EngineConfig config = base;
+  if (share_frontiers) {
+    config.shared_frontiers =
+        frontiers_for(entry, config.policy.predecompress_k);
+  }
+  return config;
+}
+
+JobHandle<sim::RunResult> Service::submit(RunJob job) {
+  Registered& target = entry(job.workload);
+  APCC_CHECK(!target.workload->trace.empty(),
+             "workload '" + target.workload->name + "' has no default trace");
+
+  auto state = std::make_shared<JobHandle<sim::RunResult>::State>();
+  auto ctx = std::make_shared<RunJob>(std::move(job));
+  Registered* const entry_ptr = &target;
+  state->id = pool_->submit(
+      1,
+      [this, ctx, state, entry_ptr](std::size_t) {
+        Registered& target = *entry_ptr;
+        const runtime::BlockImage& image = image_for(target, ctx->config);
+        const sim::EngineConfig config = cell_config(
+            target, core::engine_config(ctx->config), ctx->share_frontiers);
+        sim::Engine engine(target.workload->cfg, image, config);
+        sim::RunResult result = engine.run(target.workload->trace);
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        state->value = std::move(result);
+      },
+      [state](std::exception_ptr failure) {
+        {
+          const std::lock_guard<std::mutex> lock(state->mutex);
+          state->failure = failure;
+          state->done = true;
+        }
+        state->cv.notify_all();
+      });
+  return JobHandle<sim::RunResult>(std::move(state));
+}
+
+JobHandle<std::vector<sweep::SweepOutcome>> Service::submit(SweepJob job) {
+  Registered& target = entry(job.workload);
+  APCC_CHECK(!target.workload->trace.empty(),
+             "workload '" + target.workload->name + "' has no default trace");
+
+  struct Ctx {
+    SweepJob job;
+    sweep::ResultSink sink;
+  };
+  auto state =
+      std::make_shared<JobHandle<std::vector<sweep::SweepOutcome>>::State>();
+  auto ctx = std::make_shared<Ctx>();
+  ctx->job = std::move(job);
+  Registered* const entry_ptr = &target;
+  state->id = pool_->submit(
+      ctx->job.tasks.size(),
+      [this, ctx, entry_ptr](std::size_t i) {
+        Registered& target = *entry_ptr;
+        const runtime::BlockImage& image = image_for(target, ctx->job.config);
+        const sweep::SweepTask& task = ctx->job.tasks[i];
+        const sim::EngineConfig config =
+            cell_config(target, task.config, ctx->job.share_frontiers);
+        sim::Engine engine(target.workload->cfg, image, config);
+        ctx->sink.push(sweep::SweepOutcome{i, task.label,
+                                           engine.run(target.workload->trace)});
+      },
+      [ctx, state](std::exception_ptr failure) {
+        {
+          const std::lock_guard<std::mutex> lock(state->mutex);
+          state->failure = failure;
+          if (!failure) state->value = ctx->sink.take_sorted();
+          state->done = true;
+        }
+        state->cv.notify_all();
+      });
+  return JobHandle<std::vector<sweep::SweepOutcome>>(std::move(state));
+}
+
+JobHandle<std::vector<sweep::CampaignResult>> Service::submit(
+    CampaignJob job) {
+  struct Ctx {
+    CampaignJob job;
+    std::vector<Registered*> entries;
+    std::vector<std::string> names;
+    std::vector<sweep::ResultSink> sinks;
+  };
+  auto ctx = std::make_shared<Ctx>();
+  ctx->job = std::move(job);
+  for (const WorkloadId id : ctx->job.workloads) {
+    Registered& target = entry(id);
+    APCC_CHECK(!target.workload->trace.empty(), "workload '" +
+                                                    target.workload->name +
+                                                    "' has no default trace");
+    ctx->entries.push_back(&target);
+    ctx->names.push_back(target.workload->name);
+  }
+  ctx->sinks = std::vector<sweep::ResultSink>(ctx->entries.size());
+
+  auto state =
+      std::make_shared<JobHandle<std::vector<sweep::CampaignResult>>::State>();
+  // Same workload-major flattening as sweep::run_campaign: cell i is
+  // workload i / |grid|, task i % |grid|.
+  const std::size_t grid_size = ctx->job.grid.size();
+  const std::size_t total = ctx->entries.size() * grid_size;
+  state->id = pool_->submit(
+      total,
+      [this, ctx, grid_size](std::size_t i) {
+        const std::size_t w = i / grid_size;
+        const std::size_t t = i % grid_size;
+        Registered& target = *ctx->entries[w];
+        const runtime::BlockImage& image = image_for(target, ctx->job.config);
+        const sweep::SweepTask& task = ctx->job.grid[t];
+        const sim::EngineConfig config =
+            cell_config(target, task.config, ctx->job.share_frontiers);
+        sim::Engine engine(target.workload->cfg, image, config);
+        ctx->sinks[w].push(sweep::SweepOutcome{
+            t, task.label, engine.run(target.workload->trace)});
+      },
+      [ctx, state](std::exception_ptr failure) {
+        {
+          const std::lock_guard<std::mutex> lock(state->mutex);
+          state->failure = failure;
+          if (!failure) {
+            state->value.reserve(ctx->names.size());
+            for (std::size_t w = 0; w < ctx->names.size(); ++w) {
+              state->value.push_back(sweep::CampaignResult{
+                  ctx->names[w], ctx->sinks[w].take_sorted()});
+            }
+          }
+          state->done = true;
+        }
+        state->cv.notify_all();
+      });
+  return JobHandle<std::vector<sweep::CampaignResult>>(std::move(state));
+}
+
+void Service::drain() { pool_->drain(); }
+
+Service::CacheStats Service::cache_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+unsigned Service::workers() const { return pool_->workers(); }
+
+const runtime::SharedFrontier* Service::frontier_slot(
+    WorkloadId id, unsigned predecompress_k) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  APCC_CHECK(id < registry_.size(), "unknown workload id");
+  const runtime::FrontierKey key{&registry_[id]->workload->cfg,
+                                 predecompress_k};
+  const auto it = frontiers_.find(key);
+  return it == frontiers_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace apcc::serving

@@ -1,0 +1,230 @@
+// apcc::serving::Service -- the persistent job-submission API.
+//
+// The PR 0-3 entry points (CodeCompressionSystem::run / run_sweep,
+// core::run_campaign) are one-shot: every call rebuilds the compressed
+// BlockImage, re-materializes frontier geometry, and spins a pool up
+// and down. That is the wrong shape for the workload the ROADMAP aims
+// at -- the same suite replayed under many policy grids, by many
+// clients -- where the expensive transforms are *artifacts of the
+// workload*, not of the request. Service inverts the lifecycle:
+//
+//   serving::Service service;                          // resident pool
+//   auto id = service.register_workload(
+//       workloads::make_workload(WorkloadKind::kGsmLike));
+//   auto run   = service.submit(serving::RunJob{id});
+//   auto sweep = service.submit(serving::SweepJob{id, {}, grid});
+//   ...                                  // jobs run on the shared pool
+//   const sim::RunResult& r = run.wait();
+//
+//  * register_workload() hands the Service ownership of a workload; the
+//    returned WorkloadId names it in every later job.
+//  * The Service owns a per-workload **artifact cache**: the compressed
+//    BlockImage keyed by codec kind, the materialized FrontierCache
+//    keyed by (CFG, predecompress_k), and the parsed trace. Artifacts
+//    are built lazily -- by the first pool worker whose job needs them,
+//    never on the submitting thread -- deduplicated by a claim-build /
+//    wait handshake, and immutable afterwards, so any number of
+//    concurrent jobs borrow them without copies or locks.
+//  * submit() enqueues typed jobs (RunJob, SweepJob, CampaignJob) onto
+//    one shared sweep::Pool and returns a future-style JobHandle
+//    immediately. The pool's scheduler interleaves jobs (oldest first,
+//    cross-job overflow), so several grids are in flight at once and
+//    geometry materialization overlaps with simulation.
+//
+// The invariant the whole design hangs on: a job's outcome is
+// **byte-identical** to the equivalent direct run / run_sweep /
+// run_campaign call. Cached images are built by the same codec
+// training on the same bytes; borrowed geometry holds exactly the
+// lists an owned cache would compute (pinned by the engine-equivalence
+// grid); scheduling only changes *when* a cell runs, never what it
+// computes. tests/serving/service_test.cpp pins the differentials.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/system.hpp"
+#include "runtime/frontier_cache.hpp"
+#include "support/assert.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/pool.hpp"
+#include "sweep/sweep.hpp"
+#include "workloads/suite.hpp"
+
+namespace apcc::serving {
+
+/// Names a workload registered with a Service (dense, 0-based).
+using WorkloadId = std::size_t;
+
+/// Job identifier: unique per Service, shared with the pool's work
+/// items so the scheduler and diagnostics can attribute cells to jobs.
+using JobId = sweep::Pool::JobId;
+
+struct ServiceOptions {
+  /// Resident pool width; 0 means hardware concurrency (clamped to at
+  /// least 1). Unlike the one-shot runners, 1 still means one resident
+  /// worker *thread* -- submit() never runs work inline.
+  unsigned workers = 0;
+};
+
+/// Simulate one workload's default trace under one configuration --
+/// the Service form of CodeCompressionSystem::run().
+struct RunJob {
+  WorkloadId workload = 0;
+  core::SystemConfig config{};
+  /// Borrow the cached (workload, predecompress_k) geometry instead of
+  /// the engine building its own (bit-identical either way).
+  bool share_frontiers = true;
+};
+
+/// Run a policy grid over one workload -- the Service form of
+/// CodeCompressionSystem::run_sweep(). `config` supplies the codec
+/// (image artifact key); each task carries its own engine knobs.
+struct SweepJob {
+  WorkloadId workload = 0;
+  core::SystemConfig config{};
+  std::vector<sweep::SweepTask> tasks;
+  /// Borrow the cached per-(workload, k) geometry. Outcomes are
+  /// bit-identical either way; off forces every engine to own its
+  /// frontier cache (the reference behaviour).
+  bool share_frontiers = true;
+};
+
+/// Run one grid over many workloads -- the Service form of
+/// core::run_campaign(), returning per-workload task-ordered outcomes.
+struct CampaignJob {
+  std::vector<WorkloadId> workloads;
+  core::SystemConfig config{};
+  std::vector<sweep::SweepTask> grid;
+  bool share_frontiers = true;
+};
+
+/// Future-style result of a submitted job. Handles are cheap shared
+/// references: copy them, stash them, wait from any thread. wait()
+/// blocks until the job retires and rethrows the job's first failure;
+/// the returned reference stays valid for the handle's lifetime.
+template <typename T>
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] JobId id() const { return state_ ? state_->id : 0; }
+
+  /// True once the job has retired (never blocks).
+  [[nodiscard]] bool ready() const {
+    if (!state_) return false;
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->done;
+  }
+
+  /// Block until the job retires; rethrows its first failure. May be
+  /// called repeatedly and from several threads.
+  const T& wait() const {
+    APCC_CHECK(state_ != nullptr, "wait() on an empty JobHandle");
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    if (state_->failure) std::rethrow_exception(state_->failure);
+    return state_->value;
+  }
+
+ private:
+  friend class Service;
+
+  struct State {
+    JobId id = 0;
+    mutable std::mutex mutex;
+    mutable std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr failure;
+    T value{};
+  };
+
+  explicit JobHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  /// Drains every in-flight job (their handles all become ready), then
+  /// stops the pool.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Take ownership of a workload; the id names it in later jobs.
+  /// Registration is cheap -- no artifact is built until a job needs
+  /// it -- and safe while jobs are in flight.
+  WorkloadId register_workload(workloads::Workload workload);
+
+  [[nodiscard]] std::size_t workload_count() const;
+  [[nodiscard]] const workloads::Workload& workload(WorkloadId id) const;
+
+  /// Enqueue a job onto the shared pool; returns immediately.
+  [[nodiscard]] JobHandle<sim::RunResult> submit(RunJob job);
+  [[nodiscard]] JobHandle<std::vector<sweep::SweepOutcome>> submit(
+      SweepJob job);
+  [[nodiscard]] JobHandle<std::vector<sweep::CampaignResult>> submit(
+      CampaignJob job);
+
+  /// Block until every job submitted so far has retired.
+  void drain();
+
+  /// Artifact-cache observability (tests pin dedup and reuse on these;
+  /// counters are cumulative since construction).
+  struct CacheStats {
+    std::size_t images_built = 0;     // BlockImages materialized
+    std::size_t image_borrows = 0;    // cells served by a cached image
+    std::size_t frontiers_built = 0;  // FrontierCaches materialized
+    std::size_t frontier_borrows = 0; // engines that borrowed geometry
+  };
+  [[nodiscard]] CacheStats cache_stats() const;
+
+  [[nodiscard]] unsigned workers() const;
+
+  /// The (CFG, k) geometry slot for a registered workload, if some job
+  /// has needed it. Exposed for tests and diagnostics: builder() says
+  /// which thread materialized it (pinned off the submitting thread).
+  [[nodiscard]] const runtime::SharedFrontier* frontier_slot(
+      WorkloadId id, unsigned predecompress_k) const;
+
+ private:
+  struct ImageSlot;
+  struct Registered;
+
+  /// Resolve (build-or-borrow) the image artifact for a cell.
+  const runtime::BlockImage& image_for(Registered& entry,
+                                       const core::SystemConfig& config);
+  /// Resolve the geometry artifact; creates the slot on first need.
+  const runtime::FrontierCache* frontiers_for(Registered& entry, unsigned k);
+  /// Engine config for one cell, with borrowed geometry when asked.
+  sim::EngineConfig cell_config(Registered& entry,
+                                const sim::EngineConfig& base,
+                                bool share_frontiers);
+
+  Registered& entry(WorkloadId id);
+
+  mutable std::mutex mutex_;  // registry + slot maps + stats
+  std::vector<std::unique_ptr<Registered>> registry_;
+  /// Geometry artifacts, keyed by (CFG identity, k). Service-wide: the
+  /// key is the CFG address, which each registered workload owns.
+  std::map<runtime::FrontierKey, std::unique_ptr<runtime::SharedFrontier>>
+      frontiers_;
+  CacheStats stats_;
+  // Declared last: the pool's destructor drains worker threads that
+  // touch the members above, so it must die first.
+  std::unique_ptr<sweep::Pool> pool_;
+};
+
+}  // namespace apcc::serving

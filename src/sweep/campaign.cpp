@@ -10,21 +10,24 @@ namespace apcc::sweep {
 
 namespace {
 
-/// Materialized (workload, predecompress_k) geometry, built once before
-/// the pool starts so workers only ever read it.
+/// One SharedFrontier handshake slot per runtime::FrontierKey -- (CFG
+/// identity, predecompress_k) -- the grid needs. The submitting thread
+/// only creates the (cheap, empty) slots; the first pool worker whose
+/// cell needs a key claims its build and materializes on the worker, so
+/// geometry construction overlaps with simulation of cells over other
+/// keys instead of serializing on the caller before the pool starts.
 using GeometryMap =
-    std::vector<std::map<unsigned, std::unique_ptr<runtime::FrontierCache>>>;
+    std::map<runtime::FrontierKey, std::unique_ptr<runtime::SharedFrontier>>;
 
-GeometryMap build_geometry(const std::vector<CampaignWorkload>& workloads,
-                           const std::vector<SweepTask>& grid) {
-  GeometryMap geometry(workloads.size());
-  for (std::size_t w = 0; w < workloads.size(); ++w) {
+GeometryMap make_geometry_slots(const std::vector<CampaignWorkload>& workloads,
+                                const std::vector<SweepTask>& grid) {
+  GeometryMap geometry;
+  for (const CampaignWorkload& workload : workloads) {
     for (const SweepTask& task : grid) {
       const unsigned k = task.config.policy.predecompress_k;
-      auto& slot = geometry[w][k];
+      auto& slot = geometry[runtime::FrontierKey{workload.cfg, k}];
       if (!slot) {
-        slot = std::make_unique<runtime::FrontierCache>(*workloads[w].cfg, k);
-        slot->materialize();
+        slot = std::make_unique<runtime::SharedFrontier>(*workload.cfg, k);
       }
     }
   }
@@ -48,7 +51,7 @@ std::vector<CampaignResult> run_campaign(
   if (workloads.empty() || grid.empty()) return results;
 
   GeometryMap geometry;
-  if (options.share_frontiers) geometry = build_geometry(workloads, grid);
+  if (options.share_frontiers) geometry = make_geometry_slots(workloads, grid);
 
   // Flatten the (workload x task) matrix workload-major: cell i is
   // workload i / |grid|, task i % |grid| -- so the one-worker inline
@@ -65,8 +68,13 @@ std::vector<CampaignResult> run_campaign(
     const CampaignWorkload& workload = workloads[w];
     sim::EngineConfig config = grid[t].config;
     if (options.share_frontiers) {
+      // Claim-build or wait: first cell over this (workload, k) key
+      // materializes the cache on its worker, everyone later borrows.
       config.shared_frontiers =
-          geometry[w].at(config.policy.predecompress_k).get();
+          geometry
+              .at(runtime::FrontierKey{workload.cfg,
+                                       config.policy.predecompress_k})
+              ->acquire();
     }
     sim::Engine engine(*workload.cfg, *workload.image, config);
     sinks[w].push(SweepOutcome{t, grid[t].label, engine.run(*workload.trace)});

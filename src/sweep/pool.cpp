@@ -1,53 +1,148 @@
 #include "sweep/pool.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <algorithm>
 
-namespace apcc::sweep::detail {
+namespace apcc::sweep {
+
+Pool::Pool(unsigned workers) {
+  const unsigned count = std::max(1u, workers);
+  threads_.reserve(count);
+  for (unsigned w = 0; w < count; ++w) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::shared_ptr<Pool::Job> Pool::claimable_locked() {
+  for (const auto& job : queue_) {
+    if (job->next < job->total) return job;
+  }
+  return nullptr;
+}
+
+void Pool::retire_locked(JobId id) {
+  retired_.push_back(id);
+  std::sort(retired_.begin(), retired_.end());
+  while (!retired_.empty() && retired_.front() == retired_below_) {
+    retired_.erase(retired_.begin());
+    ++retired_below_;
+  }
+  finished_cv_.notify_all();
+}
+
+Pool::JobId Pool::submit(std::size_t total, ItemFn item, FinalizeFn finalize) {
+  std::shared_ptr<Job> job = std::make_shared<Job>();
+  job->total = total;
+  job->item = std::move(item);
+  job->finalize = std::move(finalize);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job->id = next_id_++;
+    if (total > 0) queue_.push_back(job);
+  }
+  if (total == 0) {
+    // Nothing to schedule: finalize synchronously (callers get a handle
+    // that is already ready) and retire the id.
+    if (job->finalize) job->finalize(nullptr);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    retire_locked(job->id);
+    return job->id;
+  }
+  work_cv_.notify_all();
+  return job->id;
+}
+
+void Pool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const std::shared_ptr<Job> job = claimable_locked();
+    if (!job) {
+      if (stopping_ && queue_.empty()) return;
+      work_cv_.wait(lock);
+      continue;
+    }
+
+    const std::size_t index = job->next++;
+    const bool skip = job->cancelled;
+    lock.unlock();
+
+    std::exception_ptr error;
+    if (!skip) {
+      try {
+        job->item(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+
+    lock.lock();
+    if (error) {
+      if (!job->failure) job->failure = error;
+      // Remaining unclaimed items of *this* job are skipped (their
+      // results would be discarded anyway); other jobs are unaffected.
+      job->cancelled = true;
+    }
+    ++job->done;
+    if (job->done == job->total) {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+      const FinalizeFn finalize = std::move(job->finalize);
+      const std::exception_ptr failure = job->failure;
+      lock.unlock();
+      if (finalize) finalize(failure);
+      lock.lock();
+      retire_locked(job->id);
+      // A retiring job can be what a stopping pool's idle workers were
+      // waiting on.
+      work_cv_.notify_all();
+    }
+  }
+}
+
+void Pool::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  finished_cv_.wait(lock, [&] {
+    if (id >= next_id_) return true;  // never issued
+    if (id < retired_below_) return true;
+    return std::find(retired_.begin(), retired_.end(), id) != retired_.end();
+  });
+}
+
+void Pool::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  finished_cv_.wait(lock, [&] { return retired_below_ == next_id_; });
+}
+
+namespace detail {
 
 void parallel_for_index(std::size_t total, unsigned workers,
                         const std::function<void(std::size_t)>& fn) {
   if (total == 0) return;
 
   if (workers <= 1) {
-    // Inline: no pool, no atomics -- this is also the sequential
+    // Inline: no pool, no locks -- this is also the sequential
     // reference the differential tests compare the sharded paths
     // against.
     for (std::size_t i = 0; i < total; ++i) fn(i);
     return;
   }
 
-  std::atomic<std::size_t> next{0};
+  Pool pool(static_cast<unsigned>(
+      std::min<std::size_t>(workers, total)));
   std::exception_ptr failure;
-  std::mutex failure_mutex;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total) return;
-      try {
-        fn(i);
-      } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(failure_mutex);
-          if (!failure) failure = std::current_exception();
-        }
-        // The results are discarded on failure anyway; stop handing out
-        // work so the pool drains quickly.
-        next.store(total, std::memory_order_relaxed);
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-
+  pool.submit(
+      total, fn, [&failure](std::exception_ptr error) { failure = error; });
+  pool.drain();
   if (failure) std::rethrow_exception(failure);
 }
 
-}  // namespace apcc::sweep::detail
+}  // namespace detail
+
+}  // namespace apcc::sweep

@@ -1,27 +1,125 @@
-// Shared work-stealing index pool for the sweep and campaign runners.
+// Shared worker pool for the sweep, campaign, and serving layers.
 //
-// Both run_sweep (one workload x policy grid) and run_campaign
-// (workload suite x policy grid) reduce to the same shape: N independent
-// tasks identified by a flat index, claimed off an atomic counter by a
-// fixed set of worker threads. This header is the one implementation of
-// that loop, so the two runners cannot drift in their pool semantics
-// (inline execution at one worker, first-failure capture, fast drain on
-// error).
+// Every parallel runner in this codebase reduces to the same shape: a
+// job of N independent work items identified by a flat index, claimed
+// off a shared counter by a fixed set of worker threads. PR 2/3 ran
+// that loop per call (parallel_for_index); the serving layer needs it
+// *resident* -- one pool owned by a long-lived Service, with several
+// jobs (grids, campaigns) in flight at once. Pool is that resident
+// generalization:
+//
+//  * submit() enqueues a job (total item count + per-item callback +
+//    finalize callback) and returns a JobId immediately; work items
+//    carry (job, index) so the scheduler can interleave jobs.
+//  * Scheduling is FIFO with cross-job overflow: workers claim items
+//    from the oldest job that still has unclaimed items, so job A's
+//    long tail overlaps job B's head instead of the pool draining and
+//    refilling per job.
+//  * The first exception a job's item throws cancels that job's
+//    remaining unclaimed items (other jobs are unaffected) and is
+//    handed to the job's finalize callback, which runs exactly once, on
+//    a pool thread, after the job's last item retires.
+//
+// parallel_for_index is kept as the synchronous veneer the one-shot
+// runners (run_sweep / run_campaign) use: inline at workers <= 1 (the
+// sequential reference order the differential tests compare against),
+// a temporary Pool otherwise.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
-namespace apcc::sweep::detail {
+namespace apcc::sweep {
+
+class Pool {
+ public:
+  using JobId = std::uint64_t;
+
+  /// Item callback: called once per index in [0, total), possibly
+  /// concurrently from several pool threads.
+  using ItemFn = std::function<void(std::size_t)>;
+  /// Finalize callback: called exactly once per job, from a pool
+  /// thread, after every item has retired. The argument is the first
+  /// exception any item threw, or nullptr on clean completion.
+  using FinalizeFn = std::function<void(std::exception_ptr)>;
+
+  /// Spin up `workers` resident threads (clamped to at least 1).
+  explicit Pool(unsigned workers);
+
+  /// Drains every submitted job (finalizers included), then joins.
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// Enqueue a job and return its id without running anything on the
+  /// calling thread. A job with total == 0 is finalized immediately
+  /// (synchronously, with a null failure).
+  JobId submit(std::size_t total, ItemFn item, FinalizeFn finalize);
+
+  /// Block until job `id` has finalized (returns immediately for ids
+  /// already retired or never issued).
+  void wait(JobId id);
+
+  /// Block until every job submitted so far has finalized.
+  void drain();
+
+ private:
+  struct Job {
+    JobId id = 0;
+    std::size_t total = 0;
+    ItemFn item;
+    FinalizeFn finalize;
+    std::size_t next = 0;  // next unclaimed index (guarded by mutex_)
+    std::size_t done = 0;  // retired items (guarded by mutex_)
+    bool cancelled = false;
+    std::exception_ptr failure;
+  };
+
+  void worker_loop();
+
+  /// The oldest queued job with an unclaimed item; nullptr when idle.
+  [[nodiscard]] std::shared_ptr<Job> claimable_locked();
+
+  /// Record a finalized id (compacting into retired_below_) and wake
+  /// waiters. Caller holds mutex_.
+  void retire_locked(JobId id);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;      // workers: new work or shutdown
+  std::condition_variable finished_cv_;  // waiters: some job finalized
+  std::deque<std::shared_ptr<Job>> queue_;  // submitted, not yet retired
+  JobId next_id_ = 1;
+  JobId retired_below_ = 1;  // every id < this has finalized
+  std::vector<JobId> retired_;  // finalized ids >= retired_below_
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+namespace detail {
 
 /// Run `fn(i)` for every i in [0, total), sharded across `workers`
-/// threads via an atomic work-stealing counter. `workers` must be >= 1;
-/// 1 runs every index inline on the calling thread with no pool at all.
-/// The first exception thrown by any `fn(i)` is rethrown on the calling
-/// thread after the pool drains (remaining indexes are abandoned so the
-/// drain is quick). `fn` must be safe to call concurrently from
-/// `workers` threads for distinct indexes.
+/// threads. `workers` must be >= 1; 1 runs every index inline on the
+/// calling thread with no pool at all. The first exception thrown by
+/// any `fn(i)` is rethrown on the calling thread after the pool drains
+/// (remaining indexes are abandoned so the drain is quick). `fn` must
+/// be safe to call concurrently from `workers` threads for distinct
+/// indexes.
 void parallel_for_index(std::size_t total, unsigned workers,
                         const std::function<void(std::size_t)>& fn);
 
-}  // namespace apcc::sweep::detail
+}  // namespace detail
+
+}  // namespace apcc::sweep

@@ -1,0 +1,180 @@
+// CLI smoke tests: drive the apcc_cli binary end-to-end on a checked-in
+// .s workload and pin the contract scripts rely on -- exit codes
+// (0 success, 1 usage error incl. contradictory grid options, 2 input
+// error), CSV output with a stable header, and the batch job-file mode.
+//
+// The binary path and data directory arrive via compile definitions
+// (APCC_CLI_PATH / APCC_CLI_DATA_DIR, set in CMakeLists.txt); the test
+// group is only built when APCC_BUILD_TOOLS is on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr const char* kCliPath = APCC_CLI_PATH;
+constexpr const char* kDataDir = APCC_CLI_DATA_DIR;
+
+/// The fixed to_csv header (core/csv.hpp): scripts parse on it.
+constexpr const char* kCsvHeader =
+    "label,total_cycles,baseline_cycles,slowdown,peak_bytes,avg_bytes,"
+    "compressed_area_bytes,original_bytes,codec_ratio,exceptions,"
+    "demand_decompressions,predecompressions,deletions,evictions,"
+    "stall_cycles";
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout only; stderr is discarded
+};
+
+CommandResult run_cli(const std::string& args) {
+  const std::string command =
+      std::string(kCliPath) + " " + args + " 2>/dev/null";
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string workload_path() {
+  return std::string(kDataDir) + "/mini_dsp.s";
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::size_t count_fields(const std::string& line) {
+  return static_cast<std::size_t>(
+             std::count(line.begin(), line.end(), ',')) + 1;
+}
+
+TEST(CliSmoke, SimReportsTheWorkload) {
+  const auto result = run_cli("sim " + workload_path());
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("mini_dsp.s"), std::string::npos);
+  EXPECT_NE(result.output.find("cycles:"), std::string::npos);
+}
+
+TEST(CliSmoke, SimCsvHasStableHeaderAndOneRow) {
+  const auto result = run_cli("sim " + workload_path() + " --csv");
+  ASSERT_EQ(result.exit_code, 0);
+  const auto lines = lines_of(result.output);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], kCsvHeader);
+  EXPECT_EQ(count_fields(lines[1]), count_fields(lines[0]));
+}
+
+TEST(CliSmoke, SweepCsvHasFullGridInTaskOrder) {
+  const auto result =
+      run_cli("sweep " + workload_path() + " --csv --workers 2");
+  ASSERT_EQ(result.exit_code, 0);
+  const auto lines = lines_of(result.output);
+  // Header + 3 strategies x 4 k values.
+  ASSERT_EQ(lines.size(), 1u + 12u);
+  EXPECT_EQ(lines[0], kCsvHeader);
+  EXPECT_EQ(lines[1].rfind("on-demand/k=1,", 0), 0u);
+  EXPECT_EQ(lines[12].rfind("pre-single/k=8,", 0), 0u);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(count_fields(lines[i]), count_fields(lines[0])) << lines[i];
+  }
+}
+
+TEST(CliSmoke, SweepAndCampaignRejectContradictoryGridOptions) {
+  EXPECT_EQ(run_cli("sweep " + workload_path() + " --strategy pre-all")
+                .exit_code,
+            1);
+  EXPECT_EQ(run_cli("sweep " + workload_path() + " --kc 2").exit_code, 1);
+  EXPECT_EQ(run_cli("campaign --kd 4").exit_code, 1);
+}
+
+TEST(CliSmoke, UsageErrorsExitOne) {
+  EXPECT_EQ(run_cli("sim " + workload_path() + " --no-such-flag").exit_code,
+            1);
+  EXPECT_EQ(run_cli("frobnicate x").exit_code, 1);
+}
+
+TEST(CliSmoke, MissingInputExitsTwo) {
+  EXPECT_EQ(run_cli("sim /nonexistent/nope.s").exit_code, 2);
+}
+
+TEST(CliSmoke, BatchRunsCampaignOverTheCheckedInWorkload) {
+  // batch covers the campaign path on the checked-in workload (the bare
+  // `campaign` subcommand grids over the whole built-in suite, too slow
+  // for a smoke test) and exercises run/sweep artifact reuse.
+  const std::string jobfile =
+      ::testing::TempDir() + "/apcc_smoke_jobs.txt";
+  {
+    std::ofstream out(jobfile);
+    out << "# smoke jobs\n"
+        << "run " << workload_path() << "\n"
+        << "sweep " << workload_path() << " --csv\n"
+        << "campaign " << workload_path() << " --csv\n";
+  }
+  const auto result = run_cli("batch " + jobfile + " --workers 2");
+  ASSERT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("### job 1: run"), std::string::npos);
+  EXPECT_NE(result.output.find("### job 2: sweep"), std::string::npos);
+  EXPECT_NE(result.output.find("### job 3: campaign"), std::string::npos);
+  // The campaign CSV labels rows workload/task.
+  EXPECT_NE(result.output.find(workload_path() + "/on-demand/k=1,"),
+            std::string::npos);
+  std::remove(jobfile.c_str());
+}
+
+TEST(CliSmoke, BatchRejectsGridOverridesInsideJobLines) {
+  const std::string jobfile =
+      ::testing::TempDir() + "/apcc_smoke_bad_jobs.txt";
+  {
+    std::ofstream out(jobfile);
+    out << "sweep " << workload_path() << " --strategy pre-all\n";
+  }
+  EXPECT_EQ(run_cli("batch " + jobfile).exit_code, 1);
+  // --workers is service-wide: a job line passing it is rejected, not
+  // silently ignored -- even when every earlier line is valid (the
+  // whole file is validated before anything is submitted).
+  {
+    std::ofstream out(jobfile);
+    out << "run " << workload_path() << "\n"
+        << "sweep " << workload_path() << " --workers 4\n";
+  }
+  EXPECT_EQ(run_cli("batch " + jobfile).exit_code, 1);
+  // And the mirror image: per-job config on the batch command line
+  // (which applies to no job) is rejected, not silently dropped.
+  {
+    std::ofstream out(jobfile);
+    out << "run " << workload_path() << "\n";
+  }
+  EXPECT_EQ(run_cli("batch " + jobfile + " --codec null").exit_code, 1);
+  std::remove(jobfile.c_str());
+}
+
+TEST(CliSmoke, AsmAndCfgStillWork) {
+  const auto asm_result = run_cli("asm " + workload_path());
+  EXPECT_EQ(asm_result.exit_code, 0);
+  EXPECT_NE(asm_result.output.find("function(s)"), std::string::npos);
+  const auto cfg_result = run_cli("cfg " + workload_path());
+  EXPECT_EQ(cfg_result.exit_code, 0);
+  EXPECT_NE(cfg_result.output.find("digraph"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,46 @@
+# mini_dsp.s -- checked-in CLI smoke workload.
+#
+# Small but representative: a hot accumulate loop calling a leaf
+# function, a rarely-taken guard, and a cold never-called error
+# handler -- enough block structure for sim/sweep/campaign to produce
+# non-trivial policies, small enough that the smoke tests run in
+# milliseconds.
+.entry main
+
+.func scale2
+  # r2 = (r1 * 3) & 255
+  addi r3, r0, 3
+  mul r2, r1, r3
+  andi r2, r2, 255
+  ret
+
+.func cold_error
+  # Never called: referenced only by the never-taken guard in main.
+  addi r9, r0, 255
+  sw r9, 0(r10)
+  addi r9, r9, 1
+  sw r9, 4(r10)
+  ret
+
+.func main
+  addi r5, r0, 0       # accumulator
+  addi r6, r0, 0       # induction
+  addi r7, r0, 96      # trip count
+  addi r10, r0, 4096   # spill base
+loop:
+  add r1, r6, r5
+  andi r1, r1, 127
+  jal scale2
+  add r5, r5, r2
+  andi r5, r5, 8191
+  addi r6, r6, 1
+  bne r6, r7, loop
+  # Guard: r5 is masked to 13 bits, so this trips only if arithmetic
+  # broke -- the call below is cold code.
+  addi r8, r0, 16384
+  slt r9, r5, r8
+  bne r9, r0, done
+  jal cold_error
+done:
+  sw r5, 0(r10)
+  halt

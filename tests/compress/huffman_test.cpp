@@ -171,6 +171,45 @@ TEST(PerStreamHuffman, HeaderDominatesTinyBlocks) {
       << "per-stream header should expand tiny inputs";
 }
 
+TEST(CanonicalCode, BatchedEncodeBitIdenticalToPerSymbol) {
+  // encode_all pre-concatenates (code, len) pairs through a 64-bit
+  // accumulator; the stream must match the per-symbol reference bit for
+  // bit -- across skew levels (deep codes exercise the 15-bit appends)
+  // and lengths around the 32-bit flush boundary.
+  apcc::Rng rng(123);
+  for (const double skew : {0.0, 0.5, 0.95}) {
+    std::array<std::uint64_t, kAlphabetSize> freqs{};
+    for (std::size_t s = 0; s < kAlphabetSize; ++s) freqs[s] = 1;
+    freqs[0x42] += static_cast<std::uint64_t>(skew * 100000);
+    const CanonicalCode code(build_code_lengths(freqs));
+    for (const std::size_t size : {0u, 1u, 3u, 4u, 5u, 31u, 257u, 4096u}) {
+      Bytes input;
+      for (std::size_t i = 0; i < size; ++i) {
+        input.push_back(rng.next_bool(skew)
+                            ? 0x42
+                            : static_cast<std::uint8_t>(rng.next_below(256)));
+      }
+      apcc::BitWriter reference;
+      for (const std::uint8_t b : input) code.encode(reference, b);
+      apcc::BitWriter batched;
+      code.encode_all(batched, input);
+      EXPECT_EQ(batched.bit_count(), reference.bit_count());
+      EXPECT_EQ(batched.take(), reference.take())
+          << "skew " << skew << " size " << size;
+    }
+  }
+}
+
+TEST(SharedHuffman, CompressRoundTripsThroughBatchedEncoder) {
+  Bytes input;
+  apcc::Rng rng(321);
+  for (int i = 0; i < 2048; ++i) {
+    input.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  }
+  const SharedHuffmanCodec codec(std::vector<Bytes>{input});
+  EXPECT_EQ(codec.decompress(codec.compress(input), input.size()), input);
+}
+
 TEST(PerStreamHuffman, CompressesSkewedLargeInput) {
   Bytes input;
   apcc::Rng rng(77);

@@ -1,0 +1,121 @@
+// Resident Pool semantics: job ids, cross-job scheduling, failure
+// cancellation scoped to one job, wait/drain, and the zero-item fast
+// path. (run_sweep / run_campaign equivalence is pinned by the sweep
+// and campaign differential tests; these cover the pool directly.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "sweep/pool.hpp"
+
+namespace apcc::sweep {
+namespace {
+
+TEST(Pool, RunsEveryIndexExactlyOnce) {
+  Pool pool(4);
+  std::mutex mutex;
+  std::multiset<std::size_t> seen;
+  const auto id = pool.submit(
+      100,
+      [&](std::size_t i) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        seen.insert(i);
+      },
+      nullptr);
+  pool.wait(id);
+  ASSERT_EQ(seen.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(Pool, JobIdsAreUniqueAndFinalizeRunsOnce) {
+  Pool pool(2);
+  std::atomic<int> finalized{0};
+  const auto a = pool.submit(3, [](std::size_t) {}, [&](std::exception_ptr) {
+    ++finalized;
+  });
+  const auto b = pool.submit(3, [](std::size_t) {}, [&](std::exception_ptr) {
+    ++finalized;
+  });
+  EXPECT_NE(a, b);
+  pool.drain();
+  EXPECT_EQ(finalized.load(), 2);
+}
+
+TEST(Pool, SeveralJobsInFlightAllComplete) {
+  Pool pool(3);
+  std::atomic<std::size_t> items{0};
+  std::vector<Pool::JobId> ids;
+  for (int j = 0; j < 5; ++j) {
+    ids.push_back(pool.submit(
+        20, [&](std::size_t) { ++items; }, nullptr));
+  }
+  for (const auto id : ids) pool.wait(id);
+  EXPECT_EQ(items.load(), 100u);
+}
+
+TEST(Pool, FailureCancelsOnlyTheFailingJob) {
+  Pool pool(2);
+  std::atomic<std::size_t> poisoned_ran{0};
+  std::atomic<std::size_t> healthy_ran{0};
+  std::exception_ptr poisoned_failure;
+  std::exception_ptr healthy_failure;
+  const auto poisoned = pool.submit(
+      50,
+      [&](std::size_t i) {
+        if (i == 0) throw std::runtime_error("boom");
+        ++poisoned_ran;
+      },
+      [&](std::exception_ptr failure) { poisoned_failure = failure; });
+  const auto healthy = pool.submit(
+      50, [&](std::size_t) { ++healthy_ran; },
+      [&](std::exception_ptr failure) { healthy_failure = failure; });
+  pool.wait(poisoned);
+  pool.wait(healthy);
+  ASSERT_TRUE(poisoned_failure != nullptr);
+  EXPECT_THROW(std::rethrow_exception(poisoned_failure), std::runtime_error);
+  EXPECT_TRUE(healthy_failure == nullptr);
+  EXPECT_EQ(healthy_ran.load(), 50u);  // unaffected by the other job
+  EXPECT_LT(poisoned_ran.load(), 50u);  // tail skipped after the throw
+}
+
+TEST(Pool, ZeroItemJobFinalizesImmediately) {
+  Pool pool(1);
+  bool finalized = false;
+  const auto id = pool.submit(0, nullptr, [&](std::exception_ptr failure) {
+    EXPECT_TRUE(failure == nullptr);
+    finalized = true;
+  });
+  EXPECT_TRUE(finalized);  // synchronous, no pool round trip
+  pool.wait(id);  // and wait() on it returns at once
+}
+
+TEST(Pool, WaitOnUnknownIdReturns) {
+  Pool pool(1);
+  pool.wait(12345);  // never issued: must not hang
+}
+
+TEST(Pool, DestructorDrainsOutstandingJobs) {
+  std::atomic<std::size_t> ran{0};
+  {
+    Pool pool(2);
+    pool.submit(64, [&](std::size_t) { ++ran; }, nullptr);
+  }
+  EXPECT_EQ(ran.load(), 64u);
+}
+
+TEST(Pool, ParallelForIndexCoversAndRethrows) {
+  std::atomic<std::size_t> count{0};
+  detail::parallel_for_index(17, 4, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 17u);
+  EXPECT_THROW(
+      detail::parallel_for_index(
+          8, 2, [](std::size_t i) { if (i == 3) throw std::logic_error("x"); }),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace apcc::sweep

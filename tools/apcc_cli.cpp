@@ -1,51 +1,77 @@
 // apcc_cli: command-line driver for the APCC toolchain.
 //
+// Every simulation subcommand runs through one serving::Service: each
+// workload is registered once, its compressed image and frontier
+// geometry are built lazily on the service's pool and cached, and jobs
+// are scheduled onto that one resident pool -- several jobs in flight
+// at once in batch mode.
+//
 // Subcommands:
 //   asm <file.s>                 assemble; print stats + disassembly
 //   cfg <file.s>                 assemble; print the CFG as Graphviz DOT
-//   sim <file.s> [options]      assemble, execute for the access pattern,
-//                                then simulate under a policy and report
-//   sweep <file.s> [options]    run the strategy x k policy grid over the
-//                                program, sharded across worker threads
-//                                (the grid supplies --strategy/--kc/--kd
-//                                itself; those flags are ignored here)
-//   suite [options]              run the built-in workload suite
-//   campaign [options]           run the strategy x k grid over *every*
-//                                suite workload as one campaign: the whole
-//                                (workload x task) matrix shares one pool,
-//                                and engines over the same (workload, k)
-//                                borrow one materialized FrontierCache
-//                                (disable with --no-shared-frontiers)
+//   sim <workload> [options]     one RunJob: simulate the workload's
+//                                access pattern under a policy + report
+//   sweep <workload> [options]   one SweepJob: the strategy x k policy
+//                                grid over the workload
+//   suite [options]              one RunJob per built-in suite workload,
+//                                all in flight on the shared pool
+//   campaign [options]           one CampaignJob: the strategy x k grid
+//                                over every suite workload, shared
+//                                (workload, k) frontier geometry
+//   batch <jobs.txt> [options]   job-file mode: one job per line
+//                                (run|sweep|campaign), workloads
+//                                deduplicated through the artifact
+//                                cache, every job submitted before the
+//                                first is waited on
 //
-// sim/sweep/suite/campaign options:
+// <workload> is a path to a .s file or a built-in suite name
+// (adpcm-like, gsm-like, jpeg-like, mpeg2-like, g721-like, pegwit-like,
+// dijkstra-like, crc-like).
+//
+// batch job file: '#' starts a comment; each remaining line is
+//   run <workload> [options]
+//   sweep <workload> [options]
+//   campaign [<workload>...] [options]   (no workloads = whole suite)
+// The whole file is validated before anything is submitted. Per-job
+// options live on the job lines, service-wide flags (--workers,
+// --no-shared-frontiers, --csv) on the batch command line; a job line
+// passing --workers, or the batch command line passing per-job config
+// (--codec, --budget, ...), is a usage error, not a silent no-op.
+//
+// options:
 //   --codec null|mtf-rle|huffman|huffman-shared|lzss|codepack
-//   --strategy on-demand|pre-all|pre-single
+//   --strategy on-demand|pre-all|pre-single   (sim/run only)
 //   --predictor profile|static|oracle
-//   --kc N            compression-side k (default 2)
-//   --kd N            pre-decompression k (default 2)
+//   --kc N            compression-side k (default 2; sim/run only)
+//   --kd N            pre-decompression k (default 2; sim/run only)
 //   --budget BYTES    decompressed-area budget (default unbounded)
 //   --units N         decompression helper units (default 1)
-//   --workers N       sweep/campaign worker threads (default: hardware
-//                     concurrency)
-//   --no-shared-frontiers   campaign: every engine owns its geometry
+//   --workers N       service pool width (default: hardware concurrency)
+//   --no-shared-frontiers   engines own their geometry (no borrowing)
 //   --csv             emit CSV instead of the text report
 //
-// Exit code 0 on success, 1 on usage errors, 2 on input errors.
+// sweep and campaign grid over strategy and k themselves, so passing
+// --strategy/--kc/--kd to them is contradictory and a usage error.
+//
+// Exit code 0 on success, 1 on usage errors (including contradictory
+// grid options), 2 on input errors.
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <variant>
 #include <vector>
 
-#include "baselines/baselines.hpp"
 #include "cfg/builder.hpp"
 #include "cfg/dot.hpp"
 #include "core/csv.hpp"
-#include "core/system.hpp"
+#include "core/report.hpp"
 #include "isa/assembler.hpp"
 #include "isa/disasm.hpp"
 #include "isa/interpreter.hpp"
+#include "serving/service.hpp"
 #include "support/strings.hpp"
 #include "sweep/sweep.hpp"
 
@@ -56,13 +82,29 @@ using namespace apcc;
 [[noreturn]] void usage(const std::string& message = {}) {
   if (!message.empty()) std::cerr << "error: " << message << "\n\n";
   std::cerr <<
-      "usage: apcc_cli <asm|cfg|sim|sweep> <file.s> [options]\n"
+      "usage: apcc_cli <asm|cfg> <file.s>\n"
+      "       apcc_cli <sim|sweep> <workload> [options]\n"
       "       apcc_cli <suite|campaign> [options]\n"
+      "       apcc_cli batch <jobs.txt> [options]\n"
+      "\n"
+      "All simulation commands run through one serving::Service --\n"
+      "workloads registered once, compressed images + frontier geometry\n"
+      "cached, jobs scheduled onto one shared pool.\n"
+      "\n"
+      "<workload>: a .s file path or a suite name (adpcm-like, gsm-like,\n"
+      "jpeg-like, mpeg2-like, g721-like, pegwit-like, dijkstra-like,\n"
+      "crc-like)\n"
+      "\n"
+      "batch job file: one job per line --\n"
+      "  run <workload> [options]\n"
+      "  sweep <workload> [options]\n"
+      "  campaign [<workload>...] [options]   (none = whole suite)\n"
+      "\n"
       "options: --codec K --strategy S --predictor P --kc N --kd N\n"
       "         --budget BYTES --units N --workers N\n"
       "         --no-shared-frontiers --csv\n"
       "(sweep and campaign grid over strategy and k themselves:\n"
-      " --strategy/--kc/--kd are ignored there)\n";
+      " --strategy/--kc/--kd there is a usage error)\n";
   std::exit(message.empty() ? 0 : 1);
 }
 
@@ -103,9 +145,21 @@ runtime::PredictorKind parse_predictor(const std::string& name) {
 
 struct CliOptions {
   core::SystemConfig config;
-  sweep::SweepOptions sweep;
-  sweep::CampaignOptions campaign;
+  unsigned workers = 0;
+  bool share_frontiers = true;
   bool csv = false;
+  /// Which of --strategy/--kc/--kd appeared: grid commands (sweep,
+  /// campaign) supply those axes themselves, so seeing one there is a
+  /// contradiction and exits 1 instead of being silently ignored.
+  std::vector<std::string> grid_overrides;
+  /// --workers appeared: the pool is a Service property, so a batch
+  /// job line passing it is a contradiction (exits 1), not a no-op.
+  bool saw_workers = false;
+  /// Per-job config flags seen (--codec/--predictor/--budget/--units,
+  /// plus everything in grid_overrides): `batch` takes its per-job
+  /// config from the job lines, so these on the batch command line are
+  /// contradictions (exit 1), not silently dropped defaults.
+  std::vector<std::string> config_flags;
 };
 
 CliOptions parse_options(const std::vector<std::string>& args,
@@ -119,28 +173,34 @@ CliOptions parse_options(const std::vector<std::string>& args,
     const std::string& a = args[i];
     if (a == "--codec") {
       opts.config.codec = parse_codec(need_value(i++));
+      opts.config_flags.push_back(a);
     } else if (a == "--strategy") {
       opts.config.policy.strategy = parse_strategy(need_value(i++));
+      opts.grid_overrides.push_back(a);
     } else if (a == "--predictor") {
       opts.config.policy.predictor = parse_predictor(need_value(i++));
+      opts.config_flags.push_back(a);
     } else if (a == "--kc") {
       opts.config.policy.compress_k =
           static_cast<std::uint32_t>(parse_int(need_value(i++)));
+      opts.grid_overrides.push_back(a);
     } else if (a == "--kd") {
       opts.config.policy.predecompress_k =
           static_cast<std::uint32_t>(parse_int(need_value(i++)));
+      opts.grid_overrides.push_back(a);
     } else if (a == "--budget") {
       opts.config.policy.memory_budget =
           static_cast<std::uint64_t>(parse_int(need_value(i++)));
+      opts.config_flags.push_back(a);
     } else if (a == "--units") {
       opts.config.policy.decompress_units =
           static_cast<unsigned>(parse_int(need_value(i++)));
+      opts.config_flags.push_back(a);
     } else if (a == "--workers") {
-      opts.sweep.workers =
-          static_cast<unsigned>(parse_int(need_value(i++)));
-      opts.campaign.workers = opts.sweep.workers;
+      opts.workers = static_cast<unsigned>(parse_int(need_value(i++)));
+      opts.saw_workers = true;
     } else if (a == "--no-shared-frontiers") {
-      opts.campaign.share_frontiers = false;
+      opts.share_frontiers = false;
     } else if (a == "--csv") {
       opts.csv = true;
     } else {
@@ -148,6 +208,23 @@ CliOptions parse_options(const std::vector<std::string>& args,
     }
   }
   return opts;
+}
+
+/// Grid commands own the strategy/k axes; reject attempts to pin them.
+void reject_grid_overrides(const std::string& command,
+                           const CliOptions& opts) {
+  if (opts.grid_overrides.empty()) return;
+  usage("'" + command + "' grids over strategy and k itself; " +
+        opts.grid_overrides.front() +
+        " contradicts that (drop it, or use 'sim'/'run' for a single "
+        "configuration)");
+}
+
+std::optional<workloads::WorkloadKind> suite_kind(const std::string& name) {
+  for (const auto kind : workloads::all_workload_kinds()) {
+    if (name == workloads::workload_name(kind)) return kind;
+  }
+  return std::nullopt;
 }
 
 workloads::Workload workload_from_file(const std::string& path) {
@@ -177,43 +254,30 @@ workloads::Workload workload_from_file(const std::string& path) {
   return w;
 }
 
-int cmd_asm(const std::string& path) {
-  const isa::Program program = isa::assemble(read_file(path));
-  std::cout << path << ": " << program.word_count() << " words ("
-            << human_bytes(program.size_bytes()) << "), "
-            << program.functions().size() << " function(s)\n\n";
-  std::cout << isa::disassemble(program);
-  return 0;
-}
+/// Registers workloads with the Service on first use and deduplicates
+/// by spec, so a batch file referring to "gsm-like" five times shares
+/// one registration (and therefore one artifact cache).
+class WorkloadDirectory {
+ public:
+  explicit WorkloadDirectory(serving::Service& service) : service_(service) {}
 
-int cmd_cfg(const std::string& path) {
-  const isa::Program program = isa::assemble(read_file(path));
-  const auto built = cfg::build_cfg(program);
-  std::cout << cfg::to_dot(built.cfg);
-  return 0;
-}
-
-int report(const workloads::Workload& w, const CliOptions& opts) {
-  const auto system =
-      core::CodeCompressionSystem::from_workload(w, opts.config);
-  const sim::RunResult result = system.run();
-  if (opts.csv) {
-    std::cout << core::to_csv({{w.name, result}});
-  } else {
-    std::cout << "== " << w.name << " ==\n"
-              << "image: " << human_bytes(w.image_bytes()) << " in "
-              << w.cfg.block_count() << " blocks; trace "
-              << w.trace.size() << " entries\n"
-              << "compressed image: "
-              << human_bytes(system.compressed_image_bytes()) << "\n\n"
-              << result.summary() << '\n';
+  serving::WorkloadId id_for(const std::string& spec) {
+    const auto it = ids_.find(spec);
+    if (it != ids_.end()) return it->second;
+    serving::WorkloadId id = 0;
+    if (const auto kind = suite_kind(spec)) {
+      id = service_.register_workload(workloads::make_workload(*kind));
+    } else {
+      id = service_.register_workload(workload_from_file(spec));
+    }
+    ids_.emplace(spec, id);
+    return id;
   }
-  return 0;
-}
 
-int cmd_sim(const std::string& path, const CliOptions& opts) {
-  return report(workload_from_file(path), opts);
-}
+ private:
+  serving::Service& service_;
+  std::map<std::string, serving::WorkloadId> ids_;
+};
 
 /// The sweep/campaign policy grid: every decompression strategy x a k
 /// sweep, varied over the baseline engine config.
@@ -236,46 +300,43 @@ std::vector<sweep::SweepTask> strategy_k_grid(const sim::EngineConfig& base) {
   return tasks;
 }
 
-int cmd_sweep(const std::string& path, const CliOptions& opts) {
-  const auto w = workload_from_file(path);
-  const auto system =
-      core::CodeCompressionSystem::from_workload(w, opts.config);
-  const auto tasks = strategy_k_grid(system.engine_config());
-  std::vector<core::ReportRow> rows;
-  for (auto& outcome : system.run_sweep(tasks, opts.sweep)) {
-    rows.push_back({std::move(outcome.label), outcome.result});
+// ---------------------------------------------------------------- output
+
+void print_run(serving::Service& service, serving::WorkloadId id,
+               const sim::RunResult& result, bool csv) {
+  const workloads::Workload& w = service.workload(id);
+  if (csv) {
+    std::cout << core::to_csv({{w.name, result}});
+  } else {
+    std::cout << "== " << w.name << " ==\n"
+              << "image: " << human_bytes(w.image_bytes()) << " in "
+              << w.cfg.block_count() << " blocks; trace " << w.trace.size()
+              << " entries\n"
+              << "compressed image: "
+              << human_bytes(result.compressed_area_bytes) << "\n\n"
+              << result.summary() << '\n';
   }
-  std::cout << (opts.csv ? core::to_csv(rows)
-                         : core::render_comparison(rows));
-  return 0;
 }
 
-int cmd_campaign(const CliOptions& opts) {
-  // Build every suite workload, then run the shared grid over all of
-  // them as one campaign (one pool, shared per-(workload, k) geometry).
-  std::vector<core::CodeCompressionSystem> systems;
-  std::vector<std::string> names;
-  for (const auto kind : workloads::all_workload_kinds()) {
-    const auto w = workloads::make_workload(kind);
-    names.push_back(w.name);
-    systems.push_back(
-        core::CodeCompressionSystem::from_workload(w, opts.config));
+void print_sweep(const std::vector<sweep::SweepOutcome>& outcomes, bool csv) {
+  std::vector<core::ReportRow> rows;
+  rows.reserve(outcomes.size());
+  for (const auto& outcome : outcomes) {
+    rows.push_back({outcome.label, outcome.result});
   }
-  std::vector<core::CampaignEntry> entries;
-  entries.reserve(systems.size());
-  for (std::size_t i = 0; i < systems.size(); ++i) {
-    entries.push_back({names[i], &systems[i]});
-  }
-  const auto grid = strategy_k_grid(systems.front().engine_config());
-  const auto results = core::run_campaign(entries, grid, opts.campaign);
-  if (opts.csv) {
+  std::cout << (csv ? core::to_csv(rows) : core::render_comparison(rows));
+}
+
+void print_campaign(const std::vector<sweep::CampaignResult>& results,
+                    bool csv) {
+  if (csv) {
     // One flat CSV: label = workload/task, ready for cross-workload
     // plotting.
     std::vector<core::ReportRow> rows;
     for (const auto& result : results) {
       for (const auto& outcome : result.outcomes) {
-        rows.push_back({result.workload + "/" + outcome.label,
-                        outcome.result});
+        rows.push_back(
+            {result.workload + "/" + outcome.label, outcome.result});
       }
     }
     std::cout << core::to_csv(rows);
@@ -289,19 +350,269 @@ int cmd_campaign(const CliOptions& opts) {
                 << core::render_comparison(rows) << '\n';
     }
   }
+}
+
+// ------------------------------------------------------------- commands
+
+int cmd_asm(const std::string& path) {
+  const isa::Program program = isa::assemble(read_file(path));
+  std::cout << path << ": " << program.word_count() << " words ("
+            << human_bytes(program.size_bytes()) << "), "
+            << program.functions().size() << " function(s)\n\n";
+  std::cout << isa::disassemble(program);
+  return 0;
+}
+
+int cmd_cfg(const std::string& path) {
+  const isa::Program program = isa::assemble(read_file(path));
+  const auto built = cfg::build_cfg(program);
+  std::cout << cfg::to_dot(built.cfg);
+  return 0;
+}
+
+int cmd_sim(const std::string& spec, const CliOptions& opts) {
+  serving::Service service({opts.workers});
+  WorkloadDirectory directory(service);
+  const auto id = directory.id_for(spec);
+  const auto handle = service.submit(
+      serving::RunJob{id, opts.config, opts.share_frontiers});
+  print_run(service, id, handle.wait(), opts.csv);
+  return 0;
+}
+
+int cmd_sweep(const std::string& spec, const CliOptions& opts) {
+  reject_grid_overrides("sweep", opts);
+  serving::Service service({opts.workers});
+  WorkloadDirectory directory(service);
+  const auto id = directory.id_for(spec);
+  serving::SweepJob job{id, opts.config,
+                        strategy_k_grid(core::engine_config(opts.config)),
+                        opts.share_frontiers};
+  const auto handle = service.submit(std::move(job));
+  print_sweep(handle.wait(), opts.csv);
   return 0;
 }
 
 int cmd_suite(const CliOptions& opts) {
-  std::vector<core::ReportRow> rows;
+  serving::Service service({opts.workers});
+  WorkloadDirectory directory(service);
+  // Submit every workload's RunJob before waiting on any: the whole
+  // suite is in flight on the shared pool at once.
+  std::vector<serving::WorkloadId> ids;
+  std::vector<serving::JobHandle<sim::RunResult>> handles;
   for (const auto kind : workloads::all_workload_kinds()) {
-    const auto w = workloads::make_workload(kind);
-    const auto system =
-        core::CodeCompressionSystem::from_workload(w, opts.config);
-    rows.push_back({w.name, system.run()});
+    const auto id = directory.id_for(workloads::workload_name(kind));
+    ids.push_back(id);
+    handles.push_back(service.submit(
+        serving::RunJob{id, opts.config, opts.share_frontiers}));
   }
-  std::cout << (opts.csv ? core::to_csv(rows)
-                         : core::render_comparison(rows));
+  std::vector<core::ReportRow> rows;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    rows.push_back({service.workload(ids[i]).name, handles[i].wait()});
+  }
+  std::cout << (opts.csv ? core::to_csv(rows) : core::render_comparison(rows));
+  return 0;
+}
+
+int cmd_campaign(const CliOptions& opts) {
+  reject_grid_overrides("campaign", opts);
+  serving::Service service({opts.workers});
+  WorkloadDirectory directory(service);
+  serving::CampaignJob job;
+  for (const auto kind : workloads::all_workload_kinds()) {
+    job.workloads.push_back(directory.id_for(workloads::workload_name(kind)));
+  }
+  job.config = opts.config;
+  job.grid = strategy_k_grid(core::engine_config(opts.config));
+  job.share_frontiers = opts.share_frontiers;
+  const auto handle = service.submit(std::move(job));
+  print_campaign(handle.wait(), opts.csv);
+  return 0;
+}
+
+// ------------------------------------------------------------ batch mode
+
+/// One parsed + submitted batch job, remembered for ordered printing.
+struct BatchJob {
+  std::string banner;
+  bool csv = false;
+  serving::WorkloadId run_workload = 0;  // run jobs only
+  std::variant<serving::JobHandle<sim::RunResult>,
+               serving::JobHandle<std::vector<sweep::SweepOutcome>>,
+               serving::JobHandle<std::vector<sweep::CampaignResult>>>
+      handle;
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream ss(line);
+  std::string token;
+  while (ss >> token) {
+    if (token[0] == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+/// A fully-validated batch line, not yet submitted. Parsing the whole
+/// file before submitting anything means a usage error on line N exits
+/// before any work starts (no jobs abandoned mid-flight).
+struct ParsedJob {
+  enum class Kind : std::uint8_t { kRun, kSweep, kCampaign } kind{};
+  std::vector<std::string> specs;  // one workload (run/sweep) or many
+  CliOptions opts;
+  std::string banner;
+};
+
+ParsedJob parse_batch_line(const std::vector<std::string>& tokens,
+                           const std::string& where) {
+  ParsedJob job;
+  const std::string& verb = tokens[0];
+  std::size_t options_from = 0;
+  if (verb == "run" || verb == "sweep") {
+    job.kind = verb == "run" ? ParsedJob::Kind::kRun : ParsedJob::Kind::kSweep;
+    if (tokens.size() < 2 || tokens[1].rfind("--", 0) == 0) {
+      usage(where + ": '" + verb + "' needs a workload");
+    }
+    job.specs.push_back(tokens[1]);
+    job.banner = verb + " " + tokens[1];
+    options_from = 2;
+  } else if (verb == "campaign") {
+    job.kind = ParsedJob::Kind::kCampaign;
+    std::size_t next = 1;
+    while (next < tokens.size() && tokens[next].rfind("--", 0) != 0) {
+      job.specs.push_back(tokens[next++]);
+    }
+    if (job.specs.empty()) {
+      for (const auto kind : workloads::all_workload_kinds()) {
+        job.specs.push_back(workloads::workload_name(kind));
+      }
+    }
+    job.banner =
+        "campaign (" + std::to_string(job.specs.size()) + " workload(s))";
+    options_from = next;
+  } else {
+    usage(where + ": unknown job '" + verb +
+          "' (expected run, sweep, or campaign)");
+  }
+  job.opts = parse_options(tokens, options_from);
+  if (job.kind != ParsedJob::Kind::kRun && !job.opts.grid_overrides.empty()) {
+    usage(where + ": '" + verb + "' grids over strategy and k itself; " +
+          job.opts.grid_overrides.front() + " contradicts that");
+  }
+  if (job.opts.saw_workers) {
+    usage(where + ": --workers is a service-wide option; pass it to "
+                  "'apcc_cli batch' itself, not a job line");
+  }
+  return job;
+}
+
+int cmd_batch(const std::string& path, const CliOptions& global) {
+  // Per-job config belongs on the job lines; accepting it here and
+  // applying it to nothing would be the silent-ignore trap this CLI
+  // rejects everywhere else. Only service-wide flags (--workers,
+  // --no-shared-frontiers, --csv) mean anything batch-wide.
+  if (!global.config_flags.empty() || !global.grid_overrides.empty()) {
+    const std::string& flag = !global.config_flags.empty()
+                                  ? global.config_flags.front()
+                                  : global.grid_overrides.front();
+    usage("'batch' takes per-job options on the job lines; " + flag +
+          " on the batch command line would be silently ignored");
+  }
+
+  // Phase 1: parse and validate the whole file. Usage errors exit here,
+  // before a Service exists or any job is in flight.
+  std::istringstream file(read_file(path));
+  std::vector<ParsedJob> parsed;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(file, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    parsed.push_back(
+        parse_batch_line(tokens, path + ":" + std::to_string(line_no)));
+  }
+  if (parsed.empty()) usage(path + ": no jobs (expected run/sweep/campaign)");
+
+  // Phase 2: register workloads (input errors exit 2 here, still
+  // before submission) and submit every job. Nothing is waited on yet,
+  // so the scheduler has the whole file in flight: a long campaign's
+  // tail overlaps the next job's cells, and workloads shared between
+  // lines hit the same cached artifacts.
+  serving::Service service({global.workers});
+  WorkloadDirectory directory(service);
+  std::vector<BatchJob> jobs;
+  for (ParsedJob& item : parsed) {
+    const bool share =
+        item.opts.share_frontiers && global.share_frontiers;
+    BatchJob job;
+    job.csv = global.csv || item.opts.csv;
+    job.banner = std::move(item.banner);
+    switch (item.kind) {
+      case ParsedJob::Kind::kRun: {
+        const auto id = directory.id_for(item.specs[0]);
+        job.run_workload = id;
+        job.handle =
+            service.submit(serving::RunJob{id, item.opts.config, share});
+        break;
+      }
+      case ParsedJob::Kind::kSweep: {
+        const auto id = directory.id_for(item.specs[0]);
+        job.run_workload = id;
+        job.handle = service.submit(serving::SweepJob{
+            id, item.opts.config,
+            strategy_k_grid(core::engine_config(item.opts.config)), share});
+        break;
+      }
+      case ParsedJob::Kind::kCampaign: {
+        serving::CampaignJob campaign;
+        for (const auto& spec : item.specs) {
+          campaign.workloads.push_back(directory.id_for(spec));
+        }
+        campaign.config = item.opts.config;
+        campaign.grid = strategy_k_grid(core::engine_config(item.opts.config));
+        campaign.share_frontiers = share;
+        job.handle = service.submit(std::move(campaign));
+        break;
+      }
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  // Phase 3: wait and print in submission order.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    BatchJob& job = jobs[i];
+    std::cout << "### job " << (i + 1) << ": " << job.banner << "\n";
+    if (std::holds_alternative<serving::JobHandle<sim::RunResult>>(
+            job.handle)) {
+      print_run(service, job.run_workload,
+                std::get<serving::JobHandle<sim::RunResult>>(job.handle)
+                    .wait(),
+                job.csv);
+    } else if (std::holds_alternative<
+                   serving::JobHandle<std::vector<sweep::SweepOutcome>>>(
+                   job.handle)) {
+      print_sweep(
+          std::get<serving::JobHandle<std::vector<sweep::SweepOutcome>>>(
+              job.handle)
+              .wait(),
+          job.csv);
+    } else {
+      print_campaign(
+          std::get<serving::JobHandle<std::vector<sweep::CampaignResult>>>(
+              job.handle)
+              .wait(),
+          job.csv);
+    }
+    std::cout << '\n';
+  }
+  const auto stats = service.cache_stats();
+  std::cerr << "batch: " << jobs.size() << " job(s); artifact cache: "
+            << stats.images_built << " image(s) built, "
+            << stats.image_borrows << " borrowed; " << stats.frontiers_built
+            << " frontier cache(s) built, " << stats.frontier_borrows
+            << " borrowed\n";
   return 0;
 }
 
@@ -323,6 +634,7 @@ int main(int argc, char** argv) {
     if (cmd == "cfg") return cmd_cfg(args[1]);
     if (cmd == "sim") return cmd_sim(args[1], parse_options(args, 2));
     if (cmd == "sweep") return cmd_sweep(args[1], parse_options(args, 2));
+    if (cmd == "batch") return cmd_batch(args[1], parse_options(args, 2));
     usage("unknown command '" + cmd + "'");
   } catch (const apcc::CheckError& e) {
     std::cerr << "error: " << e.what() << '\n';

@@ -11,6 +11,8 @@
 #   BENCH_campaign.json -- suite x grid campaign throughput (matrix
 #                          cells/sec, shared vs owned FrontierCache
 #                          geometry)
+#   BENCH_service.json  -- serving::Service submit latency (direct
+#                          one-shot vs cold vs warm artifact cache)
 #
 # --quick is the CI smoke mode: benches shrink their scales (via
 # APCC_BENCH_QUICK) and google-benchmark runs minimal repetitions, so the
@@ -34,7 +36,7 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BUILD_DIR}}"
 
 for bench in bench_e11_engine_throughput bench_e4_codecs \
-             bench_sweep_scaling bench_campaign; do
+             bench_sweep_scaling bench_campaign bench_service; do
   if [[ ! -x "${BUILD_DIR}/${bench}" ]]; then
     echo "error: ${BUILD_DIR}/${bench} not built" >&2
     echo "hint: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
@@ -73,6 +75,14 @@ echo "== campaign throughput -> ${OUT_DIR}/BENCH_campaign.json"
     --benchmark_filter='bm_campaign' \
     --benchmark_format=json \
     --benchmark_out="${OUT_DIR}/BENCH_campaign.json" \
+    --benchmark_out_format=json
+
+echo "== service submit latency -> ${OUT_DIR}/BENCH_service.json"
+"${BUILD_DIR}/bench_service" \
+    ${QUICK_ARGS[@]+"${QUICK_ARGS[@]}"} \
+    --benchmark_filter='bm_(direct_run|service_cold_run|service_warm_run|service_warm_sweep)' \
+    --benchmark_format=json \
+    --benchmark_out="${OUT_DIR}/BENCH_service.json" \
     --benchmark_out_format=json
 
 echo "done."
