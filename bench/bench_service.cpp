@@ -20,6 +20,8 @@
 
 #include "bench/bench_common.hpp"
 #include "serving/service.hpp"
+#include "serving/wire.hpp"
+#include "support/strings.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -116,10 +118,11 @@ void print_tables() {
     const auto stats = service.cache_stats();
     std::cout << table.render() << '\n';
     std::cout << "warm cache stats: " << stats.images_built
-              << " image build(s), " << stats.image_borrows
-              << " image borrow(s), " << stats.frontiers_built
-              << " frontier build(s), " << stats.frontier_borrows
-              << " frontier borrow(s)\n"
+              << " image build(s) holding " << human_bytes(stats.image_bytes)
+              << ", " << stats.image_borrows << " image borrow(s), "
+              << stats.frontiers_built << " frontier build(s) holding "
+              << human_bytes(stats.frontier_bytes) << ", "
+              << stats.frontier_borrows << " frontier borrow(s)\n"
               << "Shape check: one checksum everywhere (cached artifacts\n"
                  "change nothing), and the warm cache serves every repeat\n"
                  "request from 1 image + 1 frontier build. On this box the\n"
@@ -192,6 +195,32 @@ void bm_service_warm_sweep(benchmark::State& state) {
   state.SetLabel("6-task grid, cached artifacts");
 }
 BENCHMARK(bm_service_warm_sweep)->Unit(benchmark::kMillisecond);
+
+void bm_wire_roundtrip_sweep_result(benchmark::State& state) {
+  // The serve front door's steady-state codec cost: one 12-outcome
+  // sweep result record through serialize -> parse -> serialize.
+  const auto& workload = bench::cached_workload(kKind);
+  serving::Service service({1});
+  const auto id = service.register_workload(workload);
+  serving::JobSpec spec;
+  spec.kind = serving::JobKind::kSweep;
+  spec.workloads = {"@" + std::to_string(id)};
+  spec.tasks = serving::strategy_k_grid(core::engine_config({}));
+  serving::wire::ResultRecord record;
+  record.job = 1;
+  record.client = "bench";
+  record.result = service.submit(std::move(spec)).wait();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string text = serving::wire::serialize_result(record);
+    const auto reparsed = serving::wire::parse_result(text);
+    benchmark::DoNotOptimize(serving::wire::serialize_result(reparsed));
+    bytes += text.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetLabel("12-outcome sweep result record");
+}
+BENCHMARK(bm_wire_roundtrip_sweep_result)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -57,6 +57,14 @@ double BlockImage::ratio() const {
                              static_cast<double>(original);
 }
 
+std::uint64_t BlockImage::approx_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& b : blocks_) {
+    bytes += b.original.size() + b.compressed.size() + sizeof(ImageBlock);
+  }
+  return bytes;
+}
+
 void BlockImage::verify_block(cfg::BlockId id) const {
   const auto& b = block(id);
   const compress::Bytes roundtrip =

@@ -45,6 +45,11 @@ class BlockImage {
   /// Whole-image compression ratio (compressed/original, < 1 is good).
   [[nodiscard]] double ratio() const;
 
+  /// Approximate resident size of this image: every block's original +
+  /// compressed bytes plus the per-block bookkeeping. What an artifact
+  /// cache should budget against (serving::Service::cache_stats()).
+  [[nodiscard]] std::uint64_t approx_bytes() const;
+
   /// Decompress block `id` and verify it matches the original; throws on
   /// mismatch. Used by tests and the paranoid mode of the engine.
   void verify_block(cfg::BlockId id) const;

@@ -27,6 +27,16 @@ void FrontierCache::materialize() {
   materialized_ = true;
 }
 
+std::uint64_t FrontierCache::approx_bytes() const {
+  std::uint64_t bytes = 0;
+  for (cfg::BlockId b = 0; b < computed_.size(); ++b) {
+    if (!computed_[b]) continue;
+    bytes += entries_[b].size() * sizeof(cfg::FrontierEntry) +
+             sizeof(entries_[b]);
+  }
+  return bytes;
+}
+
 const FrontierCache* SharedFrontier::acquire(bool* built_this_call) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {

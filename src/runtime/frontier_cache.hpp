@@ -53,6 +53,12 @@ class FrontierCache {
 
   [[nodiscard]] unsigned k() const { return k_; }
 
+  /// Approximate resident size of the computed candidate lists. Only a
+  /// pure read on a materialized cache (on a lazy one it reflects what
+  /// has been computed so far); serving::Service reports it for the
+  /// ROADMAP's eviction budgeting.
+  [[nodiscard]] std::uint64_t approx_bytes() const;
+
   /// The CFG this geometry was computed on; borrowers check identity.
   [[nodiscard]] const cfg::Cfg& cfg() const { return cfg_; }
 

@@ -1,0 +1,65 @@
+#include "serving/job_spec.hpp"
+
+#include "support/assert.hpp"
+
+namespace apcc::serving {
+
+const char* job_kind_name(JobKind kind) {
+  switch (kind) {
+    case JobKind::kRun: return "run";
+    case JobKind::kSweep: return "sweep";
+    case JobKind::kCampaign: return "campaign";
+  }
+  return "?";
+}
+
+void validate(const JobSpec& spec) {
+  switch (spec.kind) {
+    case JobKind::kRun:
+      APCC_CHECK(spec.workloads.size() == 1,
+                 "run job needs exactly one workload, got " +
+                     std::to_string(spec.workloads.size()));
+      APCC_CHECK(spec.tasks.empty(),
+                 "run job takes a single configuration, not a task grid");
+      break;
+    case JobKind::kSweep:
+      APCC_CHECK(spec.workloads.size() == 1,
+                 "sweep job needs exactly one workload, got " +
+                     std::to_string(spec.workloads.size()));
+      break;
+    case JobKind::kCampaign:
+      break;
+    default:
+      APCC_CHECK(false, "unknown job kind " +
+                            std::to_string(static_cast<int>(spec.kind)));
+  }
+  APCC_CHECK(spec.priority == sweep::Priority::kHigh ||
+                 spec.priority == sweep::Priority::kNormal ||
+                 spec.priority == sweep::Priority::kBatch,
+             "unknown priority class " +
+                 std::to_string(static_cast<int>(spec.priority)));
+  for (const std::string& ref : spec.workloads) {
+    APCC_CHECK(!ref.empty(), "empty workload reference");
+  }
+}
+
+std::vector<sweep::SweepTask> strategy_k_grid(const sim::EngineConfig& base) {
+  std::vector<sweep::SweepTask> tasks;
+  for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
+                              runtime::DecompressionStrategy::kPreAll,
+                              runtime::DecompressionStrategy::kPreSingle}) {
+    for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+      sweep::SweepTask task;
+      task.label = std::string(runtime::strategy_name(strategy)) +
+                   "/k=" + std::to_string(k);
+      task.config = base;
+      task.config.policy.strategy = strategy;
+      task.config.policy.compress_k = k;
+      task.config.policy.predecompress_k = k;
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+}  // namespace apcc::serving

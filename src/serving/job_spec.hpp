@@ -1,0 +1,101 @@
+// serving::JobSpec -- the one canonical job representation.
+//
+// PR 4's Service exposed three ad-hoc typed submit() overloads (RunJob
+// / SweepJob / CampaignJob) that only existed in-process. JobSpec
+// unifies them into a single versioned, self-describing value: the job
+// kind, the workload references, the policy grid, and the scheduling
+// metadata (QoS) the pool needs -- everything a job *is*, with nothing
+// tied to one address space. One value type means one validation
+// routine, one wire codec (serving/wire.hpp), and one submission path:
+// the typed overloads survive as thin veneers that build a JobSpec and
+// project its unified JobResult back to their historical return types.
+//
+// Workload references are strings so a JobSpec can leave the process:
+//   "gsm-like"   -- resolved against registered workload names (first
+//                   registration wins; the CLI registers each spec once)
+//   "@3"         -- a literal WorkloadId, exact and collision-proof;
+//                   this is what the typed veneers emit in-process.
+//
+// QoS fields feed sweep::Pool's scheduler: a strict priority class
+// (high > normal > batch, lowest-job-id tie-break), a max-worker budget
+// (0 = uncapped), and a free-form client tag for attribution. All three
+// affect only *when* cells run -- never what any job returns; the
+// differential tests pin mixed-priority/budgeted submissions
+// byte-identical to plain FIFO.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "sim/result.hpp"
+#include "sweep/campaign.hpp"
+#include "sweep/pool.hpp"
+#include "sweep/sweep.hpp"
+
+namespace apcc::serving {
+
+/// What a job does; selects which JobSpec fields are meaningful and
+/// which JobResult member carries the outcome.
+enum class JobKind : std::uint8_t {
+  kRun,       // one workload, one configuration -> sim::RunResult
+  kSweep,     // one workload, a task grid       -> vector<SweepOutcome>
+  kCampaign,  // many workloads, one grid        -> vector<CampaignResult>
+};
+
+[[nodiscard]] const char* job_kind_name(JobKind kind);
+
+/// The canonical, versioned job value. kWireVersion names the wire
+/// schema (serving/wire.hpp) this struct round-trips through; bump it
+/// deliberately whenever a field is added, removed, or re-interpreted.
+struct JobSpec {
+  static constexpr int kWireVersion = 2;
+
+  JobKind kind = JobKind::kRun;
+  /// Workload references ("@<id>" or a registered name). Exactly one
+  /// for run/sweep; zero or more for campaign.
+  std::vector<std::string> workloads;
+  /// Codec + baseline engine knobs. run uses the whole config; sweep
+  /// and campaign take the codec (image artifact key) from here and
+  /// every engine knob from the task grid.
+  core::SystemConfig config{};
+  /// The policy grid (sweep/campaign). Must be empty for run.
+  std::vector<sweep::SweepTask> tasks;
+  /// Borrow the cached (workload, predecompress_k) geometry
+  /// (bit-identical either way).
+  bool share_frontiers = true;
+
+  // -- QoS / scheduling metadata --------------------------------------
+  sweep::Priority priority = sweep::Priority::kNormal;
+  /// Max pool workers on this job's cells concurrently; 0 = uncapped.
+  unsigned max_workers = 0;
+  /// Free-form client tag, echoed into wire results for attribution.
+  std::string client;
+};
+
+/// The unified outcome: `kind` says which member is meaningful. Kept a
+/// plain struct (not a variant) so JobHandle<T> can hand out stable
+/// references to the active member and the wire codec can stream it.
+struct JobResult {
+  JobKind kind = JobKind::kRun;
+  sim::RunResult run{};
+  std::vector<sweep::SweepOutcome> sweep;
+  std::vector<sweep::CampaignResult> campaign;
+};
+
+/// Structural validation (kind known, workload arity, run has no grid,
+/// priority in range). Throws CheckError naming the violation. Service
+/// ::submit(JobSpec) calls this; the CLI calls it per parsed record so
+/// a bad batch line is reported with its file position before anything
+/// is submitted.
+void validate(const JobSpec& spec);
+
+/// The standard strategy x k policy grid (every DecompressionStrategy
+/// x k in {1,2,4,8}, labels "<strategy>/k=<k>") varied over `base` --
+/// the grid the sweep/campaign CLI subcommands and the wire format's
+/// "grid strategy-k" sugar expand to.
+[[nodiscard]] std::vector<sweep::SweepTask> strategy_k_grid(
+    const sim::EngineConfig& base);
+
+}  // namespace apcc::serving

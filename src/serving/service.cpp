@@ -6,6 +6,7 @@
 
 #include "compress/codec.hpp"
 #include "sim/engine.hpp"
+#include "support/strings.hpp"
 
 namespace apcc::serving {
 
@@ -64,6 +65,24 @@ const workloads::Workload& Service::workload(WorkloadId id) const {
   return *registry_[id]->workload;
 }
 
+WorkloadId Service::resolve(const std::string& ref) const {
+  APCC_CHECK(!ref.empty(), "empty workload reference");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ref[0] == '@') {
+    // Literal id, the exact form the typed veneers emit.
+    const std::int64_t id = parse_int(ref.substr(1));
+    APCC_CHECK(id >= 0 && static_cast<std::size_t>(id) < registry_.size(),
+               "unknown workload reference '" + ref + "'");
+    return static_cast<WorkloadId>(id);
+  }
+  // Registered-name lookup, first registration wins (deterministic).
+  for (std::size_t id = 0; id < registry_.size(); ++id) {
+    if (registry_[id]->workload->name == ref) return id;
+  }
+  APCC_CHECK(false, "unknown workload reference '" + ref +
+                        "' (register it first, or use \"@<id>\")");
+}
+
 Service::Registered& Service::entry(WorkloadId id) {
   const std::lock_guard<std::mutex> lock(mutex_);
   APCC_CHECK(id < registry_.size(), "unknown workload id");
@@ -117,6 +136,7 @@ const runtime::BlockImage& Service::image_for(
       slot_lock.unlock();
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.images_built;
+      stats_.image_bytes += slot->image->approx_bytes();
       return *slot->image;
     }
     slot->ready_cv.wait(slot_lock, [&] {
@@ -144,6 +164,7 @@ const runtime::FrontierCache* Service::frontiers_for(Registered& entry,
     const std::lock_guard<std::mutex> lock(mutex_);
     if (built) {
       ++stats_.frontiers_built;
+      stats_.frontier_bytes += cache->approx_bytes();
     } else {
       ++stats_.frontier_borrows;
     }
@@ -162,131 +183,145 @@ sim::EngineConfig Service::cell_config(Registered& entry,
   return config;
 }
 
-JobHandle<sim::RunResult> Service::submit(RunJob job) {
-  Registered& target = entry(job.workload);
-  APCC_CHECK(!target.workload->trace.empty(),
-             "workload '" + target.workload->name + "' has no default trace");
+JobHandle<JobResult> Service::submit(JobSpec spec) {
+  validate(spec);
 
-  auto state = std::make_shared<JobHandle<sim::RunResult>::State>();
-  auto ctx = std::make_shared<RunJob>(std::move(job));
-  Registered* const entry_ptr = &target;
-  state->id = pool_->submit(
-      1,
-      [this, ctx, state, entry_ptr](std::size_t) {
-        Registered& target = *entry_ptr;
-        const runtime::BlockImage& image = image_for(target, ctx->config);
-        const sim::EngineConfig config = cell_config(
-            target, core::engine_config(ctx->config), ctx->share_frontiers);
-        sim::Engine engine(target.workload->cfg, image, config);
-        sim::RunResult result = engine.run(target.workload->trace);
-        const std::lock_guard<std::mutex> lock(state->mutex);
-        state->value = std::move(result);
-      },
-      [state](std::exception_ptr failure) {
-        {
-          const std::lock_guard<std::mutex> lock(state->mutex);
-          state->failure = failure;
-          state->done = true;
-        }
-        state->cv.notify_all();
-      });
-  return JobHandle<sim::RunResult>(std::move(state));
-}
-
-JobHandle<std::vector<sweep::SweepOutcome>> Service::submit(SweepJob job) {
-  Registered& target = entry(job.workload);
-  APCC_CHECK(!target.workload->trace.empty(),
-             "workload '" + target.workload->name + "' has no default trace");
-
+  /// Everything the pool items need, alive until the finalize runs.
   struct Ctx {
-    SweepJob job;
-    sweep::ResultSink sink;
-  };
-  auto state =
-      std::make_shared<JobHandle<std::vector<sweep::SweepOutcome>>::State>();
-  auto ctx = std::make_shared<Ctx>();
-  ctx->job = std::move(job);
-  Registered* const entry_ptr = &target;
-  state->id = pool_->submit(
-      ctx->job.tasks.size(),
-      [this, ctx, entry_ptr](std::size_t i) {
-        Registered& target = *entry_ptr;
-        const runtime::BlockImage& image = image_for(target, ctx->job.config);
-        const sweep::SweepTask& task = ctx->job.tasks[i];
-        const sim::EngineConfig config =
-            cell_config(target, task.config, ctx->job.share_frontiers);
-        sim::Engine engine(target.workload->cfg, image, config);
-        ctx->sink.push(sweep::SweepOutcome{i, task.label,
-                                           engine.run(target.workload->trace)});
-      },
-      [ctx, state](std::exception_ptr failure) {
-        {
-          const std::lock_guard<std::mutex> lock(state->mutex);
-          state->failure = failure;
-          if (!failure) state->value = ctx->sink.take_sorted();
-          state->done = true;
-        }
-        state->cv.notify_all();
-      });
-  return JobHandle<std::vector<sweep::SweepOutcome>>(std::move(state));
-}
-
-JobHandle<std::vector<sweep::CampaignResult>> Service::submit(
-    CampaignJob job) {
-  struct Ctx {
-    CampaignJob job;
+    JobSpec spec;
     std::vector<Registered*> entries;
     std::vector<std::string> names;
     std::vector<sweep::ResultSink> sinks;
   };
   auto ctx = std::make_shared<Ctx>();
-  ctx->job = std::move(job);
-  for (const WorkloadId id : ctx->job.workloads) {
-    Registered& target = entry(id);
-    APCC_CHECK(!target.workload->trace.empty(), "workload '" +
-                                                    target.workload->name +
-                                                    "' has no default trace");
+  ctx->spec = std::move(spec);
+  for (const std::string& ref : ctx->spec.workloads) {
+    Registered& target = entry(resolve(ref));
+    APCC_CHECK(!target.workload->trace.empty(),
+               "workload '" + target.workload->name + "' has no default trace");
     ctx->entries.push_back(&target);
     ctx->names.push_back(target.workload->name);
   }
-  ctx->sinks = std::vector<sweep::ResultSink>(ctx->entries.size());
 
-  auto state =
-      std::make_shared<JobHandle<std::vector<sweep::CampaignResult>>::State>();
-  // Same workload-major flattening as sweep::run_campaign: cell i is
-  // workload i / |grid|, task i % |grid|.
-  const std::size_t grid_size = ctx->job.grid.size();
-  const std::size_t total = ctx->entries.size() * grid_size;
-  state->id = pool_->submit(
-      total,
-      [this, ctx, grid_size](std::size_t i) {
+  auto state = std::make_shared<detail::JobState>();
+  state->value.kind = ctx->spec.kind;
+
+  std::size_t total = 0;
+  sweep::Pool::ItemFn item;
+  switch (ctx->spec.kind) {
+    case JobKind::kRun:
+      total = 1;
+      item = [this, ctx, state](std::size_t) {
+        Registered& target = *ctx->entries[0];
+        const runtime::BlockImage& image = image_for(target, ctx->spec.config);
+        const sim::EngineConfig config =
+            cell_config(target, core::engine_config(ctx->spec.config),
+                        ctx->spec.share_frontiers);
+        sim::Engine engine(target.workload->cfg, image, config);
+        sim::RunResult result = engine.run(target.workload->trace);
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        state->value.run = std::move(result);
+      };
+      break;
+    case JobKind::kSweep:
+      total = ctx->spec.tasks.size();
+      ctx->sinks = std::vector<sweep::ResultSink>(1);
+      item = [this, ctx](std::size_t i) {
+        Registered& target = *ctx->entries[0];
+        const runtime::BlockImage& image = image_for(target, ctx->spec.config);
+        const sweep::SweepTask& task = ctx->spec.tasks[i];
+        const sim::EngineConfig config =
+            cell_config(target, task.config, ctx->spec.share_frontiers);
+        sim::Engine engine(target.workload->cfg, image, config);
+        ctx->sinks[0].push(sweep::SweepOutcome{
+            i, task.label, engine.run(target.workload->trace)});
+      };
+      break;
+    case JobKind::kCampaign: {
+      // Same workload-major flattening as sweep::run_campaign: cell i
+      // is workload i / |grid|, task i % |grid|.
+      const std::size_t grid_size = ctx->spec.tasks.size();
+      total = ctx->entries.size() * grid_size;
+      ctx->sinks = std::vector<sweep::ResultSink>(ctx->entries.size());
+      item = [this, ctx, grid_size](std::size_t i) {
         const std::size_t w = i / grid_size;
         const std::size_t t = i % grid_size;
         Registered& target = *ctx->entries[w];
-        const runtime::BlockImage& image = image_for(target, ctx->job.config);
-        const sweep::SweepTask& task = ctx->job.grid[t];
+        const runtime::BlockImage& image = image_for(target, ctx->spec.config);
+        const sweep::SweepTask& task = ctx->spec.tasks[t];
         const sim::EngineConfig config =
-            cell_config(target, task.config, ctx->job.share_frontiers);
+            cell_config(target, task.config, ctx->spec.share_frontiers);
         sim::Engine engine(target.workload->cfg, image, config);
         ctx->sinks[w].push(sweep::SweepOutcome{
             t, task.label, engine.run(target.workload->trace)});
-      },
+      };
+      break;
+    }
+  }
+
+  state->id = pool_->submit(
+      total, std::move(item),
       [ctx, state](std::exception_ptr failure) {
         {
           const std::lock_guard<std::mutex> lock(state->mutex);
           state->failure = failure;
           if (!failure) {
-            state->value.reserve(ctx->names.size());
-            for (std::size_t w = 0; w < ctx->names.size(); ++w) {
-              state->value.push_back(sweep::CampaignResult{
-                  ctx->names[w], ctx->sinks[w].take_sorted()});
+            switch (ctx->spec.kind) {
+              case JobKind::kRun:
+                break;  // the single item wrote value.run already
+              case JobKind::kSweep:
+                state->value.sweep = ctx->sinks[0].take_sorted();
+                break;
+              case JobKind::kCampaign:
+                state->value.campaign.reserve(ctx->names.size());
+                for (std::size_t w = 0; w < ctx->names.size(); ++w) {
+                  state->value.campaign.push_back(sweep::CampaignResult{
+                      ctx->names[w], ctx->sinks[w].take_sorted()});
+                }
+                break;
             }
           }
           state->done = true;
         }
         state->cv.notify_all();
-      });
-  return JobHandle<std::vector<sweep::CampaignResult>>(std::move(state));
+      },
+      {ctx->spec.priority, ctx->spec.max_workers});
+  return JobHandle<JobResult>(std::move(state));
+}
+
+JobHandle<sim::RunResult> Service::submit(RunJob job) {
+  JobSpec spec;
+  spec.kind = JobKind::kRun;
+  spec.workloads.push_back("@" + std::to_string(job.workload));
+  spec.config = job.config;
+  spec.share_frontiers = job.share_frontiers;
+  return JobHandle<sim::RunResult>(submit(std::move(spec)).state_);
+}
+
+JobHandle<std::vector<sweep::SweepOutcome>> Service::submit(SweepJob job) {
+  JobSpec spec;
+  spec.kind = JobKind::kSweep;
+  spec.workloads.push_back("@" + std::to_string(job.workload));
+  spec.config = job.config;
+  spec.tasks = std::move(job.tasks);
+  spec.share_frontiers = job.share_frontiers;
+  return JobHandle<std::vector<sweep::SweepOutcome>>(
+      submit(std::move(spec)).state_);
+}
+
+JobHandle<std::vector<sweep::CampaignResult>> Service::submit(
+    CampaignJob job) {
+  JobSpec spec;
+  spec.kind = JobKind::kCampaign;
+  spec.workloads.reserve(job.workloads.size());
+  for (const WorkloadId id : job.workloads) {
+    spec.workloads.push_back("@" + std::to_string(id));
+  }
+  spec.config = job.config;
+  spec.tasks = std::move(job.grid);
+  spec.share_frontiers = job.share_frontiers;
+  return JobHandle<std::vector<sweep::CampaignResult>>(
+      submit(std::move(spec)).state_);
 }
 
 void Service::drain() { pool_->drain(); }

@@ -11,13 +11,17 @@
 //   serving::Service service;                          // resident pool
 //   auto id = service.register_workload(
 //       workloads::make_workload(WorkloadKind::kGsmLike));
-//   auto run   = service.submit(serving::RunJob{id});
-//   auto sweep = service.submit(serving::SweepJob{id, {}, grid});
-//   ...                                  // jobs run on the shared pool
-//   const sim::RunResult& r = run.wait();
+//   serving::JobSpec spec;                  // the canonical front door
+//   spec.kind = serving::JobKind::kSweep;
+//   spec.workloads = {"@" + std::to_string(id)};
+//   spec.tasks = grid;
+//   spec.priority = sweep::Priority::kHigh;
+//   auto handle = service.submit(std::move(spec));
+//   const serving::JobResult& r = handle.wait();
 //
 //  * register_workload() hands the Service ownership of a workload; the
-//    returned WorkloadId names it in every later job.
+//    returned WorkloadId names it in every later job (JobSpecs may also
+//    reference it by registered name -- see job_spec.hpp).
 //  * The Service owns a per-workload **artifact cache**: the compressed
 //    BlockImage keyed by codec kind, the materialized FrontierCache
 //    keyed by (CFG, predecompress_k), and the parsed trace. Artifacts
@@ -25,19 +29,22 @@
 //    never on the submitting thread -- deduplicated by a claim-build /
 //    wait handshake, and immutable afterwards, so any number of
 //    concurrent jobs borrow them without copies or locks.
-//  * submit() enqueues typed jobs (RunJob, SweepJob, CampaignJob) onto
-//    one shared sweep::Pool and returns a future-style JobHandle
-//    immediately. The pool's scheduler interleaves jobs (oldest first,
-//    cross-job overflow), so several grids are in flight at once and
-//    geometry materialization overlaps with simulation.
+//  * submit(JobSpec) is the single submission path: it validates the
+//    spec, resolves its workload references, enqueues the job onto one
+//    shared sweep::Pool under the spec's QoS (priority class, worker
+//    budget), and returns a future-style JobHandle immediately. The
+//    typed overloads (RunJob / SweepJob / CampaignJob) are thin veneers
+//    that build a JobSpec and project the unified JobResult back to
+//    their historical return types -- same state, zero copies.
 //
 // The invariant the whole design hangs on: a job's outcome is
 // **byte-identical** to the equivalent direct run / run_sweep /
 // run_campaign call. Cached images are built by the same codec
 // training on the same bytes; borrowed geometry holds exactly the
 // lists an owned cache would compute (pinned by the engine-equivalence
-// grid); scheduling only changes *when* a cell runs, never what it
-// computes. tests/serving/service_test.cpp pins the differentials.
+// grid); scheduling -- including priorities and budgets -- only changes
+// *when* a cell runs, never what it computes. tests/serving pins the
+// differentials (service_test.cpp, job_spec_test.cpp).
 #pragma once
 
 #include <condition_variable>
@@ -47,10 +54,12 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "core/system.hpp"
 #include "runtime/frontier_cache.hpp"
+#include "serving/job_spec.hpp"
 #include "support/assert.hpp"
 #include "sweep/campaign.hpp"
 #include "sweep/pool.hpp"
@@ -74,7 +83,7 @@ struct ServiceOptions {
 };
 
 /// Simulate one workload's default trace under one configuration --
-/// the Service form of CodeCompressionSystem::run().
+/// the typed veneer over a kind=run JobSpec.
 struct RunJob {
   WorkloadId workload = 0;
   core::SystemConfig config{};
@@ -83,9 +92,9 @@ struct RunJob {
   bool share_frontiers = true;
 };
 
-/// Run a policy grid over one workload -- the Service form of
-/// CodeCompressionSystem::run_sweep(). `config` supplies the codec
-/// (image artifact key); each task carries its own engine knobs.
+/// Run a policy grid over one workload -- the typed veneer over a
+/// kind=sweep JobSpec. `config` supplies the codec (image artifact
+/// key); each task carries its own engine knobs.
 struct SweepJob {
   WorkloadId workload = 0;
   core::SystemConfig config{};
@@ -96,8 +105,8 @@ struct SweepJob {
   bool share_frontiers = true;
 };
 
-/// Run one grid over many workloads -- the Service form of
-/// core::run_campaign(), returning per-workload task-ordered outcomes.
+/// Run one grid over many workloads -- the typed veneer over a
+/// kind=campaign JobSpec, returning per-workload task-ordered outcomes.
 struct CampaignJob {
   std::vector<WorkloadId> workloads;
   core::SystemConfig config{};
@@ -105,10 +114,43 @@ struct CampaignJob {
   bool share_frontiers = true;
 };
 
-/// Future-style result of a submitted job. Handles are cheap shared
-/// references: copy them, stash them, wait from any thread. wait()
-/// blocks until the job retires and rethrows the job's first failure;
-/// the returned reference stays valid for the handle's lifetime.
+namespace detail {
+
+/// Shared completion state of one submitted job. One non-template
+/// state type holding the unified JobResult, so every JobHandle<T> --
+/// whatever T it projects -- is a view of the same object.
+struct JobState {
+  JobId id = 0;
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr failure;
+  JobResult value;
+};
+
+/// Project the handle's static type out of the unified JobResult.
+template <typename T>
+[[nodiscard]] inline const T& project(const JobResult& value) {
+  if constexpr (std::is_same_v<T, JobResult>) {
+    return value;
+  } else if constexpr (std::is_same_v<T, sim::RunResult>) {
+    return value.run;
+  } else if constexpr (std::is_same_v<T, std::vector<sweep::SweepOutcome>>) {
+    return value.sweep;
+  } else {
+    static_assert(std::is_same_v<T, std::vector<sweep::CampaignResult>>,
+                  "JobHandle<T>: T is not a job result projection");
+    return value.campaign;
+  }
+}
+
+}  // namespace detail
+
+/// Future-style result of a submitted job: a typed projection of the
+/// job's unified JobResult. Handles are cheap shared references: copy
+/// them, stash them, wait from any thread. wait() blocks until the job
+/// retires and rethrows the job's first failure; the returned
+/// reference stays valid for the handle's lifetime.
 template <typename T>
 class JobHandle {
  public:
@@ -131,25 +173,16 @@ class JobHandle {
     std::unique_lock<std::mutex> lock(state_->mutex);
     state_->cv.wait(lock, [&] { return state_->done; });
     if (state_->failure) std::rethrow_exception(state_->failure);
-    return state_->value;
+    return detail::project<T>(state_->value);
   }
 
  private:
   friend class Service;
 
-  struct State {
-    JobId id = 0;
-    mutable std::mutex mutex;
-    mutable std::condition_variable cv;
-    bool done = false;
-    std::exception_ptr failure;
-    T value{};
-  };
-
-  explicit JobHandle(std::shared_ptr<State> state)
+  explicit JobHandle(std::shared_ptr<detail::JobState> state)
       : state_(std::move(state)) {}
 
-  std::shared_ptr<State> state_;
+  std::shared_ptr<detail::JobState> state_;
 };
 
 class Service {
@@ -165,13 +198,25 @@ class Service {
 
   /// Take ownership of a workload; the id names it in later jobs.
   /// Registration is cheap -- no artifact is built until a job needs
-  /// it -- and safe while jobs are in flight.
+  /// it -- and safe while jobs are in flight. JobSpecs may reference
+  /// the workload as "@<id>" or by its name (first registration of a
+  /// name wins for name lookups).
   WorkloadId register_workload(workloads::Workload workload);
 
   [[nodiscard]] std::size_t workload_count() const;
   [[nodiscard]] const workloads::Workload& workload(WorkloadId id) const;
 
-  /// Enqueue a job onto the shared pool; returns immediately.
+  /// Resolve a JobSpec workload reference ("@<id>" or a registered
+  /// name); throws CheckError for unknown references.
+  [[nodiscard]] WorkloadId resolve(const std::string& ref) const;
+
+  /// The front door: validate `spec`, resolve its workload references,
+  /// and enqueue it under its QoS (priority class, worker budget).
+  /// Returns immediately; errors in the spec throw synchronously.
+  [[nodiscard]] JobHandle<JobResult> submit(JobSpec spec);
+
+  /// Typed veneers over submit(JobSpec): same path, same pool, same
+  /// state -- the handle merely projects the matching JobResult member.
   [[nodiscard]] JobHandle<sim::RunResult> submit(RunJob job);
   [[nodiscard]] JobHandle<std::vector<sweep::SweepOutcome>> submit(
       SweepJob job);
@@ -182,12 +227,17 @@ class Service {
   void drain();
 
   /// Artifact-cache observability (tests pin dedup and reuse on these;
-  /// counters are cumulative since construction).
+  /// counters are cumulative since construction). The byte figures are
+  /// approximate resident sizes of the cached artifacts -- the numbers
+  /// an eviction policy would budget against (ROADMAP).
   struct CacheStats {
     std::size_t images_built = 0;     // BlockImages materialized
     std::size_t image_borrows = 0;    // cells served by a cached image
     std::size_t frontiers_built = 0;  // FrontierCaches materialized
     std::size_t frontier_borrows = 0; // engines that borrowed geometry
+    std::uint64_t image_bytes = 0;    // approx bytes of cached images
+    std::uint64_t frontier_bytes = 0; // approx bytes of materialized
+                                      // frontier geometry
   };
   [[nodiscard]] CacheStats cache_stats() const;
 

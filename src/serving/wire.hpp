@@ -1,0 +1,163 @@
+// The APCC wire format: a canonical, versioned text codec for JobSpec
+// and every job result type.
+//
+// This is what lets jobs and results leave the address space: batch job
+// files, the `apcc_cli serve` stdin/stdout front door, and the CI golden
+// round-trip gate all speak exactly this format. Records are
+// line-oriented text:
+//
+//   apcc.job v2                      <- strict versioned header
+//   kind sweep
+//   client bench-rig
+//   priority high
+//   max-workers 2
+//   share-frontiers 1
+//   workload gsm-like
+//   codec huffman-shared
+//   ...
+//   task label=on-demand/k=1 strategy=on-demand kc=1 kd=1 ...
+//   end
+//
+//   apcc.result v2
+//   job 1
+//   client bench-rig
+//   status ok
+//   kind sweep
+//   outcome index=0 label=on-demand/k=1 total-cycles=8124 ...
+//   end
+//
+// Contract:
+//  * **Strict**: the header must match byte-for-byte (a future schema
+//    change must bump the version deliberately); unknown keys,
+//    duplicate single-occurrence keys, malformed values, and missing
+//    `end` are errors, never silently ignored. Errors throw WireError
+//    carrying the offending line number and a snippet.
+//  * **Lenient about omission**: every key except `kind` (and the
+//    workload arity the job kind demands) has the library default, so
+//    hand-written job files stay short.
+//  * **Canonical**: serialize() always emits every field, in a fixed
+//    order, with fixed formatting (shortest round-trip for doubles).
+//    serialize(parse(text)) is therefore a fixed point: running it
+//    twice yields byte-identical output, which is what the golden
+//    round-trip test in CI diffs against.
+//  * Field values that may contain spaces / non-printable bytes
+//    (workload refs, task labels, client tags, error messages) are
+//    percent-escaped; an empty string is the sentinel "-".
+//
+// Sugar: a job record may say `grid strategy-k` instead of explicit
+// `task` lines -- it expands at parse time to the standard strategy x k
+// grid (serving::strategy_k_grid) over the record's own base config.
+// Serialization always emits the expanded tasks, keeping the canonical
+// form explicit.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serving/job_spec.hpp"
+#include "support/assert.hpp"
+
+namespace apcc::serving::wire {
+
+/// The wire schema version both record headers carry. Any change to
+/// the record grammar, key set, or value formats must bump
+/// JobSpec::kWireVersion (and regenerate the golden files in
+/// tests/serving/data); the header strings derive from it so the
+/// version is stated in exactly one place.
+inline constexpr int kVersion = JobSpec::kWireVersion;
+inline const std::string kJobHeader = "apcc.job v" + std::to_string(kVersion);
+inline const std::string kResultHeader =
+    "apcc.result v" + std::to_string(kVersion);
+
+/// A malformed record: `line()` is the 1-based line the error was
+/// detected on (absolute, given the `first_line` the parse call was
+/// handed) and `snippet()` is that line's text, for diagnostics that
+/// point at the offending input.
+class WireError : public CheckError {
+ public:
+  WireError(const std::string& message, std::size_t line,
+            std::string snippet)
+      : CheckError(message), line_(line), snippet_(std::move(snippet)) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] const std::string& snippet() const { return snippet_; }
+
+ private:
+  std::size_t line_;
+  std::string snippet_;
+};
+
+// ------------------------------------------------------------- jobs
+
+/// Canonical text for one job record (header through "end\n").
+[[nodiscard]] std::string serialize_job(const JobSpec& spec);
+
+/// Parse one job record. `first_line` is the absolute line number of
+/// the record's header line in its source, so WireErrors point at the
+/// real file/stream position. Blank and '#'-comment lines inside the
+/// record are skipped (and counted).
+[[nodiscard]] JobSpec parse_job(std::string_view text,
+                                std::size_t first_line = 1);
+
+// ----------------------------------------------------------- results
+
+/// One job's wire-visible outcome: the submission sequence number the
+/// stream assigned it, the echoed client tag, and either the unified
+/// JobResult or a failure message.
+struct ResultRecord {
+  std::uint64_t job = 0;
+  std::string client;
+  /// Non-empty means the job failed; `result` is then meaningless.
+  std::string error;
+  JobResult result;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+[[nodiscard]] std::string serialize_result(const ResultRecord& record);
+
+[[nodiscard]] ResultRecord parse_result(std::string_view text,
+                                        std::size_t first_line = 1);
+
+// ------------------------------------------------------------ streams
+
+/// One raw record cut out of a stream: the exact text from its header
+/// line through its "end" line, where it started, and which header it
+/// carried. Feed `text`/`first_line` to parse_job / parse_result.
+struct RawRecord {
+  std::string text;
+  std::size_t first_line = 0;
+  bool is_result = false;
+};
+
+/// Splits a stream into records: skips blank and '#'-comment lines
+/// between records, requires every record to open with a known header
+/// and close with "end". Throws WireError (absolute line numbers) on
+/// anything else.
+class RecordReader {
+ public:
+  explicit RecordReader(std::istream& in) : in_(in) {}
+
+  /// The next record, or nullopt at clean EOF.
+  [[nodiscard]] std::optional<RawRecord> next();
+
+ private:
+  std::istream& in_;
+  std::size_t line_ = 0;
+};
+
+// -------------------------------------------------- field encoding
+
+/// Percent-escape a free-form field for a wire line: bytes outside
+/// printable-ASCII, '%', and spaces become %XX (uppercase hex); the
+/// empty string is "-" (and a literal "-" is "%2D"). Deterministic,
+/// so canonical.
+[[nodiscard]] std::string escape_field(std::string_view s);
+
+/// Inverse of escape_field; throws CheckError on malformed escapes.
+[[nodiscard]] std::string unescape_field(std::string_view s);
+
+}  // namespace apcc::serving::wire

@@ -4,6 +4,15 @@
 
 namespace apcc::sweep {
 
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kBatch: return "batch";
+  }
+  return "?";
+}
+
 Pool::Pool(unsigned workers) {
   const unsigned count = std::max(1u, workers);
   threads_.reserve(count);
@@ -22,10 +31,21 @@ Pool::~Pool() {
 }
 
 std::shared_ptr<Pool::Job> Pool::claimable_locked() {
+  // queue_ is in submission (= ascending id) order, so the first hit
+  // within a priority class is the lowest id -- the deterministic
+  // tie-break. A cancelled job's remaining items are skipped without
+  // running, so the worker budget does not apply to them (holding them
+  // back would only delay the finalize).
+  std::shared_ptr<Job> best;
   for (const auto& job : queue_) {
-    if (job->next < job->total) return job;
+    if (job->next >= job->total) continue;
+    if (!job->cancelled && job->max_workers != 0 &&
+        job->running >= job->max_workers) {
+      continue;
+    }
+    if (!best || job->priority < best->priority) best = job;
   }
-  return nullptr;
+  return best;
 }
 
 void Pool::retire_locked(JobId id) {
@@ -38,11 +58,14 @@ void Pool::retire_locked(JobId id) {
   finished_cv_.notify_all();
 }
 
-Pool::JobId Pool::submit(std::size_t total, ItemFn item, FinalizeFn finalize) {
+Pool::JobId Pool::submit(std::size_t total, ItemFn item, FinalizeFn finalize,
+                         SubmitOptions options) {
   std::shared_ptr<Job> job = std::make_shared<Job>();
   job->total = total;
   job->item = std::move(item);
   job->finalize = std::move(finalize);
+  job->priority = options.priority;
+  job->max_workers = options.max_workers;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job->id = next_id_++;
@@ -72,6 +95,7 @@ void Pool::worker_loop() {
 
     const std::size_t index = job->next++;
     const bool skip = job->cancelled;
+    if (!skip) ++job->running;
     lock.unlock();
 
     std::exception_ptr error;
@@ -84,11 +108,23 @@ void Pool::worker_loop() {
     }
 
     lock.lock();
+    if (!skip) {
+      --job->running;
+      // Freeing a budget slot can make this job claimable again for a
+      // worker that went idle on the budget gate.
+      if (job->max_workers != 0 && job->next < job->total) {
+        work_cv_.notify_all();
+      }
+    }
     if (error) {
       if (!job->failure) job->failure = error;
-      // Remaining unclaimed items of *this* job are skipped (their
-      // results would be discarded anyway); other jobs are unaffected.
+      // Remaining unclaimed (not yet started) items of *this* job are
+      // skipped -- whichever priority class queued behind them; their
+      // results would be discarded anyway. Other jobs are unaffected.
       job->cancelled = true;
+      // Skipping bypasses the worker budget, so budget-gated idle
+      // workers can help drain the cancelled tail.
+      work_cv_.notify_all();
     }
     ++job->done;
     if (job->done == job->total) {

@@ -9,14 +9,25 @@
 // generalization:
 //
 //  * submit() enqueues a job (total item count + per-item callback +
-//    finalize callback) and returns a JobId immediately; work items
+//    finalize callback, plus optional QoS: a priority class and a
+//    per-job worker budget) and returns a JobId immediately; work items
 //    carry (job, index) so the scheduler can interleave jobs.
-//  * Scheduling is FIFO with cross-job overflow: workers claim items
-//    from the oldest job that still has unclaimed items, so job A's
-//    long tail overlaps job B's head instead of the pool draining and
-//    refilling per job.
+//  * Scheduling is by strict priority class (high > normal > batch)
+//    with cross-job overflow: workers claim items from the
+//    highest-class job that still has unclaimed items, oldest job id
+//    first within a class, so job A's long tail overlaps job B's head
+//    instead of the pool draining and refilling per job. Priorities are
+//    strict -- a ready high-class item always beats a batch item -- and
+//    the lowest-id tie-break makes the claim order deterministic.
+//    Because every result is keyed by its item index and collected
+//    order-independently, scheduling affects only *when* an item runs,
+//    never what any job returns.
+//  * A job's max_workers budget caps how many pool threads run its
+//    items concurrently (0 = no cap). A budget-capped job yields its
+//    surplus workers to lower-priority jobs instead of idling them.
 //  * The first exception a job's item throws cancels that job's
-//    remaining unclaimed items (other jobs are unaffected) and is
+//    remaining unclaimed (not-yet-started) items -- whatever priority
+//    class they were queued under; other jobs are unaffected -- and is
 //    handed to the job's finalize callback, which runs exactly once, on
 //    a pool thread, after the job's last item retires.
 //
@@ -38,6 +49,25 @@
 #include <vector>
 
 namespace apcc::sweep {
+
+/// Strict scheduling classes for pool jobs. Lower value = more urgent;
+/// a claimable item of a higher class always runs before a lower one
+/// (no aging), ties broken by lowest job id.
+enum class Priority : std::uint8_t {
+  kHigh = 0,
+  kNormal = 1,
+  kBatch = 2,
+};
+
+[[nodiscard]] const char* priority_name(Priority p);
+
+/// Per-job QoS knobs for Pool::submit().
+struct SubmitOptions {
+  Priority priority = Priority::kNormal;
+  /// Max pool threads running this job's items concurrently; 0 = no
+  /// cap. Affects scheduling only, never outcomes.
+  unsigned max_workers = 0;
+};
 
 class Pool {
  public:
@@ -67,7 +97,8 @@ class Pool {
   /// Enqueue a job and return its id without running anything on the
   /// calling thread. A job with total == 0 is finalized immediately
   /// (synchronously, with a null failure).
-  JobId submit(std::size_t total, ItemFn item, FinalizeFn finalize);
+  JobId submit(std::size_t total, ItemFn item, FinalizeFn finalize,
+               SubmitOptions options = {});
 
   /// Block until job `id` has finalized (returns immediately for ids
   /// already retired or never issued).
@@ -82,15 +113,21 @@ class Pool {
     std::size_t total = 0;
     ItemFn item;
     FinalizeFn finalize;
-    std::size_t next = 0;  // next unclaimed index (guarded by mutex_)
-    std::size_t done = 0;  // retired items (guarded by mutex_)
+    Priority priority = Priority::kNormal;
+    unsigned max_workers = 0;  // 0 = unbudgeted
+    std::size_t next = 0;     // next unclaimed index (guarded by mutex_)
+    std::size_t done = 0;     // retired items (guarded by mutex_)
+    unsigned running = 0;     // items currently on a worker (mutex_)
     bool cancelled = false;
     std::exception_ptr failure;
   };
 
   void worker_loop();
 
-  /// The oldest queued job with an unclaimed item; nullptr when idle.
+  /// The best claimable job: highest priority class, then lowest id,
+  /// among queued jobs with an unclaimed item whose worker budget has a
+  /// free slot (cancelled jobs bypass the budget -- their items are
+  /// skipped, not run). nullptr when nothing is claimable.
   [[nodiscard]] std::shared_ptr<Job> claimable_locked();
 
   /// Record a finalized id (compacting into retired_below_) and wake

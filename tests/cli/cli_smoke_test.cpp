@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -36,6 +37,23 @@ struct CommandResult {
 CommandResult run_cli(const std::string& args) {
   const std::string command =
       std::string(kCliPath) + " " + args + " 2>/dev/null";
+  CommandResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+/// Like run_cli but captures stderr instead (for diagnostics checks).
+CommandResult run_cli_stderr(const std::string& args) {
+  const std::string command =
+      std::string(kCliPath) + " " + args + " 2>&1 1>/dev/null";
   CommandResult result;
   FILE* pipe = popen(command.c_str(), "r");
   if (pipe == nullptr) return result;
@@ -111,61 +129,257 @@ TEST(CliSmoke, UsageErrorsExitOne) {
   EXPECT_EQ(run_cli("sim " + workload_path() + " --no-such-flag").exit_code,
             1);
   EXPECT_EQ(run_cli("frobnicate x").exit_code, 1);
+  // Output-format flags that would be silently ignored are rejected:
+  // only batch takes --wire, and serve always emits wire records.
+  EXPECT_EQ(run_cli("sim " + workload_path() + " --wire").exit_code, 1);
+  EXPECT_EQ(run_cli("sweep " + workload_path() + " --wire").exit_code, 1);
+  EXPECT_EQ(run_cli("serve --csv < /dev/null").exit_code, 1);
+  // wire-roundtrip takes exactly one file; extras are rejected, not
+  // silently dropped.
+  EXPECT_EQ(run_cli("wire-roundtrip a.wire b.wire").exit_code, 1);
 }
 
 TEST(CliSmoke, MissingInputExitsTwo) {
   EXPECT_EQ(run_cli("sim /nonexistent/nope.s").exit_code, 2);
 }
 
-TEST(CliSmoke, BatchRunsCampaignOverTheCheckedInWorkload) {
-  // batch covers the campaign path on the checked-in workload (the bare
-  // `campaign` subcommand grids over the whole built-in suite, too slow
-  // for a smoke test) and exercises run/sweep artifact reuse.
+TEST(CliSmoke, BatchRunsWireJobFileOverTheCheckedInWorkload) {
+  // batch covers the wire-format job file: run + sweep + campaign
+  // records over the checked-in workload (the bare `campaign`
+  // subcommand grids over the whole built-in suite, too slow for a
+  // smoke test), exercising artifact reuse and the QoS fields.
   const std::string jobfile =
-      ::testing::TempDir() + "/apcc_smoke_jobs.txt";
+      ::testing::TempDir() + "/apcc_smoke_jobs.wire";
   {
     std::ofstream out(jobfile);
-    out << "# smoke jobs\n"
-        << "run " << workload_path() << "\n"
-        << "sweep " << workload_path() << " --csv\n"
-        << "campaign " << workload_path() << " --csv\n";
+    out << "# smoke jobs (wire format)\n"
+        << "apcc.job v2\n"
+        << "kind run\n"
+        << "workload " << workload_path() << "\n"
+        << "end\n"
+        << "\n"
+        << "apcc.job v2\n"
+        << "kind sweep\n"
+        << "priority high\n"
+        << "max-workers 1\n"
+        << "workload " << workload_path() << "\n"
+        << "grid strategy-k\n"
+        << "end\n"
+        << "\n"
+        << "apcc.job v2\n"
+        << "kind campaign\n"
+        << "priority batch\n"
+        << "workload " << workload_path() << "\n"
+        << "task label=on-demand/k=1 strategy=on-demand kc=1 kd=1\n"
+        << "end\n";
   }
-  const auto result = run_cli("batch " + jobfile + " --workers 2");
+  const auto result = run_cli("batch " + jobfile + " --workers 2 --csv");
   ASSERT_EQ(result.exit_code, 0);
   EXPECT_NE(result.output.find("### job 1: run"), std::string::npos);
   EXPECT_NE(result.output.find("### job 2: sweep"), std::string::npos);
+  EXPECT_NE(result.output.find("[high]"), std::string::npos);
   EXPECT_NE(result.output.find("### job 3: campaign"), std::string::npos);
-  // The campaign CSV labels rows workload/task.
+  // The sweep grid sugar expanded to the standard 12 labels, and the
+  // campaign CSV labels rows workload/task.
+  EXPECT_NE(result.output.find("pre-single/k=8,"), std::string::npos);
   EXPECT_NE(result.output.find(workload_path() + "/on-demand/k=1,"),
+            std::string::npos);
+
+  // --wire emits machine-readable result records instead.
+  const auto wired = run_cli("batch " + jobfile + " --wire");
+  ASSERT_EQ(wired.exit_code, 0);
+  EXPECT_NE(wired.output.find("apcc.result v2\njob 1\n"), std::string::npos);
+  EXPECT_NE(wired.output.find("status ok"), std::string::npos);
+  EXPECT_NE(wired.output.find("kind campaign"), std::string::npos);
+  std::remove(jobfile.c_str());
+}
+
+TEST(CliSmoke, BatchWireEmitsErrorRecordsForFailedJobs) {
+  // In --wire mode the stream is the contract: a job that fails at
+  // runtime becomes a status-error record (like serve), never a
+  // truncated stream -- later jobs' records still arrive.
+  const std::string jobfile =
+      ::testing::TempDir() + "/apcc_smoke_wire_fail.wire";
+  {
+    std::ofstream out(jobfile);
+    out << "apcc.job v2\nkind run\nworkload " << workload_path() << "\nend\n"
+        << "apcc.job v2\nkind run\nworkload " << workload_path() << "\n"
+        << "policy budget=1\n"  // smaller than any block: engine throws
+        << "end\n"
+        << "apcc.job v2\nkind run\nworkload /nonexistent/nope.s\nend\n"
+        << "apcc.job v2\nkind run\nworkload " << workload_path() << "\nend\n";
+  }
+  const auto result = run_cli("batch " + jobfile + " --wire");
+  ASSERT_EQ(result.exit_code, 0);
+  const std::size_t first = result.output.find("apcc.result v2\njob 1\n");
+  const std::size_t second = result.output.find("apcc.result v2\njob 2\n");
+  const std::size_t third = result.output.find("apcc.result v2\njob 3\n");
+  const std::size_t fourth = result.output.find("apcc.result v2\njob 4\n");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  ASSERT_NE(third, std::string::npos);
+  ASSERT_NE(fourth, std::string::npos);
+  // Job 2 failed at runtime (engine), job 3 never started (unknown
+  // workload) -- both are status-error records in their slots; jobs 1
+  // and 4 still deliver ok results.
+  const std::string engine_failed = result.output.substr(second, third - second);
+  EXPECT_NE(engine_failed.find("status error"), std::string::npos)
+      << engine_failed;
+  const std::string never_started =
+      result.output.substr(third, fourth - third);
+  EXPECT_NE(never_started.find("status error"), std::string::npos)
+      << never_started;
+  EXPECT_NE(never_started.find("nope.s"), std::string::npos);
+  EXPECT_NE(result.output.substr(fourth).find("status ok"),
             std::string::npos);
   std::remove(jobfile.c_str());
 }
 
-TEST(CliSmoke, BatchRejectsGridOverridesInsideJobLines) {
+TEST(CliSmoke, BatchReportsLineAndSnippetOnMalformedRecords) {
   const std::string jobfile =
-      ::testing::TempDir() + "/apcc_smoke_bad_jobs.txt";
+      ::testing::TempDir() + "/apcc_smoke_bad_jobs.wire";
+  // A job record with a bad value on line 4: the diagnostic must name
+  // the file, the line, and echo the offending text -- not just exit 1.
   {
     std::ofstream out(jobfile);
-    out << "sweep " << workload_path() << " --strategy pre-all\n";
+    out << "apcc.job v2\n"
+        << "kind sweep\n"
+        << "workload " << workload_path() << "\n"
+        << "task label=x strategy=warp-speed\n"
+        << "end\n";
   }
-  EXPECT_EQ(run_cli("batch " + jobfile).exit_code, 1);
-  // --workers is service-wide: a job line passing it is rejected, not
-  // silently ignored -- even when every earlier line is valid (the
-  // whole file is validated before anything is submitted).
-  {
-    std::ofstream out(jobfile);
-    out << "run " << workload_path() << "\n"
-        << "sweep " << workload_path() << " --workers 4\n";
-  }
-  EXPECT_EQ(run_cli("batch " + jobfile).exit_code, 1);
-  // And the mirror image: per-job config on the batch command line
-  // (which applies to no job) is rejected, not silently dropped.
+  const auto result = run_cli_stderr("batch " + jobfile);
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find(jobfile + ":4:"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("strategy=warp-speed"), std::string::npos)
+      << result.output;
+  // The PR 4 job-file syntax is gone: an old-style line is a wire
+  // format error (migration note in README.md), not a silent no-op.
   {
     std::ofstream out(jobfile);
     out << "run " << workload_path() << "\n";
   }
+  EXPECT_EQ(run_cli("batch " + jobfile).exit_code, 1);
+  // Per-job config on the batch command line (which applies to no job)
+  // is still rejected, not silently dropped.
+  {
+    std::ofstream out(jobfile);
+    out << "apcc.job v2\nkind run\nworkload " << workload_path() << "\nend\n";
+  }
   EXPECT_EQ(run_cli("batch " + jobfile + " --codec null").exit_code, 1);
   std::remove(jobfile.c_str());
+}
+
+TEST(CliSmoke, ServeStreamsWireResultsInSubmissionOrder) {
+  // The remote front door: job records in on stdin, result records out
+  // on stdout, submission order, errors as records (the server keeps
+  // going after a bad job).
+  const std::string jobfile =
+      ::testing::TempDir() + "/apcc_smoke_serve.wire";
+  {
+    std::ofstream out(jobfile);
+    out << "apcc.job v2\n"
+        << "kind run\n"
+        << "client smoke\n"
+        << "workload " << workload_path() << "\n"
+        << "end\n"
+        << "apcc.job v2\n"
+        << "kind run\n"
+        << "workload /nonexistent/nope.s\n"
+        << "end\n"
+        << "apcc.job v2\n"
+        << "kind sweep\n"
+        << "workload " << workload_path() << "\n"
+        << "task label=on-demand/k=1 strategy=on-demand kc=1 kd=1\n"
+        << "end\n";
+  }
+  const auto result = run_cli("serve < " + jobfile);
+  ASSERT_EQ(result.exit_code, 0);
+  const std::size_t first = result.output.find("apcc.result v2\njob 1\n");
+  const std::size_t second = result.output.find("apcc.result v2\njob 2\n");
+  const std::size_t third = result.output.find("apcc.result v2\njob 3\n");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  ASSERT_NE(third, std::string::npos);
+  EXPECT_LT(first, second);
+  EXPECT_LT(second, third);
+  EXPECT_NE(result.output.find("client smoke"), std::string::npos);
+  // Job 2 failed (missing file) as a status error record; job 3 after
+  // it still ran to an ok sweep result.
+  const std::string middle = result.output.substr(second, third - second);
+  EXPECT_NE(middle.find("status error"), std::string::npos);
+  EXPECT_NE(middle.find("nope.s"), std::string::npos);
+  const std::string tail = result.output.substr(third);
+  EXPECT_NE(tail.find("status ok"), std::string::npos);
+  EXPECT_NE(tail.find("kind sweep"), std::string::npos);
+  EXPECT_NE(tail.find("label=on-demand/k=1"), std::string::npos);
+  std::remove(jobfile.c_str());
+}
+
+TEST(CliSmoke, ServeEmitsResultsWhileStdinIsStillOpen) {
+  // The request/response shape: a client writes one job and waits for
+  // its result before sending anything else. The result record must
+  // arrive while stdin is still open -- the server can't sit on
+  // completed results until the next record or EOF.
+  const std::string jobfile =
+      ::testing::TempDir() + "/apcc_smoke_serve_stream.wire";
+  {
+    std::ofstream out(jobfile);
+    out << "apcc.job v2\nkind run\nworkload " << workload_path() << "\nend\n";
+  }
+  // The subshell holds stdin open for 4s after the job; the first
+  // result record must complete well before that.
+  const std::string command = "( cat " + jobfile + "; sleep 4 ) | " +
+                              std::string(kCliPath) + " serve 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  const auto start = std::chrono::steady_clock::now();
+  std::string output;
+  double first_record_seconds = 1e9;
+  char buffer[512];
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    output += buffer;
+    if (std::string(buffer) == "end\n") {
+      first_record_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      break;
+    }
+  }
+  pclose(pipe);  // waits out the subshell's sleep
+  EXPECT_NE(output.find("apcc.result v2\njob 1\n"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("status ok"), std::string::npos) << output;
+  EXPECT_LT(first_record_seconds, 3.0)
+      << "serve held a finished result until stdin closed";
+  std::remove(jobfile.c_str());
+}
+
+TEST(CliSmoke, WireRoundtripIsAFixedPoint) {
+  const std::string jobfile =
+      ::testing::TempDir() + "/apcc_smoke_roundtrip.wire";
+  {
+    std::ofstream out(jobfile);
+    out << "apcc.job v2\n"
+        << "kind sweep\n"
+        << "workload gsm-like\n"
+        << "grid strategy-k\n"
+        << "end\n";
+  }
+  const auto once = run_cli("wire-roundtrip " + jobfile);
+  ASSERT_EQ(once.exit_code, 0);
+  const std::string canonical = ::testing::TempDir() + "/apcc_canonical.wire";
+  {
+    std::ofstream out(canonical);
+    out << once.output;
+  }
+  const auto twice = run_cli("wire-roundtrip " + canonical);
+  ASSERT_EQ(twice.exit_code, 0);
+  EXPECT_EQ(once.output, twice.output);
+  std::remove(jobfile.c_str());
+  std::remove(canonical.c_str());
 }
 
 TEST(CliSmoke, AsmAndCfgStillWork) {

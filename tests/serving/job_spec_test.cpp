@@ -1,0 +1,252 @@
+// JobSpec front-door differentials: submit(JobSpec) must produce
+// results byte-identical to the typed overloads AND to the direct
+// run / run_sweep / run_campaign calls for all three kinds -- and the
+// QoS fields (priority class, worker budget, client tag) must change
+// *when* cells run, never what any job returns: mixed-priority /
+// budgeted submissions are pinned byte-identical to plain FIFO at
+// workers 1/2/4. (On the 1-vCPU CI box the parallel interleavings are
+// limited; the determinism claim is exactly what these differentials
+// verify. The TSan CI job runs this binary.)
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "serving/service.hpp"
+#include "support/assert.hpp"
+#include "workloads/suite.hpp"
+
+#include "test_support.hpp"
+
+namespace apcc::serving {
+namespace {
+
+using namespace testsupport;
+
+JobSpec run_spec(const std::string& ref) {
+  JobSpec spec;
+  spec.kind = JobKind::kRun;
+  spec.workloads = {ref};
+  return spec;
+}
+
+JobSpec sweep_spec(const std::string& ref,
+                   std::vector<sweep::SweepTask> tasks) {
+  JobSpec spec;
+  spec.kind = JobKind::kSweep;
+  spec.workloads = {ref};
+  spec.tasks = std::move(tasks);
+  return spec;
+}
+
+JobSpec campaign_spec(std::vector<std::string> refs,
+                      std::vector<sweep::SweepTask> grid) {
+  JobSpec spec;
+  spec.kind = JobKind::kCampaign;
+  spec.workloads = std::move(refs);
+  spec.tasks = std::move(grid);
+  return spec;
+}
+
+TEST(JobSpec, RunMatchesTypedAndDirect) {
+  const sim::RunResult direct = reference_systems()[0].run();
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    Fixture fx(workers);
+    SCOPED_TRACE(std::to_string(workers) + " workers");
+    // By id reference (what the typed veneer emits)...
+    const auto id_handle =
+        fx.service.submit(run_spec("@" + std::to_string(fx.ids[0])));
+    const JobResult& by_id = id_handle.wait();
+    EXPECT_EQ(by_id.kind, JobKind::kRun);
+    expect_identical(by_id.run, direct);
+    // ...by registered name...
+    const auto name_handle = fx.service.submit(run_spec("crc-like"));
+    expect_identical(name_handle.wait().run, direct);
+    // ...and through the typed veneer, which shares the same path.
+    expect_identical(fx.service.submit(RunJob{fx.ids[0]}).wait(), direct);
+  }
+}
+
+TEST(JobSpec, SweepMatchesTypedAndDirect) {
+  const auto grid = test_grid();
+  sweep::SweepOptions sequential;
+  sequential.workers = 1;
+  const auto direct = reference_systems()[0].run_sweep(grid, sequential);
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    Fixture fx(workers);
+    SCOPED_TRACE(std::to_string(workers) + " workers");
+    const auto unified_handle =
+        fx.service.submit(sweep_spec("crc-like", grid));
+    const JobResult& unified = unified_handle.wait();
+    EXPECT_EQ(unified.kind, JobKind::kSweep);
+    ASSERT_EQ(unified.sweep.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      expect_identical(direct[i], unified.sweep[i]);
+    }
+    const auto typed_handle = fx.service.submit(SweepJob{fx.ids[0], {}, grid});
+    const auto& typed = typed_handle.wait();
+    ASSERT_EQ(typed.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      expect_identical(direct[i], typed[i]);
+    }
+  }
+}
+
+TEST(JobSpec, CampaignMatchesTypedAndDirect) {
+  const auto grid = test_grid();
+  std::vector<core::CampaignEntry> entries;
+  const auto& systems = reference_systems();
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    entries.push_back({workloads::workload_name(kinds_under_test()[i]),
+                       &systems[i]});
+  }
+  sweep::CampaignOptions sequential;
+  sequential.workers = 1;
+  const auto direct = core::run_campaign(entries, grid, sequential);
+
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    Fixture fx(workers);
+    SCOPED_TRACE(std::to_string(workers) + " workers");
+    std::vector<std::string> refs;
+    for (const auto id : fx.ids) refs.push_back("@" + std::to_string(id));
+    const auto unified_handle = fx.service.submit(campaign_spec(refs, grid));
+    const JobResult& unified = unified_handle.wait();
+    EXPECT_EQ(unified.kind, JobKind::kCampaign);
+    ASSERT_EQ(unified.campaign.size(), direct.size());
+    for (std::size_t w = 0; w < direct.size(); ++w) {
+      EXPECT_EQ(unified.campaign[w].workload, direct[w].workload);
+      ASSERT_EQ(unified.campaign[w].outcomes.size(),
+                direct[w].outcomes.size());
+      for (std::size_t i = 0; i < direct[w].outcomes.size(); ++i) {
+        expect_identical(direct[w].outcomes[i],
+                         unified.campaign[w].outcomes[i]);
+      }
+    }
+    CampaignJob typed;
+    typed.workloads = fx.ids;
+    typed.grid = grid;
+    const auto typed_handle = fx.service.submit(std::move(typed));
+    const auto& typed_results = typed_handle.wait();
+    ASSERT_EQ(typed_results.size(), direct.size());
+    for (std::size_t w = 0; w < direct.size(); ++w) {
+      ASSERT_EQ(typed_results[w].outcomes.size(), direct[w].outcomes.size());
+      for (std::size_t i = 0; i < direct[w].outcomes.size(); ++i) {
+        expect_identical(direct[w].outcomes[i], typed_results[w].outcomes[i]);
+      }
+    }
+  }
+}
+
+TEST(JobSpec, MixedPriorityAndBudgetByteIdenticalToFifo) {
+  // The acceptance differential: the same four jobs -- a high-priority
+  // budgeted run, a batch-class budgeted sweep, a normal campaign, and
+  // a batch run -- submitted together under QoS and again as plain
+  // FIFO (all defaults), at workers 1/2/4. Scheduling order differs;
+  // every result must be byte-identical.
+  const auto grid = test_grid();
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE(std::to_string(workers) + " workers");
+    Fixture qos(workers);
+    Fixture fifo(workers);
+
+    auto j1 = run_spec("crc-like");
+    j1.priority = sweep::Priority::kHigh;
+    j1.max_workers = 1;
+    j1.client = "latency-tier";
+    auto j2 = sweep_spec("crc-like", grid);
+    j2.priority = sweep::Priority::kBatch;
+    j2.max_workers = 2;
+    j2.client = "nightly";
+    auto j3 = campaign_spec({"crc-like", "adpcm-like"}, grid);
+    auto j4 = run_spec("adpcm-like");
+    j4.priority = sweep::Priority::kBatch;
+
+    // Submit everything before waiting on anything, both services.
+    const auto q1 = qos.service.submit(j1);
+    const auto q2 = qos.service.submit(j2);
+    const auto q3 = qos.service.submit(j3);
+    const auto q4 = qos.service.submit(j4);
+    const auto f1 = fifo.service.submit(run_spec("crc-like"));
+    const auto f2 = fifo.service.submit(sweep_spec("crc-like", grid));
+    const auto f3 =
+        fifo.service.submit(campaign_spec({"crc-like", "adpcm-like"}, grid));
+    const auto f4 = fifo.service.submit(run_spec("adpcm-like"));
+
+    expect_identical(q1.wait().run, f1.wait().run);
+    const auto& qs = q2.wait().sweep;
+    const auto& fs = f2.wait().sweep;
+    ASSERT_EQ(qs.size(), fs.size());
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      expect_identical(fs[i], qs[i]);
+    }
+    const auto& qc = q3.wait().campaign;
+    const auto& fc = f3.wait().campaign;
+    ASSERT_EQ(qc.size(), fc.size());
+    for (std::size_t w = 0; w < fc.size(); ++w) {
+      EXPECT_EQ(qc[w].workload, fc[w].workload);
+      ASSERT_EQ(qc[w].outcomes.size(), fc[w].outcomes.size());
+      for (std::size_t i = 0; i < fc[w].outcomes.size(); ++i) {
+        expect_identical(fc[w].outcomes[i], qc[w].outcomes[i]);
+      }
+    }
+    expect_identical(q4.wait().run, f4.wait().run);
+    // And FIFO itself is the direct reference.
+    expect_identical(f1.wait().run, reference_systems()[0].run());
+  }
+}
+
+TEST(JobSpec, ValidateRejectsMalformedSpecs) {
+  Fixture fx(1);
+  {
+    JobSpec two_workloads = run_spec("crc-like");
+    two_workloads.workloads.push_back("adpcm-like");
+    EXPECT_THROW({ (void)fx.service.submit(two_workloads); },
+                 apcc::CheckError);
+  }
+  {
+    JobSpec run_with_grid = run_spec("crc-like");
+    run_with_grid.tasks = test_grid();
+    EXPECT_THROW({ (void)fx.service.submit(run_with_grid); },
+                 apcc::CheckError);
+  }
+  {
+    JobSpec no_workload;
+    no_workload.kind = JobKind::kSweep;
+    EXPECT_THROW({ (void)fx.service.submit(no_workload); },
+                 apcc::CheckError);
+  }
+  EXPECT_THROW({ (void)fx.service.submit(run_spec("no-such-workload")); },
+               apcc::CheckError);
+  EXPECT_THROW({ (void)fx.service.submit(run_spec("@99")); },
+               apcc::CheckError);
+  EXPECT_THROW({ (void)fx.service.submit(run_spec("@banana")); },
+               apcc::CheckError);
+  {
+    JobSpec bad_kind = run_spec("crc-like");
+    bad_kind.kind = static_cast<JobKind>(250);
+    EXPECT_THROW({ (void)fx.service.submit(std::move(bad_kind)); },
+                 apcc::CheckError);
+  }
+}
+
+TEST(JobSpec, ResolveMapsIdsAndNames) {
+  Fixture fx(1);
+  EXPECT_EQ(fx.service.resolve("@0"), 0u);
+  EXPECT_EQ(fx.service.resolve("crc-like"), fx.ids[0]);
+  EXPECT_EQ(fx.service.resolve("adpcm-like"), fx.ids[1]);
+  EXPECT_THROW({ (void)fx.service.resolve("gsm-like"); }, apcc::CheckError);
+}
+
+TEST(JobSpec, UnifiedHandleSharesStateWithCopies) {
+  Fixture fx(1);
+  const auto handle = fx.service.submit(run_spec("crc-like"));
+  const auto copy = handle;
+  EXPECT_EQ(handle.id(), copy.id());
+  expect_identical(handle.wait().run, copy.wait().run);
+  EXPECT_TRUE(copy.ready());
+  EXPECT_FALSE(JobHandle<JobResult>{}.valid());
+}
+
+}  // namespace
+}  // namespace apcc::serving

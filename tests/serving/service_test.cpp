@@ -16,102 +16,12 @@
 #include "support/assert.hpp"
 #include "workloads/suite.hpp"
 
+#include "test_support.hpp"
+
 namespace apcc::serving {
 namespace {
 
-const std::vector<workloads::WorkloadKind>& kinds_under_test() {
-  static const auto* kinds = new std::vector<workloads::WorkloadKind>{
-      workloads::WorkloadKind::kCrcLike, workloads::WorkloadKind::kAdpcmLike};
-  return *kinds;
-}
-
-/// Direct-API reference systems, one per kind (default SystemConfig).
-const std::vector<core::CodeCompressionSystem>& reference_systems() {
-  static const auto* systems = [] {
-    auto* out = new std::vector<core::CodeCompressionSystem>();
-    for (const auto kind : kinds_under_test()) {
-      out->push_back(core::CodeCompressionSystem::from_workload(
-          workloads::make_workload(kind)));
-    }
-    return out;
-  }();
-  return *systems;
-}
-
-/// Strategy x k x budget grid valid for every test workload.
-std::vector<sweep::SweepTask> test_grid() {
-  std::uint64_t largest = 0;
-  for (const auto& system : reference_systems()) {
-    for (const auto b : system.default_trace()) {
-      largest = std::max(largest, system.cfg().block(b).size_bytes());
-    }
-  }
-  std::vector<sweep::SweepTask> tasks;
-  for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
-                              runtime::DecompressionStrategy::kPreAll,
-                              runtime::DecompressionStrategy::kPreSingle}) {
-    for (const std::uint32_t k : {1u, 4u}) {
-      for (const bool tight : {false, true}) {
-        sweep::SweepTask task;
-        task.config.policy.strategy = strategy;
-        task.config.policy.compress_k = k;
-        task.config.policy.predecompress_k = k;
-        if (tight) task.config.policy.memory_budget = largest * 3 + 32;
-        task.label = std::string(runtime::strategy_name(strategy)) + "/k" +
-                     std::to_string(k) + (tight ? "/tight" : "/unbounded");
-        tasks.push_back(std::move(task));
-      }
-    }
-  }
-  return tasks;
-}
-
-void expect_identical(const sim::RunResult& x, const sim::RunResult& y) {
-  EXPECT_EQ(x.total_cycles, y.total_cycles);
-  EXPECT_EQ(x.baseline_cycles, y.baseline_cycles);
-  EXPECT_EQ(x.busy_cycles, y.busy_cycles);
-  EXPECT_EQ(x.stall_cycles, y.stall_cycles);
-  EXPECT_EQ(x.exception_cycles, y.exception_cycles);
-  EXPECT_EQ(x.critical_decompress_cycles, y.critical_decompress_cycles);
-  EXPECT_EQ(x.patch_cycles, y.patch_cycles);
-  EXPECT_EQ(x.block_entries, y.block_entries);
-  EXPECT_EQ(x.exceptions, y.exceptions);
-  EXPECT_EQ(x.demand_decompressions, y.demand_decompressions);
-  EXPECT_EQ(x.predecompressions, y.predecompressions);
-  EXPECT_EQ(x.predecompress_hits, y.predecompress_hits);
-  EXPECT_EQ(x.predecompress_partial, y.predecompress_partial);
-  EXPECT_EQ(x.wasted_predecompressions, y.wasted_predecompressions);
-  EXPECT_EQ(x.deletions, y.deletions);
-  EXPECT_EQ(x.evictions, y.evictions);
-  EXPECT_EQ(x.patches, y.patches);
-  EXPECT_EQ(x.unpatches, y.unpatches);
-  EXPECT_EQ(x.dropped_requests, y.dropped_requests);
-  EXPECT_EQ(x.decomp_helper_busy_cycles, y.decomp_helper_busy_cycles);
-  EXPECT_EQ(x.comp_helper_busy_cycles, y.comp_helper_busy_cycles);
-  EXPECT_EQ(x.original_image_bytes, y.original_image_bytes);
-  EXPECT_EQ(x.compressed_area_bytes, y.compressed_area_bytes);
-  EXPECT_EQ(x.peak_occupancy_bytes, y.peak_occupancy_bytes);
-  EXPECT_EQ(x.avg_occupancy_bytes, y.avg_occupancy_bytes);
-  EXPECT_EQ(x.codec_ratio, y.codec_ratio);
-}
-
-void expect_identical(const sweep::SweepOutcome& a,
-                      const sweep::SweepOutcome& b) {
-  EXPECT_EQ(a.index, b.index);
-  EXPECT_EQ(a.label, b.label);
-  expect_identical(a.result, b.result);
-}
-
-/// A Service with every test workload registered; ids in kind order.
-struct Fixture {
-  explicit Fixture(unsigned workers) : service({workers}) {
-    for (const auto kind : kinds_under_test()) {
-      ids.push_back(service.register_workload(workloads::make_workload(kind)));
-    }
-  }
-  Service service;
-  std::vector<WorkloadId> ids;
-};
+using namespace testsupport;
 
 TEST(Service, RunJobMatchesDirectRunColdAndWarm) {
   const sim::RunResult direct = reference_systems()[0].run();

@@ -1,0 +1,424 @@
+// Wire codec contract: serialize(parse(.)) is a fixed point for jobs
+// and every result type (the byte-identical round-trip the CI golden
+// gate diffs), parsing is strict (versioned header, unknown/duplicate
+// keys, missing end -- all positioned errors with line + snippet), and
+// omitted keys default so hand-written job files stay short. The
+// checked-in golden files under tests/serving/data pin the canonical
+// serialization: a schema change that alters them must bump
+// JobSpec::kWireVersion deliberately.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serving/wire.hpp"
+#include "support/assert.hpp"
+
+#ifndef APCC_WIRE_DATA_DIR
+#define APCC_WIRE_DATA_DIR "."
+#endif
+
+namespace apcc::serving::wire {
+namespace {
+
+JobSpec sample_sweep_spec() {
+  JobSpec spec;
+  spec.kind = JobKind::kSweep;
+  spec.workloads = {"gsm-like"};
+  spec.config.codec = compress::CodecKind::kLzss;
+  spec.config.policy.predictor = runtime::PredictorKind::kStatic;
+  spec.config.costs.exception_cycles = 300;
+  spec.share_frontiers = false;
+  spec.priority = sweep::Priority::kHigh;
+  spec.max_workers = 3;
+  spec.client = "bench rig #7";  // space + '#': exercises escaping
+  sweep::SweepTask task;
+  task.label = "pre-all/k=2 tight";
+  task.config.policy.strategy = runtime::DecompressionStrategy::kPreAll;
+  task.config.policy.compress_k = 2;
+  task.config.policy.predecompress_k = 2;
+  task.config.policy.memory_budget = 4096;
+  task.config.costs.cycles_per_instruction = 1.25;
+  spec.tasks.push_back(task);
+  task.label = "on-demand";
+  task.config.policy.strategy = runtime::DecompressionStrategy::kOnDemand;
+  spec.tasks.push_back(task);
+  return spec;
+}
+
+sim::RunResult sample_result(std::uint64_t seed) {
+  sim::RunResult r;
+  r.total_cycles = 1000 + seed;
+  r.baseline_cycles = 900 + seed;
+  r.busy_cycles = 800 + seed;
+  r.stall_cycles = 7 * seed;
+  r.exceptions = 13 + seed;
+  r.demand_decompressions = 11 + seed;
+  r.predecompressions = 5 * seed;
+  r.deletions = 3 + seed;
+  r.evictions = seed;
+  r.original_image_bytes = 4096;
+  r.compressed_area_bytes = 2048;
+  r.peak_occupancy_bytes = 512 + seed;
+  r.avg_occupancy_bytes = 123.456 + static_cast<double>(seed);
+  r.codec_ratio = 0.515625;
+  r.allocator.capacity = 8192;
+  r.allocator.used = 100 + seed;
+  r.allocator.total_allocations = 42 + seed;
+  return r;
+}
+
+TEST(Wire, JobRoundTripIsFixedPoint) {
+  for (const JobSpec& spec :
+       {sample_sweep_spec(),
+        [] {
+          JobSpec run;
+          run.kind = JobKind::kRun;
+          run.workloads = {"@2"};
+          run.max_workers = 1;
+          return run;
+        }(),
+        [] {
+          JobSpec campaign;
+          campaign.kind = JobKind::kCampaign;
+          campaign.workloads = {"crc-like", "adpcm-like", "a path/with space.s"};
+          campaign.priority = sweep::Priority::kBatch;
+          campaign.tasks.push_back({"only", {}});
+          return campaign;
+        }()}) {
+    const std::string text = serialize_job(spec);
+    const JobSpec reparsed = parse_job(text);
+    EXPECT_EQ(serialize_job(reparsed), text);
+    EXPECT_EQ(reparsed.kind, spec.kind);
+    EXPECT_EQ(reparsed.workloads, spec.workloads);
+    EXPECT_EQ(reparsed.client, spec.client);
+    EXPECT_EQ(reparsed.priority, spec.priority);
+    EXPECT_EQ(reparsed.max_workers, spec.max_workers);
+    EXPECT_EQ(reparsed.share_frontiers, spec.share_frontiers);
+    EXPECT_EQ(reparsed.tasks.size(), spec.tasks.size());
+  }
+}
+
+TEST(Wire, MinimalJobParsesToDefaults) {
+  const JobSpec spec = parse_job(
+      "apcc.job v2\n"
+      "kind run\n"
+      "workload gsm-like\n"
+      "end\n");
+  EXPECT_EQ(spec.kind, JobKind::kRun);
+  EXPECT_EQ(spec.workloads, std::vector<std::string>{"gsm-like"});
+  EXPECT_EQ(spec.client, "");
+  EXPECT_EQ(spec.priority, sweep::Priority::kNormal);
+  EXPECT_EQ(spec.max_workers, 0u);
+  EXPECT_TRUE(spec.share_frontiers);
+  EXPECT_TRUE(spec.tasks.empty());
+  const JobSpec defaults = [] {
+    JobSpec s;
+    s.kind = JobKind::kRun;
+    s.workloads = {"gsm-like"};
+    return s;
+  }();
+  EXPECT_EQ(serialize_job(spec), serialize_job(defaults));
+}
+
+TEST(Wire, RecordLevelPolicyIsTheBaseTasksOverride) {
+  // The record's policy/costs/fit lines are the base configuration
+  // every explicit task inherits (exactly what `grid strategy-k`
+  // expands over); task kvs override per cell. Order doesn't matter:
+  // a policy line below the task lines still applies.
+  const JobSpec spec = parse_job(
+      "apcc.job v2\n"
+      "kind sweep\n"
+      "workload gsm-like\n"
+      "task label=inherit strategy=pre-all\n"
+      "task label=override strategy=pre-all kc=2 exception=250\n"
+      "policy kc=8 kd=8\n"
+      "costs exception=999\n"
+      "end\n");
+  ASSERT_EQ(spec.tasks.size(), 2u);
+  EXPECT_EQ(spec.tasks[0].config.policy.compress_k, 8u);
+  EXPECT_EQ(spec.tasks[0].config.policy.predecompress_k, 8u);
+  EXPECT_EQ(spec.tasks[0].config.costs.exception_cycles, 999u);
+  EXPECT_EQ(spec.tasks[0].config.policy.strategy,
+            runtime::DecompressionStrategy::kPreAll);
+  EXPECT_EQ(spec.tasks[1].config.policy.compress_k, 2u);   // overridden
+  EXPECT_EQ(spec.tasks[1].config.policy.predecompress_k, 8u);  // inherited
+  EXPECT_EQ(spec.tasks[1].config.costs.exception_cycles, 250u);
+  // Still a canonical fixed point: tasks serialize fully explicit.
+  const std::string text = serialize_job(spec);
+  EXPECT_EQ(serialize_job(parse_job(text)), text);
+}
+
+TEST(Wire, GridSugarExpandsToTheStandardGrid) {
+  const JobSpec spec = parse_job(
+      "apcc.job v2\n"
+      "kind sweep\n"
+      "workload gsm-like\n"
+      "codec lzss\n"
+      "grid strategy-k\n"
+      "end\n");
+  core::SystemConfig config;
+  config.codec = compress::CodecKind::kLzss;
+  const auto expanded = strategy_k_grid(core::engine_config(config));
+  ASSERT_EQ(spec.tasks.size(), expanded.size());
+  for (std::size_t i = 0; i < expanded.size(); ++i) {
+    EXPECT_EQ(spec.tasks[i].label, expanded[i].label);
+    EXPECT_EQ(spec.tasks[i].config.policy.strategy,
+              expanded[i].config.policy.strategy);
+    EXPECT_EQ(spec.tasks[i].config.policy.compress_k,
+              expanded[i].config.policy.compress_k);
+  }
+  // The canonical form is explicit: re-serialization emits task lines,
+  // never 'grid', and stays a fixed point.
+  const std::string text = serialize_job(spec);
+  EXPECT_EQ(text.find("grid "), std::string::npos);
+  EXPECT_EQ(serialize_job(parse_job(text)), text);
+}
+
+void expect_wire_error(const std::string& text, const char* needle,
+                       std::size_t line) {
+  try {
+    (void)parse_job(text);
+    FAIL() << "expected WireError containing '" << needle << "'";
+  } catch (const WireError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+    EXPECT_EQ(e.line(), line) << e.what();
+  }
+}
+
+TEST(Wire, StrictParsingPositionsErrors) {
+  expect_wire_error("apcc.job v1\nkind run\nend\n", "unsupported wire", 1);
+  expect_wire_error("bogus\n", "record header", 1);
+  expect_wire_error("apcc.job v2\nkind run\nworkload x\n", "missing 'end'",
+                    4);
+  expect_wire_error("apcc.job v2\nworkload x\nend\n", "missing 'kind'", 1);
+  expect_wire_error("apcc.job v2\nkind run\nfrobnicate 1\nend\n",
+                    "unknown key", 3);
+  expect_wire_error("apcc.job v2\nkind run\nkind sweep\nend\n",
+                    "duplicate", 3);
+  expect_wire_error(
+      "apcc.job v2\nkind sweep\nworkload x\ntask label=a bogus=1\nend\n",
+      "unknown key 'bogus'", 4);
+  expect_wire_error(
+      "apcc.job v2\nkind sweep\nworkload x\ntask label=a kc=1 kc=2\nend\n",
+      "duplicate key 'kc'", 4);
+  expect_wire_error("apcc.job v2\nkind run\nmax-workers lots\nend\n",
+                    "malformed max-workers", 3);
+  // Narrowing is strict: a value past the field's width is malformed,
+  // never a silent wrap (4294967296 -> 0 would read as "uncapped").
+  expect_wire_error("apcc.job v2\nkind run\nmax-workers 4294967296\nend\n",
+                    "max-workers out of range", 3);
+  expect_wire_error(
+      "apcc.job v2\nkind sweep\nworkload x\ntask label=a kc=4294967296\n"
+      "end\n",
+      "kc out of range", 4);
+  expect_wire_error("apcc.job v2\nkind run\npriority urgent\nend\n",
+                    "unknown priority", 3);
+  expect_wire_error(
+      "apcc.job v2\nkind sweep\nworkload x\ngrid bogus\nend\n",
+      "unknown grid", 4);
+  expect_wire_error(
+      "apcc.job v2\nkind sweep\nworkload x\ntask label=a\ngrid strategy-k\n"
+      "end\n",
+      "exclusive", 5);
+  // A grid job record with no grid is the silent-zero-outcomes trap:
+  // rejected at the wire layer (the typed API keeps empty-grid
+  // semantics; tests/serving/service_test.cpp pins those).
+  expect_wire_error("apcc.job v2\nkind sweep\nworkload x\nend\n",
+                    "needs 'task' lines or 'grid strategy-k'", 1);
+  expect_wire_error("apcc.job v2\nkind campaign\nworkload x\nend\n",
+                    "needs 'task' lines or 'grid strategy-k'", 1);
+  // ...and a campaign with no workloads (the old bare-`campaign`
+  // batch line meant "whole suite"; a record spells them out).
+  expect_wire_error(
+      "apcc.job v2\nkind campaign\ngrid strategy-k\nend\n",
+      "at least one 'workload' line", 1);
+  // Structural validation is positioned too (the record header line).
+  expect_wire_error("apcc.job v2\nkind run\nend\n", "exactly one workload",
+                    1);
+  expect_wire_error(
+      "apcc.job v2\nkind run\nworkload x\ntask label=a\nend\n",
+      "not a task grid", 1);
+  // Comments and blank lines inside a record are skipped but counted.
+  expect_wire_error(
+      "apcc.job v2\n\n# comment\nkind run\nbroken-key 1\nend\n",
+      "unknown key 'broken-key'", 5);
+}
+
+TEST(Wire, ResultRoundTripsAllKindsAndErrors) {
+  ResultRecord run;
+  run.job = 7;
+  run.client = "tier-0";
+  run.result.kind = JobKind::kRun;
+  run.result.run = sample_result(1);
+
+  ResultRecord sweep_rec;
+  sweep_rec.job = 8;
+  sweep_rec.result.kind = JobKind::kSweep;
+  sweep_rec.result.sweep.push_back({0, "on-demand/k=1", sample_result(2)});
+  sweep_rec.result.sweep.push_back({1, "pre-all k=2", sample_result(3)});
+
+  ResultRecord campaign_rec;
+  campaign_rec.job = 9;
+  campaign_rec.result.kind = JobKind::kCampaign;
+  campaign_rec.result.campaign.push_back(
+      {"gsm-like", {{0, "a", sample_result(4)}, {1, "b", sample_result(5)}}});
+  campaign_rec.result.campaign.push_back(
+      {"crc-like", {{0, "a", sample_result(6)}}});
+
+  ResultRecord failed;
+  failed.job = 10;
+  failed.client = "tier-0";
+  failed.error = "workload 'x' has no default trace";
+
+  for (const ResultRecord& record : {run, sweep_rec, campaign_rec, failed}) {
+    const std::string text = serialize_result(record);
+    const ResultRecord reparsed = parse_result(text);
+    EXPECT_EQ(serialize_result(reparsed), text);
+    EXPECT_EQ(reparsed.job, record.job);
+    EXPECT_EQ(reparsed.client, record.client);
+    EXPECT_EQ(reparsed.error, record.error);
+    EXPECT_EQ(reparsed.ok(), record.ok());
+  }
+  // Spot-check payload fidelity, including doubles.
+  const ResultRecord reparsed = parse_result(serialize_result(campaign_rec));
+  ASSERT_EQ(reparsed.result.campaign.size(), 2u);
+  EXPECT_EQ(reparsed.result.campaign[0].workload, "gsm-like");
+  ASSERT_EQ(reparsed.result.campaign[0].outcomes.size(), 2u);
+  EXPECT_EQ(reparsed.result.campaign[0].outcomes[1].result.total_cycles,
+            1005u);
+  EXPECT_EQ(reparsed.result.campaign[0].outcomes[0].result.avg_occupancy_bytes,
+            sample_result(4).avg_occupancy_bytes);
+  EXPECT_EQ(reparsed.result.campaign[0].outcomes[0].result.codec_ratio,
+            0.515625);
+}
+
+TEST(Wire, ResultParsingIsStrict) {
+  const auto expect_result_error = [](const std::string& text,
+                                      const char* needle) {
+    try {
+      (void)parse_result(text);
+      FAIL() << "expected WireError containing '" << needle << "'";
+    } catch (const WireError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_result_error("apcc.job v2\nend\n", "expected 'apcc.result v2'");
+  expect_result_error("apcc.result v2\njob 1\nend\n", "missing 'status'");
+  expect_result_error("apcc.result v2\nstatus error\nend\n",
+                      "missing 'error'");
+  expect_result_error("apcc.result v2\nstatus ok\nend\n", "missing 'kind'");
+  expect_result_error(
+      "apcc.result v2\nstatus ok\nkind run\nend\n", "exactly one 'run' line");
+  expect_result_error(
+      "apcc.result v2\nstatus error\nerror x\nkind run\nrun total-cycles=1\n"
+      "end\n",
+      "cannot carry a payload");
+  expect_result_error(
+      "apcc.result v2\nstatus ok\nkind campaign\noutcome index=0 label=a\n"
+      "end\n",
+      "follow a 'group' line");
+}
+
+TEST(Wire, FieldEscapingRoundTrips) {
+  for (const std::string& s :
+       {std::string(""), std::string("-"), std::string("plain"),
+        std::string("with space"), std::string("pct%and=eq"),
+        std::string("new\nline"), std::string("#comment-ish"),
+        std::string("\x01\x7f bytes")}) {
+    EXPECT_EQ(unescape_field(escape_field(s)), s) << escape_field(s);
+  }
+  EXPECT_EQ(escape_field(""), "-");
+  EXPECT_EQ(escape_field("-"), "%2D");
+  EXPECT_EQ(escape_field("a b"), "a%20b");
+  EXPECT_THROW((void)unescape_field("bad%zz"), apcc::CheckError);
+  EXPECT_THROW((void)unescape_field("trunc%2"), apcc::CheckError);
+}
+
+TEST(Wire, RecordReaderSplitsStreamsAndPositions) {
+  std::istringstream in(
+      "# a comment between records\n"
+      "\n"
+      "apcc.job v2\n"
+      "kind run\n"
+      "workload gsm-like\n"
+      "end\n"
+      "\n"
+      "apcc.result v2\n"
+      "job 1\n"
+      "status error\n"
+      "error boom\n"
+      "end\n");
+  RecordReader reader(in);
+  const auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_FALSE(first->is_result);
+  EXPECT_EQ(first->first_line, 3u);
+  const JobSpec spec = parse_job(first->text, first->first_line);
+  EXPECT_EQ(spec.workloads, std::vector<std::string>{"gsm-like"});
+  const auto second = reader.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->is_result);
+  EXPECT_EQ(second->first_line, 8u);
+  const ResultRecord record = parse_result(second->text, second->first_line);
+  EXPECT_EQ(record.error, "boom");
+  EXPECT_FALSE(reader.next().has_value());
+
+  std::istringstream garbage("apcc.job v2\nkind run\n");
+  RecordReader bad(garbage);
+  EXPECT_THROW({ (void)bad.next(); }, WireError);
+
+  // The unterminated-record snippet is the header line, intact even
+  // when later (longer) body lines forced the line buffer to grow.
+  std::istringstream unterminated("apcc.job v2\nkind run\nclient " +
+                                  std::string(512, 'x') + "\n");
+  RecordReader dangling(unterminated);
+  try {
+    (void)dangling.next();
+    FAIL() << "expected WireError";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.snippet(), "apcc.job v2");
+    EXPECT_EQ(e.line(), 1u);
+  }
+}
+
+TEST(Wire, GoldenFilesAreFixedPoints) {
+  // The checked-in canonical records: parse -> serialize must
+  // reproduce every file byte-for-byte (the same gate CI runs through
+  // `apcc_cli wire-roundtrip`). Records within a file are separated by
+  // one blank line.
+  const std::vector<std::string> goldens = {
+      "job_run.wire",    "job_sweep.wire",      "job_campaign.wire",
+      "result_run.wire", "result_sweep.wire",   "result_campaign.wire",
+      "result_error.wire", "jobs_mixed.wire",
+  };
+  for (const std::string& name : goldens) {
+    const std::string path = std::string(APCC_WIRE_DATA_DIR) + "/" + name;
+    std::ifstream file(path);
+    ASSERT_TRUE(file.good()) << "missing golden " << path;
+    std::ostringstream raw;
+    raw << file.rdbuf();
+    std::istringstream stream(raw.str());
+    RecordReader reader(stream);
+    std::string round_tripped;
+    bool first = true;
+    while (const auto record = reader.next()) {
+      if (!first) round_tripped += '\n';
+      first = false;
+      round_tripped += record->is_result
+                           ? serialize_result(
+                                 parse_result(record->text, record->first_line))
+                           : serialize_job(
+                                 parse_job(record->text, record->first_line));
+    }
+    EXPECT_FALSE(first) << "no records in " << path;
+    EXPECT_EQ(round_tripped, raw.str()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace apcc::serving::wire

@@ -1,10 +1,15 @@
 // Resident Pool semantics: job ids, cross-job scheduling, failure
-// cancellation scoped to one job, wait/drain, and the zero-item fast
-// path. (run_sweep / run_campaign equivalence is pinned by the sweep
-// and campaign differential tests; these cover the pool directly.)
+// cancellation scoped to one job, wait/drain, the zero-item fast
+// path, and the QoS scheduler -- strict priority classes with the
+// lowest-id tie-break, per-job worker budgets, and cancellation of
+// queued-but-unstarted items across priority classes. (run_sweep /
+// run_campaign equivalence is pinned by the sweep and campaign
+// differential tests; these cover the pool directly. The TSan CI job
+// runs this binary.)
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <set>
 #include <stdexcept>
@@ -105,6 +110,144 @@ TEST(Pool, DestructorDrainsOutstandingJobs) {
     pool.submit(64, [&](std::size_t) { ++ran; }, nullptr);
   }
   EXPECT_EQ(ran.load(), 64u);
+}
+
+/// Parks pool workers until release(), so tests can queue jobs while
+/// nothing can start -- the deterministic setup for scheduling tests.
+/// await_arrivals() lets the test be sure the workers really are
+/// parked (claims already made) before it submits anything else.
+class Gate {
+ public:
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++arrived_;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return open_; });
+  }
+  void await_arrivals(unsigned n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return arrived_ >= n; });
+  }
+  void release() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  unsigned arrived_ = 0;
+  bool open_ = false;
+};
+
+TEST(Pool, PriorityName) {
+  EXPECT_STREQ(priority_name(Priority::kHigh), "high");
+  EXPECT_STREQ(priority_name(Priority::kNormal), "normal");
+  EXPECT_STREQ(priority_name(Priority::kBatch), "batch");
+}
+
+TEST(Pool, StrictPriorityClaimsHighestClassLowestIdFirst) {
+  // One worker, parked behind a gate while four jobs queue up: a batch
+  // job, a normal job, and two high jobs. Released, the single worker
+  // must drain them in strict class order -- and within the high class
+  // in submission (= lowest job id) order.
+  Pool pool(1);
+  Gate gate;
+  pool.submit(1, [&](std::size_t) { gate.wait(); }, nullptr);
+  gate.await_arrivals(1);
+
+  std::mutex mutex;
+  std::vector<char> order;
+  const auto recorder = [&](char tag) {
+    return [&, tag](std::size_t) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(tag);
+    };
+  };
+  pool.submit(2, recorder('a'), nullptr, {Priority::kBatch, 0});
+  pool.submit(2, recorder('b'), nullptr, {Priority::kNormal, 0});
+  pool.submit(2, recorder('c'), nullptr, {Priority::kHigh, 0});
+  pool.submit(2, recorder('d'), nullptr, {Priority::kHigh, 0});
+  gate.release();
+  pool.drain();
+  EXPECT_EQ((std::vector<char>{'c', 'c', 'd', 'd', 'b', 'b', 'a', 'a'}),
+            order);
+}
+
+TEST(Pool, WorkerBudgetCapsConcurrencyAndFreesSlots) {
+  Pool pool(4);
+  std::atomic<unsigned> running{0};
+  std::atomic<unsigned> peak{0};
+  std::atomic<std::size_t> other_ran{0};
+  const auto budgeted = pool.submit(
+      48,
+      [&](std::size_t) {
+        const unsigned now = ++running;
+        unsigned seen = peak.load();
+        while (seen < now && !peak.compare_exchange_weak(seen, now)) {
+        }
+        // A little work so items overlap when the scheduler lets them.
+        volatile unsigned spin = 0;
+        for (int i = 0; i < 2000; ++i) spin = spin + static_cast<unsigned>(i);
+        --running;
+      },
+      nullptr, {Priority::kNormal, 2});
+  // The surplus workers must flow to other jobs instead of idling.
+  const auto other = pool.submit(
+      48, [&](std::size_t) { ++other_ran; }, nullptr,
+      {Priority::kBatch, 0});
+  pool.wait(budgeted);
+  pool.wait(other);
+  EXPECT_LE(peak.load(), 2u);  // the budget is a hard cap
+  EXPECT_EQ(other_ran.load(), 48u);
+}
+
+TEST(Pool, FailureCancelsQueuedItemsAcrossPriorityClasses) {
+  // A failing high-priority job with queued-but-unstarted items must
+  // cancel only its own items -- the batch-class job sharing the pool
+  // runs to completion -- and leave the pool serviceable. The budget
+  // of 1 makes the poison job sequential, so its item 0 throws before
+  // any sibling starts: every remaining item is provably
+  // queued-but-unstarted and must be skipped.
+  Pool pool(2);
+  Gate gate;
+  pool.submit(2, [&](std::size_t) { gate.wait(); }, nullptr);
+  gate.await_arrivals(2);
+
+  std::atomic<std::size_t> poison_ran{0};
+  std::atomic<std::size_t> healthy_ran{0};
+  std::exception_ptr poison_failure;
+  std::exception_ptr healthy_failure;
+  const auto poison = pool.submit(
+      40,
+      [&](std::size_t i) {
+        if (i == 0) throw std::runtime_error("boom");
+        ++poison_ran;
+      },
+      [&](std::exception_ptr failure) { poison_failure = failure; },
+      {Priority::kHigh, 1});
+  const auto healthy = pool.submit(
+      40, [&](std::size_t) { ++healthy_ran; },
+      [&](std::exception_ptr failure) { healthy_failure = failure; },
+      {Priority::kBatch, 0});
+  gate.release();
+  pool.wait(poison);
+  pool.wait(healthy);
+  ASSERT_TRUE(poison_failure != nullptr);
+  EXPECT_THROW(std::rethrow_exception(poison_failure), std::runtime_error);
+  EXPECT_EQ(poison_ran.load(), 0u);    // every sibling was unstarted
+  EXPECT_TRUE(healthy_failure == nullptr);
+  EXPECT_EQ(healthy_ran.load(), 40u);  // the other class is untouched
+
+  // Serviceable afterwards: a fresh job runs cleanly.
+  std::atomic<std::size_t> after{0};
+  const auto next = pool.submit(
+      8, [&](std::size_t) { ++after; }, nullptr, {Priority::kHigh, 0});
+  pool.wait(next);
+  EXPECT_EQ(after.load(), 8u);
 }
 
 TEST(Pool, ParallelForIndexCoversAndRethrows) {

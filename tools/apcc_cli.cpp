@@ -4,39 +4,51 @@
 // workload is registered once, its compressed image and frontier
 // geometry are built lazily on the service's pool and cached, and jobs
 // are scheduled onto that one resident pool -- several jobs in flight
-// at once in batch mode.
+// at once in batch and serve modes, under the per-job QoS (priority
+// class, worker budget) their JobSpecs carry.
 //
 // Subcommands:
 //   asm <file.s>                 assemble; print stats + disassembly
 //   cfg <file.s>                 assemble; print the CFG as Graphviz DOT
-//   sim <workload> [options]     one RunJob: simulate the workload's
+//   sim <workload> [options]     one run job: simulate the workload's
 //                                access pattern under a policy + report
-//   sweep <workload> [options]   one SweepJob: the strategy x k policy
+//   sweep <workload> [options]   one sweep job: the strategy x k policy
 //                                grid over the workload
-//   suite [options]              one RunJob per built-in suite workload,
+//   suite [options]              one run job per built-in suite workload,
 //                                all in flight on the shared pool
-//   campaign [options]           one CampaignJob: the strategy x k grid
+//   campaign [options]           one campaign job: the strategy x k grid
 //                                over every suite workload, shared
 //                                (workload, k) frontier geometry
-//   batch <jobs.txt> [options]   job-file mode: one job per line
-//                                (run|sweep|campaign), workloads
-//                                deduplicated through the artifact
-//                                cache, every job submitted before the
-//                                first is waited on
+//   batch <jobs.wire> [options]  job-file mode: the file holds wire
+//                                format job records (serving/wire.hpp),
+//                                every job submitted before the first is
+//                                waited on; --wire emits results as wire
+//                                records for machine consumption
+//   serve [options]              the remote front door: read job records
+//                                from stdin, stream result records to
+//                                stdout (in submission order)
+//   wire-roundtrip <file>        parse every record in a wire file and
+//                                re-serialize it canonically (the CI
+//                                golden round-trip gate)
 //
 // <workload> is a path to a .s file or a built-in suite name
 // (adpcm-like, gsm-like, jpeg-like, mpeg2-like, g721-like, pegwit-like,
 // dijkstra-like, crc-like).
 //
-// batch job file: '#' starts a comment; each remaining line is
-//   run <workload> [options]
-//   sweep <workload> [options]
-//   campaign [<workload>...] [options]   (no workloads = whole suite)
-// The whole file is validated before anything is submitted. Per-job
-// options live on the job lines, service-wide flags (--workers,
-// --no-shared-frontiers, --csv) on the batch command line; a job line
-// passing --workers, or the batch command line passing per-job config
-// (--codec, --budget, ...), is a usage error, not a silent no-op.
+// batch / serve job records are the versioned wire format -- see
+// docs/API.md for the full grammar. The minimal job is:
+//
+//   apcc.job v2
+//   kind run
+//   workload gsm-like
+//   end
+//
+// A sweep/campaign record lists explicit `task` lines or expands the
+// standard grid with `grid strategy-k`; `priority high|normal|batch`,
+// `max-workers N`, and `client <tag>` carry the QoS metadata. The
+// whole batch file is parsed and validated before anything is
+// submitted, and a malformed record is reported with its file line and
+// a snippet of the offending text.
 //
 // options:
 //   --codec null|mtf-rle|huffman|huffman-shared|lzss|codepack
@@ -49,19 +61,25 @@
 //   --workers N       service pool width (default: hardware concurrency)
 //   --no-shared-frontiers   engines own their geometry (no borrowing)
 //   --csv             emit CSV instead of the text report
+//   --wire            batch: emit results as wire records
 //
 // sweep and campaign grid over strategy and k themselves, so passing
 // --strategy/--kc/--kd to them is contradictory and a usage error.
+// batch and serve take per-job configuration from the job records, so
+// per-job flags on their command lines are usage errors too.
 //
-// Exit code 0 on success, 1 on usage errors (including contradictory
-// grid options), 2 on input errors.
+// Exit code 0 on success, 1 on usage errors (including malformed wire
+// records and contradictory grid options), 2 on input errors.
+#include <condition_variable>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
-#include <variant>
+#include <thread>
 #include <vector>
 
 #include "cfg/builder.hpp"
@@ -72,6 +90,7 @@
 #include "isa/disasm.hpp"
 #include "isa/interpreter.hpp"
 #include "serving/service.hpp"
+#include "serving/wire.hpp"
 #include "support/strings.hpp"
 #include "sweep/sweep.hpp"
 
@@ -85,35 +104,54 @@ using namespace apcc;
       "usage: apcc_cli <asm|cfg> <file.s>\n"
       "       apcc_cli <sim|sweep> <workload> [options]\n"
       "       apcc_cli <suite|campaign> [options]\n"
-      "       apcc_cli batch <jobs.txt> [options]\n"
+      "       apcc_cli batch <jobs.wire> [options]\n"
+      "       apcc_cli serve [options]\n"
+      "       apcc_cli wire-roundtrip <file>\n"
       "\n"
       "All simulation commands run through one serving::Service --\n"
       "workloads registered once, compressed images + frontier geometry\n"
-      "cached, jobs scheduled onto one shared pool.\n"
+      "cached, jobs scheduled onto one shared pool under their QoS\n"
+      "(priority class, worker budget).\n"
       "\n"
       "<workload>: a .s file path or a suite name (adpcm-like, gsm-like,\n"
       "jpeg-like, mpeg2-like, g721-like, pegwit-like, dijkstra-like,\n"
       "crc-like)\n"
       "\n"
-      "batch job file: one job per line --\n"
-      "  run <workload> [options]\n"
-      "  sweep <workload> [options]\n"
-      "  campaign [<workload>...] [options]   (none = whole suite)\n"
+      "batch files and the serve stdin stream hold wire format job\n"
+      "records (docs/API.md):\n"
+      "  apcc.job v2\n"
+      "  kind run|sweep|campaign\n"
+      "  workload <name-or-path>      (repeatable for campaign)\n"
+      "  priority high|normal|batch   (optional QoS)\n"
+      "  max-workers N                (optional worker budget)\n"
+      "  grid strategy-k              (or explicit task lines)\n"
+      "  end\n"
       "\n"
       "options: --codec K --strategy S --predictor P --kc N --kd N\n"
       "         --budget BYTES --units N --workers N\n"
-      "         --no-shared-frontiers --csv\n"
+      "         --no-shared-frontiers --csv --wire\n"
       "(sweep and campaign grid over strategy and k themselves:\n"
-      " --strategy/--kc/--kd there is a usage error)\n";
+      " --strategy/--kc/--kd there is a usage error; batch and serve\n"
+      " take per-job configuration from the job records)\n";
   std::exit(message.empty() ? 0 : 1);
+}
+
+/// Wire format diagnostics: the offending position and a snippet of
+/// the input, not just exit 1. `where` names the source (file path or
+/// "stdin"); the WireError carries the absolute line number in it.
+[[noreturn]] void wire_usage(const std::string& where,
+                             const serving::wire::WireError& error) {
+  std::cerr << "error: " << where << ":" << error.line() << ": "
+            << error.what() << '\n';
+  if (!error.snippet().empty()) {
+    std::cerr << "  " << error.line() << " | " << error.snippet() << '\n';
+  }
+  std::exit(1);
 }
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) {
-    std::cerr << "error: cannot open " << path << '\n';
-    std::exit(2);
-  }
+  APCC_CHECK(in.good(), "cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
@@ -148,17 +186,15 @@ struct CliOptions {
   unsigned workers = 0;
   bool share_frontiers = true;
   bool csv = false;
+  bool wire = false;
   /// Which of --strategy/--kc/--kd appeared: grid commands (sweep,
   /// campaign) supply those axes themselves, so seeing one there is a
   /// contradiction and exits 1 instead of being silently ignored.
   std::vector<std::string> grid_overrides;
-  /// --workers appeared: the pool is a Service property, so a batch
-  /// job line passing it is a contradiction (exits 1), not a no-op.
-  bool saw_workers = false;
   /// Per-job config flags seen (--codec/--predictor/--budget/--units,
-  /// plus everything in grid_overrides): `batch` takes its per-job
-  /// config from the job lines, so these on the batch command line are
-  /// contradictions (exit 1), not silently dropped defaults.
+  /// plus everything in grid_overrides): `batch` and `serve` take
+  /// per-job config from the job records, so these on their command
+  /// lines are contradictions (exit 1), not silently dropped defaults.
   std::vector<std::string> config_flags;
 };
 
@@ -198,16 +234,25 @@ CliOptions parse_options(const std::vector<std::string>& args,
       opts.config_flags.push_back(a);
     } else if (a == "--workers") {
       opts.workers = static_cast<unsigned>(parse_int(need_value(i++)));
-      opts.saw_workers = true;
     } else if (a == "--no-shared-frontiers") {
       opts.share_frontiers = false;
     } else if (a == "--csv") {
       opts.csv = true;
+    } else if (a == "--wire") {
+      opts.wire = true;
     } else {
       usage("unknown option '" + a + "'");
     }
   }
   return opts;
+}
+
+/// Only batch emits wire records; anywhere else --wire would be
+/// silently ignored (the trap this CLI rejects everywhere).
+void reject_wire_flag(const std::string& command, const CliOptions& opts) {
+  if (!opts.wire) return;
+  usage("'" + command + "' has no wire output; --wire is only meaningful "
+        "for 'batch' (use 'serve' for a wire stream)");
 }
 
 /// Grid commands own the strategy/k axes; reject attempts to pin them.
@@ -218,6 +263,18 @@ void reject_grid_overrides(const std::string& command,
         opts.grid_overrides.front() +
         " contradicts that (drop it, or use 'sim'/'run' for a single "
         "configuration)");
+}
+
+/// batch/serve take per-job configuration from the job records;
+/// accepting it on the command line and applying it to nothing would
+/// be the silent-ignore trap this CLI rejects everywhere else.
+void reject_job_config(const std::string& command, const CliOptions& opts) {
+  if (opts.config_flags.empty() && opts.grid_overrides.empty()) return;
+  const std::string& flag = !opts.config_flags.empty()
+                                ? opts.config_flags.front()
+                                : opts.grid_overrides.front();
+  usage("'" + command + "' takes per-job options from the job records; " +
+        flag + " on the command line would be silently ignored");
 }
 
 std::optional<workloads::WorkloadKind> suite_kind(const std::string& name) {
@@ -238,11 +295,9 @@ workloads::Workload workload_from_file(const std::string& path) {
   cfg::BlockTraceBuilder tracer(w.cfg, w.word_to_block);
   interp.set_trace_hook([&](std::uint32_t pc) { tracer.on_pc(pc); });
   const auto exec = interp.run();
-  if (exec.stop != isa::StopReason::kHalted) {
-    std::cerr << "error: program did not halt (stopped after " << exec.steps
-              << " steps)\n";
-    std::exit(2);
-  }
+  APCC_CHECK(exec.stop == isa::StopReason::kHalted,
+             path + ": program did not halt (stopped after " +
+                 std::to_string(exec.steps) + " steps)");
   w.trace = tracer.take();
   cfg::EdgeProfile profile(w.cfg);
   profile.add_trace(w.trace);
@@ -256,12 +311,17 @@ workloads::Workload workload_from_file(const std::string& path) {
 
 /// Registers workloads with the Service on first use and deduplicates
 /// by spec, so a batch file referring to "gsm-like" five times shares
-/// one registration (and therefore one artifact cache).
+/// one registration (and therefore one artifact cache). Because each
+/// spec is registered exactly once under its own name, a JobSpec
+/// workload reference resolves to the same registration.
 class WorkloadDirectory {
  public:
   explicit WorkloadDirectory(serving::Service& service) : service_(service) {}
 
   serving::WorkloadId id_for(const std::string& spec) {
+    APCC_CHECK(spec.empty() || spec[0] != '@',
+               "job files reference workloads by name or path, not '" +
+                   spec + "' (\"@<id>\" is only meaningful in-process)");
     const auto it = ids_.find(spec);
     if (it != ids_.end()) return it->second;
     serving::WorkloadId id = 0;
@@ -278,27 +338,6 @@ class WorkloadDirectory {
   serving::Service& service_;
   std::map<std::string, serving::WorkloadId> ids_;
 };
-
-/// The sweep/campaign policy grid: every decompression strategy x a k
-/// sweep, varied over the baseline engine config.
-std::vector<sweep::SweepTask> strategy_k_grid(const sim::EngineConfig& base) {
-  std::vector<sweep::SweepTask> tasks;
-  for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
-                              runtime::DecompressionStrategy::kPreAll,
-                              runtime::DecompressionStrategy::kPreSingle}) {
-    for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
-      sweep::SweepTask task;
-      task.label = std::string(runtime::strategy_name(strategy)) +
-                   "/k=" + std::to_string(k);
-      task.config = base;
-      task.config.policy.strategy = strategy;
-      task.config.policy.compress_k = k;
-      task.config.policy.predecompress_k = k;
-      tasks.push_back(std::move(task));
-    }
-  }
-  return tasks;
-}
 
 // ---------------------------------------------------------------- output
 
@@ -371,6 +410,7 @@ int cmd_cfg(const std::string& path) {
 }
 
 int cmd_sim(const std::string& spec, const CliOptions& opts) {
+  reject_wire_flag("sim", opts);
   serving::Service service({opts.workers});
   WorkloadDirectory directory(service);
   const auto id = directory.id_for(spec);
@@ -381,22 +421,25 @@ int cmd_sim(const std::string& spec, const CliOptions& opts) {
 }
 
 int cmd_sweep(const std::string& spec, const CliOptions& opts) {
+  reject_wire_flag("sweep", opts);
   reject_grid_overrides("sweep", opts);
   serving::Service service({opts.workers});
   WorkloadDirectory directory(service);
   const auto id = directory.id_for(spec);
-  serving::SweepJob job{id, opts.config,
-                        strategy_k_grid(core::engine_config(opts.config)),
-                        opts.share_frontiers};
+  serving::SweepJob job{
+      id, opts.config,
+      serving::strategy_k_grid(core::engine_config(opts.config)),
+      opts.share_frontiers};
   const auto handle = service.submit(std::move(job));
   print_sweep(handle.wait(), opts.csv);
   return 0;
 }
 
 int cmd_suite(const CliOptions& opts) {
+  reject_wire_flag("suite", opts);
   serving::Service service({opts.workers});
   WorkloadDirectory directory(service);
-  // Submit every workload's RunJob before waiting on any: the whole
+  // Submit every workload's run job before waiting on any: the whole
   // suite is in flight on the shared pool at once.
   std::vector<serving::WorkloadId> ids;
   std::vector<serving::JobHandle<sim::RunResult>> handles;
@@ -415,6 +458,7 @@ int cmd_suite(const CliOptions& opts) {
 }
 
 int cmd_campaign(const CliOptions& opts) {
+  reject_wire_flag("campaign", opts);
   reject_grid_overrides("campaign", opts);
   serving::Service service({opts.workers});
   WorkloadDirectory directory(service);
@@ -423,7 +467,7 @@ int cmd_campaign(const CliOptions& opts) {
     job.workloads.push_back(directory.id_for(workloads::workload_name(kind)));
   }
   job.config = opts.config;
-  job.grid = strategy_k_grid(core::engine_config(opts.config));
+  job.grid = serving::strategy_k_grid(core::engine_config(opts.config));
   job.share_frontiers = opts.share_frontiers;
   const auto handle = service.submit(std::move(job));
   print_campaign(handle.wait(), opts.csv);
@@ -433,149 +477,89 @@ int cmd_campaign(const CliOptions& opts) {
 // ------------------------------------------------------------ batch mode
 
 /// One parsed + submitted batch job, remembered for ordered printing.
+/// An invalid handle means the job never reached the pool (workload
+/// registration failed); in --wire mode that still yields a
+/// status-error record so the stream is never truncated.
 struct BatchJob {
   std::string banner;
-  bool csv = false;
+  std::string client;
+  std::string error;
   serving::WorkloadId run_workload = 0;  // run jobs only
-  std::variant<serving::JobHandle<sim::RunResult>,
-               serving::JobHandle<std::vector<sweep::SweepOutcome>>,
-               serving::JobHandle<std::vector<sweep::CampaignResult>>>
-      handle;
+  serving::JobHandle<serving::JobResult> handle;
 };
 
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::istringstream ss(line);
-  std::string token;
-  while (ss >> token) {
-    if (token[0] == '#') break;  // comment to end of line
-    tokens.push_back(token);
-  }
-  return tokens;
-}
-
-/// A fully-validated batch line, not yet submitted. Parsing the whole
-/// file before submitting anything means a usage error on line N exits
-/// before any work starts (no jobs abandoned mid-flight).
-struct ParsedJob {
-  enum class Kind : std::uint8_t { kRun, kSweep, kCampaign } kind{};
-  std::vector<std::string> specs;  // one workload (run/sweep) or many
-  CliOptions opts;
-  std::string banner;
-};
-
-ParsedJob parse_batch_line(const std::vector<std::string>& tokens,
-                           const std::string& where) {
-  ParsedJob job;
-  const std::string& verb = tokens[0];
-  std::size_t options_from = 0;
-  if (verb == "run" || verb == "sweep") {
-    job.kind = verb == "run" ? ParsedJob::Kind::kRun : ParsedJob::Kind::kSweep;
-    if (tokens.size() < 2 || tokens[1].rfind("--", 0) == 0) {
-      usage(where + ": '" + verb + "' needs a workload");
-    }
-    job.specs.push_back(tokens[1]);
-    job.banner = verb + " " + tokens[1];
-    options_from = 2;
-  } else if (verb == "campaign") {
-    job.kind = ParsedJob::Kind::kCampaign;
-    std::size_t next = 1;
-    while (next < tokens.size() && tokens[next].rfind("--", 0) != 0) {
-      job.specs.push_back(tokens[next++]);
-    }
-    if (job.specs.empty()) {
-      for (const auto kind : workloads::all_workload_kinds()) {
-        job.specs.push_back(workloads::workload_name(kind));
-      }
-    }
-    job.banner =
-        "campaign (" + std::to_string(job.specs.size()) + " workload(s))";
-    options_from = next;
+std::string job_banner(const serving::JobSpec& spec) {
+  std::string banner = serving::job_kind_name(spec.kind);
+  if (spec.workloads.size() == 1) {
+    banner += " " + spec.workloads[0];
   } else {
-    usage(where + ": unknown job '" + verb +
-          "' (expected run, sweep, or campaign)");
+    banner += " (" + std::to_string(spec.workloads.size()) + " workload(s))";
   }
-  job.opts = parse_options(tokens, options_from);
-  if (job.kind != ParsedJob::Kind::kRun && !job.opts.grid_overrides.empty()) {
-    usage(where + ": '" + verb + "' grids over strategy and k itself; " +
-          job.opts.grid_overrides.front() + " contradicts that");
+  if (spec.priority != sweep::Priority::kNormal) {
+    banner += std::string(" [") + sweep::priority_name(spec.priority) + "]";
   }
-  if (job.opts.saw_workers) {
-    usage(where + ": --workers is a service-wide option; pass it to "
-                  "'apcc_cli batch' itself, not a job line");
-  }
-  return job;
+  return banner;
 }
 
 int cmd_batch(const std::string& path, const CliOptions& global) {
-  // Per-job config belongs on the job lines; accepting it here and
-  // applying it to nothing would be the silent-ignore trap this CLI
-  // rejects everywhere else. Only service-wide flags (--workers,
-  // --no-shared-frontiers, --csv) mean anything batch-wide.
-  if (!global.config_flags.empty() || !global.grid_overrides.empty()) {
-    const std::string& flag = !global.config_flags.empty()
-                                  ? global.config_flags.front()
-                                  : global.grid_overrides.front();
-    usage("'batch' takes per-job options on the job lines; " + flag +
-          " on the batch command line would be silently ignored");
+  reject_job_config("batch", global);
+  if (global.csv && global.wire) {
+    usage("'batch' emits either CSV or wire records; --csv and --wire "
+          "together would silently drop one");
   }
 
-  // Phase 1: parse and validate the whole file. Usage errors exit here,
+  // Phase 1: parse and validate the whole file. Wire format errors
+  // exit 1 here -- with the offending line number and a snippet --
   // before a Service exists or any job is in flight.
-  std::istringstream file(read_file(path));
-  std::vector<ParsedJob> parsed;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(file, line)) {
-    ++line_no;
-    const auto tokens = tokenize(line);
-    if (tokens.empty()) continue;
-    parsed.push_back(
-        parse_batch_line(tokens, path + ":" + std::to_string(line_no)));
+  std::vector<serving::JobSpec> parsed;
+  try {
+    std::istringstream file(read_file(path));
+    serving::wire::RecordReader reader(file);
+    while (const auto record = reader.next()) {
+      if (record->is_result) {
+        throw serving::wire::WireError("expected a job record in a job file",
+                                       record->first_line, "apcc.result ...");
+      }
+      parsed.push_back(
+          serving::wire::parse_job(record->text, record->first_line));
+    }
+  } catch (const serving::wire::WireError& e) {
+    wire_usage(path, e);
   }
-  if (parsed.empty()) usage(path + ": no jobs (expected run/sweep/campaign)");
+  if (parsed.empty()) {
+    usage(path + ": no job records (expected 'apcc.job v2' ... 'end')");
+  }
 
   // Phase 2: register workloads (input errors exit 2 here, still
   // before submission) and submit every job. Nothing is waited on yet,
   // so the scheduler has the whole file in flight: a long campaign's
-  // tail overlaps the next job's cells, and workloads shared between
-  // lines hit the same cached artifacts.
+  // tail overlaps the next job's cells, workloads shared between
+  // records hit the same cached artifacts, and the per-record QoS
+  // (priority, max-workers) decides who gets the pool first.
   serving::Service service({global.workers});
   WorkloadDirectory directory(service);
   std::vector<BatchJob> jobs;
-  for (ParsedJob& item : parsed) {
-    const bool share =
-        item.opts.share_frontiers && global.share_frontiers;
+  for (serving::JobSpec& spec : parsed) {
+    spec.share_frontiers = spec.share_frontiers && global.share_frontiers;
     BatchJob job;
-    job.csv = global.csv || item.opts.csv;
-    job.banner = std::move(item.banner);
-    switch (item.kind) {
-      case ParsedJob::Kind::kRun: {
-        const auto id = directory.id_for(item.specs[0]);
-        job.run_workload = id;
-        job.handle =
-            service.submit(serving::RunJob{id, item.opts.config, share});
-        break;
+    job.banner = job_banner(spec);
+    job.client = spec.client;
+    try {
+      for (const std::string& ref : spec.workloads) {
+        (void)directory.id_for(ref);
       }
-      case ParsedJob::Kind::kSweep: {
-        const auto id = directory.id_for(item.specs[0]);
-        job.run_workload = id;
-        job.handle = service.submit(serving::SweepJob{
-            id, item.opts.config,
-            strategy_k_grid(core::engine_config(item.opts.config)), share});
-        break;
-      }
-      case ParsedJob::Kind::kCampaign: {
-        serving::CampaignJob campaign;
-        for (const auto& spec : item.specs) {
-          campaign.workloads.push_back(directory.id_for(spec));
-        }
-        campaign.config = item.opts.config;
-        campaign.grid = strategy_k_grid(core::engine_config(item.opts.config));
-        campaign.share_frontiers = share;
-        job.handle = service.submit(std::move(campaign));
-        break;
-      }
+      // Only run jobs read this (they have exactly one workload), and
+      // id_for is memoized, so this is a lookup, not a re-registration.
+      job.run_workload = spec.workloads.empty()
+                             ? 0
+                             : directory.id_for(spec.workloads.front());
+      job.handle = service.submit(std::move(spec));
+    } catch (const std::exception& e) {
+      // Same contract as serve: in --wire mode a job that cannot start
+      // becomes a status-error record in its stream slot. Human mode
+      // keeps the old pre-submission abort (exit 2).
+      if (!global.wire) throw;
+      job.error = e.what();
     }
     jobs.push_back(std::move(job));
   }
@@ -583,36 +567,194 @@ int cmd_batch(const std::string& path, const CliOptions& global) {
   // Phase 3: wait and print in submission order.
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     BatchJob& job = jobs[i];
+    if (global.wire) {
+      // Machine consumers get a complete stream: one record per job,
+      // failures as status-error records (exactly like serve) rather
+      // than a truncated stream and exit 2.
+      serving::wire::ResultRecord record;
+      record.job = i + 1;
+      record.client = job.client;
+      if (!job.error.empty()) {
+        record.error = job.error;
+      } else {
+        try {
+          record.result = job.handle.wait();
+        } catch (const std::exception& e) {
+          record.error = e.what();
+        }
+      }
+      std::cout << serving::wire::serialize_result(record);
+      continue;
+    }
     std::cout << "### job " << (i + 1) << ": " << job.banner << "\n";
-    if (std::holds_alternative<serving::JobHandle<sim::RunResult>>(
-            job.handle)) {
-      print_run(service, job.run_workload,
-                std::get<serving::JobHandle<sim::RunResult>>(job.handle)
-                    .wait(),
-                job.csv);
-    } else if (std::holds_alternative<
-                   serving::JobHandle<std::vector<sweep::SweepOutcome>>>(
-                   job.handle)) {
-      print_sweep(
-          std::get<serving::JobHandle<std::vector<sweep::SweepOutcome>>>(
-              job.handle)
-              .wait(),
-          job.csv);
-    } else {
-      print_campaign(
-          std::get<serving::JobHandle<std::vector<sweep::CampaignResult>>>(
-              job.handle)
-              .wait(),
-          job.csv);
+    const serving::JobResult& result = job.handle.wait();
+    switch (result.kind) {
+      case serving::JobKind::kRun:
+        print_run(service, job.run_workload, result.run, global.csv);
+        break;
+      case serving::JobKind::kSweep:
+        print_sweep(result.sweep, global.csv);
+        break;
+      case serving::JobKind::kCampaign:
+        print_campaign(result.campaign, global.csv);
+        break;
     }
     std::cout << '\n';
   }
   const auto stats = service.cache_stats();
   std::cerr << "batch: " << jobs.size() << " job(s); artifact cache: "
-            << stats.images_built << " image(s) built, "
-            << stats.image_borrows << " borrowed; " << stats.frontiers_built
-            << " frontier cache(s) built, " << stats.frontier_borrows
-            << " borrowed\n";
+            << stats.images_built << " image(s) built ("
+            << human_bytes(stats.image_bytes) << "), " << stats.image_borrows
+            << " borrowed; " << stats.frontiers_built
+            << " frontier cache(s) built ("
+            << human_bytes(stats.frontier_bytes) << "), "
+            << stats.frontier_borrows << " borrowed\n";
+  return 0;
+}
+
+// ------------------------------------------------------------ serve mode
+
+/// The remote front door: a stream of wire job records on stdin, a
+/// stream of wire result records on stdout (submission order, flushed
+/// per record). Structural stream errors (an unreadable record) are
+/// fatal; a record that parses but fails -- unknown workload, invalid
+/// job, engine failure -- produces a `status error` result record and
+/// the server keeps going.
+int cmd_serve(const CliOptions& opts) {
+  reject_job_config("serve", opts);
+  if (opts.csv || opts.wire) {
+    usage("'serve' always emits wire records; --csv would be silently "
+          "ignored and --wire is redundant");
+  }
+  serving::Service service({opts.workers});
+  WorkloadDirectory directory(service);
+
+  /// One stream slot, in submission order. An invalid handle means the
+  /// job never reached the pool (parse/validation/registration error);
+  /// its error record still waits its turn so results stream strictly
+  /// in submission order.
+  struct Pending {
+    std::uint64_t seq = 0;
+    std::string client;
+    serving::JobHandle<serving::JobResult> handle;
+    std::string error;
+  };
+
+  // The reader (main) thread blocks in getline; a dedicated writer
+  // thread owns stdout and emits each slot the moment it retires, so a
+  // request/response client that sends one job and waits for its
+  // result before sending the next never deadlocks against our stdin
+  // read. (JobHandle::wait() is callable from any thread.)
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Pending> pending;
+  bool input_done = false;
+  std::thread writer([&] {
+    for (;;) {
+      Pending slot;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return !pending.empty() || input_done; });
+        if (pending.empty()) return;
+        slot = std::move(pending.front());
+        pending.pop_front();
+      }
+      serving::wire::ResultRecord record;
+      record.job = slot.seq;
+      record.client = slot.client;
+      if (slot.handle.valid()) {
+        try {
+          record.result = slot.handle.wait();
+        } catch (const std::exception& e) {
+          record.error = e.what();
+        }
+      } else {
+        record.error = slot.error;
+      }
+      std::cout << serving::wire::serialize_result(record) << std::flush;
+    }
+  });
+  const auto push = [&](Pending slot) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      pending.push_back(std::move(slot));
+    }
+    cv.notify_all();
+  };
+  const auto finish = [&] {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      input_done = true;
+    }
+    cv.notify_all();
+    writer.join();
+  };
+
+  std::uint64_t seq = 0;
+  serving::wire::RecordReader reader(std::cin);
+  for (;;) {
+    std::optional<serving::wire::RawRecord> record;
+    try {
+      record = reader.next();
+    } catch (const serving::wire::WireError& e) {
+      // Structural stream error: drain what was already accepted, then
+      // report fatally.
+      finish();
+      wire_usage("stdin", e);
+    }
+    if (!record) break;
+    Pending slot;
+    slot.seq = ++seq;
+    if (record->is_result) {
+      slot.error = "expected a job record, got a result record";
+    } else {
+      try {
+        serving::JobSpec spec =
+            serving::wire::parse_job(record->text, record->first_line);
+        slot.client = spec.client;
+        spec.share_frontiers = spec.share_frontiers && opts.share_frontiers;
+        for (const std::string& ref : spec.workloads) {
+          (void)directory.id_for(ref);
+        }
+        slot.handle = service.submit(std::move(spec));
+      } catch (const serving::wire::WireError& e) {
+        slot.error =
+            "stdin:" + std::to_string(e.line()) + ": " + e.what();
+      } catch (const std::exception& e) {
+        slot.error = e.what();
+      }
+    }
+    push(std::move(slot));
+  }
+  finish();
+  return 0;
+}
+
+// ------------------------------------------------------- wire roundtrip
+
+/// Parse every record in a wire file and print its canonical
+/// re-serialization: `wire-roundtrip f | diff - f` is the CI gate that
+/// golden files stay fixed points of serialize(parse(.)).
+int cmd_wire_roundtrip(const std::string& path) {
+  try {
+    std::istringstream file(read_file(path));
+    serving::wire::RecordReader reader(file);
+    bool first = true;
+    while (const auto record = reader.next()) {
+      if (!first) std::cout << '\n';
+      first = false;
+      if (record->is_result) {
+        std::cout << serving::wire::serialize_result(
+            serving::wire::parse_result(record->text, record->first_line));
+      } else {
+        std::cout << serving::wire::serialize_job(
+            serving::wire::parse_job(record->text, record->first_line));
+      }
+    }
+    if (first) usage(path + ": no wire records");
+  } catch (const serving::wire::WireError& e) {
+    wire_usage(path, e);
+  }
   return 0;
 }
 
@@ -629,12 +771,22 @@ int main(int argc, char** argv) {
     if (cmd == "campaign") {
       return cmd_campaign(parse_options(args, 1));
     }
+    if (cmd == "serve") {
+      return cmd_serve(parse_options(args, 1));
+    }
     if (args.size() < 2) usage("command needs a file argument");
     if (cmd == "asm") return cmd_asm(args[1]);
     if (cmd == "cfg") return cmd_cfg(args[1]);
     if (cmd == "sim") return cmd_sim(args[1], parse_options(args, 2));
     if (cmd == "sweep") return cmd_sweep(args[1], parse_options(args, 2));
     if (cmd == "batch") return cmd_batch(args[1], parse_options(args, 2));
+    if (cmd == "wire-roundtrip") {
+      if (args.size() != 2) {
+        usage("wire-roundtrip takes exactly one file (extra arguments "
+              "would be silently ignored)");
+      }
+      return cmd_wire_roundtrip(args[1]);
+    }
     usage("unknown command '" + cmd + "'");
   } catch (const apcc::CheckError& e) {
     std::cerr << "error: " << e.what() << '\n';
