@@ -123,6 +123,11 @@ void print_tables() {
               << stats.frontiers_built << " frontier build(s) holding "
               << human_bytes(stats.frontier_bytes) << ", "
               << stats.frontier_borrows << " frontier borrow(s)\n"
+              << "warm hit rates: image " << stats.image_hits << " hit(s) / "
+              << stats.image_misses << " miss(es) / " << stats.image_rebuilds
+              << " rebuild(s), frontier " << stats.frontier_hits
+              << " hit(s) / " << stats.frontier_misses << " miss(es) / "
+              << stats.frontier_rebuilds << " rebuild(s)\n"
               << "Shape check: one checksum everywhere (cached artifacts\n"
                  "change nothing), and the warm cache serves every repeat\n"
                  "request from 1 image + 1 frontier build. On this box the\n"

@@ -13,6 +13,17 @@ const char* job_kind_name(JobKind kind) {
   return "?";
 }
 
+const char* status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kError: return "error";
+    case JobStatus::kRejected: return "rejected";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "?";
+}
+
 void validate(const JobSpec& spec) {
   switch (spec.kind) {
     case JobKind::kRun:

@@ -46,11 +46,34 @@ enum class JobKind : std::uint8_t {
 
 [[nodiscard]] const char* job_kind_name(JobKind kind);
 
+/// How a submitted job resolved. kOk is the only status with a
+/// payload; every other status carries a human-readable message in
+/// JobResult::error instead. kError means an item threw (the handle
+/// rethrows it); kRejected/kCancelled/kDeadlineExceeded are the
+/// admission-control and lifecycle outcomes -- structured results, not
+/// exceptions, so an overloaded or draining service never throws at a
+/// well-formed caller.
+enum class JobStatus : std::uint8_t {
+  kOk,
+  kError,
+  kRejected,
+  kCancelled,
+  kDeadlineExceeded,
+};
+
+/// The one canonical status spelling, shared by the library, the wire
+/// codec, and the CLI (so the strings cannot drift as statuses
+/// multiply): "ok", "error", "rejected", "cancelled",
+/// "deadline-exceeded".
+[[nodiscard]] const char* status_name(JobStatus status);
+
 /// The canonical, versioned job value. kWireVersion names the wire
 /// schema (serving/wire.hpp) this struct round-trips through; bump it
 /// deliberately whenever a field is added, removed, or re-interpreted.
+/// v3: added the optional `deadline-ms` job field and the rejected /
+/// cancelled / deadline-exceeded result statuses.
 struct JobSpec {
-  static constexpr int kWireVersion = 2;
+  static constexpr int kWireVersion = 3;
 
   JobKind kind = JobKind::kRun;
   /// Workload references ("@<id>" or a registered name). Exactly one
@@ -70,18 +93,33 @@ struct JobSpec {
   sweep::Priority priority = sweep::Priority::kNormal;
   /// Max pool workers on this job's cells concurrently; 0 = uncapped.
   unsigned max_workers = 0;
-  /// Free-form client tag, echoed into wire results for attribution.
+  /// Relative deadline in milliseconds, enforced at dispatch: a cell
+  /// claimed after submit-time + deadline is skipped and the job
+  /// resolves as deadline-exceeded. 0 = no job deadline (the service's
+  /// ServiceLimits::default_deadline_ms, if any, applies instead).
+  std::uint64_t deadline_ms = 0;
+  /// Free-form client tag, echoed into wire results for attribution
+  /// (and the key ServiceLimits::max_queued_per_client counts by).
   std::string client;
 };
 
-/// The unified outcome: `kind` says which member is meaningful. Kept a
-/// plain struct (not a variant) so JobHandle<T> can hand out stable
-/// references to the active member and the wire codec can stream it.
+/// The unified outcome: `status` says whether the job produced a
+/// payload, `kind` says which member carries it. Kept a plain struct
+/// (not a variant) so JobHandle<T> can hand out stable references to
+/// the active member and the wire codec can stream it.
 struct JobResult {
   JobKind kind = JobKind::kRun;
+  /// kOk: the kind-selected member below is the outcome. Anything
+  /// else: the payload members are empty and `error` explains why.
+  JobStatus status = JobStatus::kOk;
+  /// Human-readable message for non-ok statuses (the rejection reason,
+  /// "job cancelled", the first item failure's message, ...).
+  std::string error;
   sim::RunResult run{};
   std::vector<sweep::SweepOutcome> sweep;
   std::vector<sweep::CampaignResult> campaign;
+
+  [[nodiscard]] bool ok() const { return status == JobStatus::kOk; }
 };
 
 /// Structural validation (kind known, workload arity, run has no grid,

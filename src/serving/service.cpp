@@ -1,5 +1,6 @@
 #include "serving/service.hpp"
 
+#include <algorithm>
 #include <map>
 #include <thread>
 #include <utility>
@@ -10,17 +11,33 @@
 
 namespace apcc::serving {
 
+namespace {
+
+/// Thrown inside a work item when its job's cancellation was observed
+/// mid-artifact-resolution: unwinds back to the item wrapper (rolling
+/// back any claimed-but-unbuilt artifact on the way), where it is
+/// swallowed -- a cancelled item retires quietly, it does not fail the
+/// job. Never escapes service.cpp.
+struct JobCancelled {};
+
+}  // namespace
+
 /// Claim-build / wait handshake around one (workload, codec) compressed
 /// image. Same shape as runtime::SharedFrontier: the first cell that
 /// needs the artifact builds it on its own (pool) thread off the slot
 /// lock; concurrent cells block on the cv; afterwards the image is
-/// immutable and borrowed without locks.
+/// immutable and borrowed without locks. A builder that throws -- or
+/// observes its job's cancellation -- rolls the claim back to kIdle so
+/// waiters re-claim instead of deadlocking.
 struct Service::ImageSlot {
   enum class State : std::uint8_t { kIdle, kBuilding, kReady };
 
   std::mutex mutex;
   std::condition_variable ready_cv;
   State state = State::kIdle;
+  /// The last claim of this slot rolled back (build failure or builder
+  /// cancellation); the next claim counts as a cache *rebuild*.
+  bool failed_before = false;
   std::unique_ptr<const runtime::BlockImage> image;
 };
 
@@ -35,15 +52,16 @@ struct Service::Registered {
   std::map<compress::CodecKind, std::unique_ptr<ImageSlot>> images;
 };
 
-Service::Service(ServiceOptions options) {
+Service::Service(ServiceOptions options)
+    : limits_(options.limits), faults_(std::move(options.faults)) {
   unsigned workers = options.workers != 0
                          ? options.workers
                          : std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
-  pool_ = std::make_unique<sweep::Pool>(workers);
+  pool_ = std::make_shared<sweep::Pool>(workers);
 }
 
-Service::~Service() = default;
+Service::~Service() { shutdown(std::nullopt); }
 
 WorkloadId Service::register_workload(workloads::Workload workload) {
   auto entry = std::make_unique<Registered>();
@@ -89,8 +107,34 @@ Service::Registered& Service::entry(WorkloadId id) {
   return *registry_[id];
 }
 
+bool Service::task_boundary(detail::JobState& state) {
+  if (state.token && state.token->cancelled()) return false;
+  if (faults_) {
+    const std::size_t n =
+        fault_boundaries_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (faults_->on_boundary) faults_->on_boundary(n);
+    if (faults_->cancel_at_boundary != 0 &&
+        n == faults_->cancel_at_boundary) {
+      // Self-cancel: the pool observes the token at its next claim (and
+      // after this item retires), so the whole job resolves kCancelled.
+      if (state.token) state.token->request();
+      return false;
+    }
+    if (faults_->throw_in_task != 0 && n == faults_->throw_in_task) {
+      throw CheckError("injected fault: task throw at boundary " +
+                       std::to_string(n) + " (seed " +
+                       std::to_string(faults_->seed) + ")");
+    }
+    // A gate in on_boundary may have parked this item across a cancel;
+    // honour it before doing any work.
+    if (state.token && state.token->cancelled()) return false;
+  }
+  return true;
+}
+
 const runtime::BlockImage& Service::image_for(
-    Registered& entry, const core::SystemConfig& config) {
+    Registered& entry, const core::SystemConfig& config,
+    const sweep::CancelToken* token) {
   ImageSlot* slot = nullptr;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -101,37 +145,61 @@ const runtime::BlockImage& Service::image_for(
 
   std::unique_lock<std::mutex> slot_lock(slot->mutex);
   for (;;) {
+    // A cancelled job stops resolving artifacts -- before claiming, and
+    // before every re-claim attempt after a rolled-back build.
+    if (token && token->cancelled()) throw JobCancelled{};
     if (slot->state == ImageSlot::State::kReady) {
       slot_lock.unlock();
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.image_borrows;
+      ++stats_.image_hits;
       return *slot->image;
     }
     if (slot->state == ImageSlot::State::kIdle) {
+      const bool rebuild = slot->failed_before;
       slot->state = ImageSlot::State::kBuilding;
       slot_lock.unlock();
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.image_misses;
+        if (rebuild) ++stats_.image_rebuilds;
+      }
       // Build off the lock: exactly what from_workload does -- train
       // the codec on a copy of the block bytes, then freeze the image
       // -- so a cached image is byte-identical to a per-call one.
       const workloads::Workload& w = *entry.workload;
       std::unique_ptr<const runtime::BlockImage> image;
       try {
+        if (token && token->cancelled()) throw JobCancelled{};
+        if (faults_) {
+          const std::size_t n =
+              fault_builds_.fetch_add(1, std::memory_order_relaxed) + 1;
+          if (faults_->fail_image_build != 0 &&
+              n == faults_->fail_image_build) {
+            throw CheckError("injected fault: image build " +
+                             std::to_string(n) + " failed (seed " +
+                             std::to_string(faults_->seed) + ")");
+          }
+        }
         std::vector<compress::Bytes> bytes = w.block_bytes;
         auto codec = compress::make_codec(config.codec, bytes);
         image = std::make_unique<const runtime::BlockImage>(
             w.cfg, std::move(bytes), std::move(codec));
       } catch (...) {
         // Roll the claim back and wake waiters so they re-claim (and
-        // hit the build failure themselves) rather than deadlock on a
-        // ready flip that will never come.
+        // hit the build failure themselves, or build it afresh after a
+        // cancelled builder) rather than deadlock on a ready flip that
+        // will never come.
         slot_lock.lock();
         slot->state = ImageSlot::State::kIdle;
+        slot->failed_before = true;
         slot->ready_cv.notify_all();
         throw;
       }
       slot_lock.lock();
       slot->image = std::move(image);
       slot->state = ImageSlot::State::kReady;
+      slot->failed_before = false;
       slot->ready_cv.notify_all();
       slot_lock.unlock();
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -145,8 +213,9 @@ const runtime::BlockImage& Service::image_for(
   }
 }
 
-const runtime::FrontierCache* Service::frontiers_for(Registered& entry,
-                                                     unsigned k) {
+const runtime::FrontierCache* Service::frontiers_for(
+    Registered& entry, unsigned k, const sweep::CancelToken* token) {
+  if (token && token->cancelled()) throw JobCancelled{};
   const runtime::FrontierKey key{&entry.workload->cfg, k};
   runtime::SharedFrontier* slot = nullptr;
   {
@@ -159,14 +228,39 @@ const runtime::FrontierCache* Service::frontiers_for(Registered& entry,
     slot = owned.get();
   }
   bool built = false;
-  const runtime::FrontierCache* cache = slot->acquire(&built);
+  const runtime::FrontierCache* cache = nullptr;
+  try {
+    cache = slot->acquire(&built);
+  } catch (...) {
+    // This caller claimed the build and it threw (SharedFrontier rolled
+    // its own claim back): a miss, and a rebuild if the key had failed
+    // before.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.frontier_misses;
+    const auto it =
+        std::find(frontier_failed_.begin(), frontier_failed_.end(), key);
+    if (it != frontier_failed_.end()) {
+      ++stats_.frontier_rebuilds;
+    } else {
+      frontier_failed_.push_back(key);
+    }
+    throw;
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (built) {
       ++stats_.frontiers_built;
+      ++stats_.frontier_misses;
       stats_.frontier_bytes += cache->approx_bytes();
+      const auto it =
+          std::find(frontier_failed_.begin(), frontier_failed_.end(), key);
+      if (it != frontier_failed_.end()) {
+        ++stats_.frontier_rebuilds;
+        frontier_failed_.erase(it);
+      }
     } else {
       ++stats_.frontier_borrows;
+      ++stats_.frontier_hits;
     }
   }
   return cache;
@@ -174,11 +268,12 @@ const runtime::FrontierCache* Service::frontiers_for(Registered& entry,
 
 sim::EngineConfig Service::cell_config(Registered& entry,
                                        const sim::EngineConfig& base,
-                                       bool share_frontiers) {
+                                       bool share_frontiers,
+                                       const sweep::CancelToken* token) {
   sim::EngineConfig config = base;
   if (share_frontiers) {
     config.shared_frontiers =
-        frontiers_for(entry, config.policy.predecompress_k);
+        frontiers_for(entry, config.policy.predecompress_k, token);
   }
   return config;
 }
@@ -205,6 +300,59 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
 
   auto state = std::make_shared<detail::JobState>();
   state->value.kind = ctx->spec.kind;
+  const std::string client = ctx->spec.client;
+
+  // Admission. Structural errors above threw (caller bugs); load is not
+  // a caller bug, so over-limit submissions resolve as a structured
+  // *rejected* result -- immediately, without ever touching the pool.
+  // The rejection messages are fixed strings + configured limits, so
+  // overload outcomes are byte-stable however the race to the last
+  // queue slot resolves.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::string reason;
+    if (!accepting_) {
+      reason = "rejected: service is shutting down";
+    } else if (limits_.max_queued_jobs != 0 &&
+               live_jobs_ >= limits_.max_queued_jobs) {
+      reason = "rejected: job limit reached (" +
+               std::to_string(limits_.max_queued_jobs) + " jobs in flight)";
+    } else if (limits_.max_queued_per_client != 0 &&
+               live_per_client_[client] >= limits_.max_queued_per_client) {
+      reason = "rejected: client limit reached (" +
+               std::to_string(limits_.max_queued_per_client) +
+               " jobs in flight for client '" + client + "')";
+    }
+    if (!reason.empty()) {
+      state->value.status = JobStatus::kRejected;
+      state->value.error = std::move(reason);
+      state->done = true;
+      return JobHandle<JobResult>(std::move(state));
+    }
+    ++live_jobs_;
+    ++live_per_client_[client];
+    live_states_.emplace(state.get(), state);
+  }
+
+  state->token = std::make_shared<sweep::CancelToken>();
+  state->pool = pool_;
+
+  sweep::SubmitOptions options;
+  options.priority = ctx->spec.priority;
+  options.max_workers = ctx->spec.max_workers;
+  options.cancel = state->token;
+  const std::uint64_t deadline_ms = ctx->spec.deadline_ms != 0
+                                        ? ctx->spec.deadline_ms
+                                        : limits_.default_deadline_ms;
+  if (deadline_ms != 0) {
+    options.deadline =
+        (faults_ && faults_->expire_deadlines)
+            // Deterministically already-expired: the first dispatch
+            // resolves the job deadline-exceeded, no sleeping tests.
+            ? std::chrono::steady_clock::now() - std::chrono::hours(1)
+            : std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms);
+  }
 
   std::size_t total = 0;
   sweep::Pool::ItemFn item;
@@ -212,29 +360,42 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
     case JobKind::kRun:
       total = 1;
       item = [this, ctx, state](std::size_t) {
-        Registered& target = *ctx->entries[0];
-        const runtime::BlockImage& image = image_for(target, ctx->spec.config);
-        const sim::EngineConfig config =
-            cell_config(target, core::engine_config(ctx->spec.config),
-                        ctx->spec.share_frontiers);
-        sim::Engine engine(target.workload->cfg, image, config);
-        sim::RunResult result = engine.run(target.workload->trace);
-        const std::lock_guard<std::mutex> lock(state->mutex);
-        state->value.run = std::move(result);
+        if (!task_boundary(*state)) return;
+        try {
+          Registered& target = *ctx->entries[0];
+          const runtime::BlockImage& image =
+              image_for(target, ctx->spec.config, state->token.get());
+          const sim::EngineConfig config = cell_config(
+              target, core::engine_config(ctx->spec.config),
+              ctx->spec.share_frontiers, state->token.get());
+          sim::Engine engine(target.workload->cfg, image, config);
+          sim::RunResult result = engine.run(target.workload->trace);
+          const std::lock_guard<std::mutex> lock(state->mutex);
+          state->value.run = std::move(result);
+        } catch (const JobCancelled&) {
+          // The job is being cancelled; this item retires without a
+          // result (the finalize reports kCancelled, payload-free).
+        }
       };
       break;
     case JobKind::kSweep:
       total = ctx->spec.tasks.size();
       ctx->sinks = std::vector<sweep::ResultSink>(1);
-      item = [this, ctx](std::size_t i) {
-        Registered& target = *ctx->entries[0];
-        const runtime::BlockImage& image = image_for(target, ctx->spec.config);
-        const sweep::SweepTask& task = ctx->spec.tasks[i];
-        const sim::EngineConfig config =
-            cell_config(target, task.config, ctx->spec.share_frontiers);
-        sim::Engine engine(target.workload->cfg, image, config);
-        ctx->sinks[0].push(sweep::SweepOutcome{
-            i, task.label, engine.run(target.workload->trace)});
+      item = [this, ctx, state](std::size_t i) {
+        if (!task_boundary(*state)) return;
+        try {
+          Registered& target = *ctx->entries[0];
+          const runtime::BlockImage& image =
+              image_for(target, ctx->spec.config, state->token.get());
+          const sweep::SweepTask& task = ctx->spec.tasks[i];
+          const sim::EngineConfig config =
+              cell_config(target, task.config, ctx->spec.share_frontiers,
+                          state->token.get());
+          sim::Engine engine(target.workload->cfg, image, config);
+          ctx->sinks[0].push(sweep::SweepOutcome{
+              i, task.label, engine.run(target.workload->trace)});
+        } catch (const JobCancelled&) {
+        }
       };
       break;
     case JobKind::kCampaign: {
@@ -243,49 +404,101 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
       const std::size_t grid_size = ctx->spec.tasks.size();
       total = ctx->entries.size() * grid_size;
       ctx->sinks = std::vector<sweep::ResultSink>(ctx->entries.size());
-      item = [this, ctx, grid_size](std::size_t i) {
-        const std::size_t w = i / grid_size;
-        const std::size_t t = i % grid_size;
-        Registered& target = *ctx->entries[w];
-        const runtime::BlockImage& image = image_for(target, ctx->spec.config);
-        const sweep::SweepTask& task = ctx->spec.tasks[t];
-        const sim::EngineConfig config =
-            cell_config(target, task.config, ctx->spec.share_frontiers);
-        sim::Engine engine(target.workload->cfg, image, config);
-        ctx->sinks[w].push(sweep::SweepOutcome{
-            t, task.label, engine.run(target.workload->trace)});
+      item = [this, ctx, state, grid_size](std::size_t i) {
+        if (!task_boundary(*state)) return;
+        try {
+          const std::size_t w = i / grid_size;
+          const std::size_t t = i % grid_size;
+          Registered& target = *ctx->entries[w];
+          const runtime::BlockImage& image =
+              image_for(target, ctx->spec.config, state->token.get());
+          const sweep::SweepTask& task = ctx->spec.tasks[t];
+          const sim::EngineConfig config =
+              cell_config(target, task.config, ctx->spec.share_frontiers,
+                          state->token.get());
+          sim::Engine engine(target.workload->cfg, image, config);
+          ctx->sinks[w].push(sweep::SweepOutcome{
+              t, task.label, engine.run(target.workload->trace)});
+        } catch (const JobCancelled&) {
+        }
       };
       break;
     }
   }
 
-  state->id = pool_->submit(
+  const JobId id = pool_->submit(
       total, std::move(item),
-      [ctx, state](std::exception_ptr failure) {
+      [this, ctx, state, client](const sweep::FinalizeInfo& info) {
+        {
+          // Job accounting first, so a waiter that wakes on this job
+          // can immediately submit into the freed queue slot.
+          const std::lock_guard<std::mutex> lock(mutex_);
+          --live_jobs_;
+          const auto it = live_per_client_.find(client);
+          if (it != live_per_client_.end() && --it->second == 0) {
+            live_per_client_.erase(it);
+          }
+          live_states_.erase(state.get());
+        }
         {
           const std::lock_guard<std::mutex> lock(state->mutex);
-          state->failure = failure;
-          if (!failure) {
-            switch (ctx->spec.kind) {
-              case JobKind::kRun:
-                break;  // the single item wrote value.run already
-              case JobKind::kSweep:
-                state->value.sweep = ctx->sinks[0].take_sorted();
-                break;
-              case JobKind::kCampaign:
-                state->value.campaign.reserve(ctx->names.size());
-                for (std::size_t w = 0; w < ctx->names.size(); ++w) {
-                  state->value.campaign.push_back(sweep::CampaignResult{
-                      ctx->names[w], ctx->sinks[w].take_sorted()});
-                }
-                break;
-            }
+          switch (info.outcome) {
+            case sweep::JobOutcome::kCompleted:
+              switch (ctx->spec.kind) {
+                case JobKind::kRun:
+                  break;  // the single item wrote value.run already
+                case JobKind::kSweep:
+                  state->value.sweep = ctx->sinks[0].take_sorted();
+                  break;
+                case JobKind::kCampaign:
+                  state->value.campaign.reserve(ctx->names.size());
+                  for (std::size_t w = 0; w < ctx->names.size(); ++w) {
+                    state->value.campaign.push_back(sweep::CampaignResult{
+                        ctx->names[w], ctx->sinks[w].take_sorted()});
+                  }
+                  break;
+              }
+              break;
+            case sweep::JobOutcome::kFailed:
+              state->failure = info.failure;
+              state->value.status = JobStatus::kError;
+              try {
+                std::rethrow_exception(info.failure);
+              } catch (const std::exception& e) {
+                state->value.error = e.what();
+              } catch (...) {
+                state->value.error = "unknown error";
+              }
+              break;
+            // The non-ok, non-failure outcomes carry fixed messages and
+            // no payload -- the record is byte-identical however many
+            // items happened to run before the cancel landed.
+            case sweep::JobOutcome::kCancelled:
+              state->value.status = JobStatus::kCancelled;
+              state->value.error = "job cancelled";
+              break;
+            case sweep::JobOutcome::kDeadlineExceeded:
+              state->value.status = JobStatus::kDeadlineExceeded;
+              state->value.error = "job deadline exceeded";
+              break;
           }
           state->done = true;
         }
         state->cv.notify_all();
       },
-      {ctx->spec.priority, ctx->spec.max_workers});
+      options);
+
+  bool accepting = true;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    state->id = id;
+    accepting = accepting_;
+  }
+  if (!accepting) {
+    // shutdown() raced between admission and enqueue and so missed this
+    // job's id; apply its still-queued policy ourselves.
+    pool_->cancel_if_unstarted(id);
+  }
   return JobHandle<JobResult>(std::move(state));
 }
 
@@ -325,6 +538,36 @@ JobHandle<std::vector<sweep::CampaignResult>> Service::submit(
 }
 
 void Service::drain() { pool_->drain(); }
+
+void Service::shutdown(
+    std::optional<std::chrono::milliseconds> drain_deadline) {
+  std::vector<std::pair<std::shared_ptr<detail::JobState>, JobId>> live;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+    live.reserve(live_states_.size());
+    for (const auto& [ptr, st] : live_states_) live.emplace_back(st, st->id);
+  }
+  // Still-queued (no item started) jobs fail fast as cancelled --
+  // resolved on this thread, before the drain, so their handles are
+  // ready even while in-flight jobs are still running. id 0 means the
+  // submitter has not enqueued the job yet; its own post-enqueue
+  // accepting_ check applies this same policy.
+  for (const auto& [st, id] : live) {
+    if (id != 0) pool_->cancel_if_unstarted(id);
+  }
+  if (drain_deadline && !pool_->drain_for(*drain_deadline)) {
+    // Patience exhausted: cancel the stragglers cooperatively. Their
+    // handles still resolve (as kCancelled) once running items hit a
+    // task boundary or finish -- shutdown never abandons a handle.
+    for (const auto& [st, id] : live) {
+      if (st->token) st->token->request();
+      if (id != 0) pool_->cancel(id);
+    }
+  }
+  pool_->drain();
+  pool_->stop(sweep::StopMode::kDrain);
+}
 
 Service::CacheStats Service::cache_stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);

@@ -47,6 +47,8 @@
 // differentials (service_test.cpp, job_spec_test.cpp).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -54,11 +56,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <type_traits>
 #include <vector>
 
 #include "core/system.hpp"
 #include "runtime/frontier_cache.hpp"
+#include "serving/fault_plan.hpp"
 #include "serving/job_spec.hpp"
 #include "support/assert.hpp"
 #include "sweep/campaign.hpp"
@@ -75,11 +79,30 @@ using WorkloadId = std::size_t;
 /// items so the scheduler and diagnostics can attribute cells to jobs.
 using JobId = sweep::Pool::JobId;
 
+/// Admission control and default lifecycle bounds. Every limit is
+/// "0 = unbounded/none"; an over-limit submit() resolves as a
+/// structured *rejected* JobResult -- never a throw, never a stall --
+/// so an overloaded service stays responsive instead of queueing
+/// without bound (the ROADMAP front-door requirement).
+struct ServiceLimits {
+  /// Max jobs submitted-but-not-finalized, service-wide.
+  std::size_t max_queued_jobs = 0;
+  /// Max live jobs per JobSpec::client tag (the empty tag is a tag).
+  std::size_t max_queued_per_client = 0;
+  /// Deadline applied to jobs that carry none of their own
+  /// (JobSpec::deadline_ms == 0), in milliseconds.
+  std::uint64_t default_deadline_ms = 0;
+};
+
 struct ServiceOptions {
   /// Resident pool width; 0 means hardware concurrency (clamped to at
   /// least 1). Unlike the one-shot runners, 1 still means one resident
   /// worker *thread* -- submit() never runs work inline.
   unsigned workers = 0;
+  ServiceLimits limits;
+  /// Deterministic fault injection (tests / soak runs); null -- the
+  /// default -- costs one branch per fault point. See fault_plan.hpp.
+  std::shared_ptr<const FaultPlan> faults;
 };
 
 /// Simulate one workload's default trace under one configuration --
@@ -126,6 +149,14 @@ struct JobState {
   bool done = false;
   std::exception_ptr failure;
   JobResult value;
+  /// The job's cooperative-cancellation token: items poll it at task
+  /// boundaries, the pool reads it at every claim. Set for every
+  /// pool-backed job; null for jobs that resolved at admission
+  /// (rejected) and so have nothing to cancel.
+  std::shared_ptr<sweep::CancelToken> token;
+  /// The pool the job runs on; weak so a handle outliving its Service
+  /// degrades cancel() to a no-op instead of dangling.
+  std::weak_ptr<sweep::Pool> pool;
 };
 
 /// Project the handle's static type out of the unified JobResult.
@@ -166,13 +197,48 @@ class JobHandle {
     return state_->done;
   }
 
+  /// Request cooperative cancellation: queued cells are skipped at
+  /// their next claim, running cells observe the token at their next
+  /// task boundary, and the job resolves (deterministically, payload-
+  /// free) as kCancelled -- unless it completed or failed first.
+  /// Returns false when there was nothing left to cancel: the job
+  /// already finalized, never reached the pool, or the Service is
+  /// gone. Always non-blocking; wait() still resolves exactly once.
+  bool cancel() const {
+    if (!state_) return false;
+    if (const auto pool = state_->pool.lock()) {
+      return pool->cancel(state_->id);
+    }
+    return false;
+  }
+
+  /// True once cooperative cancellation has been requested for the job
+  /// -- by cancel(), a deadline, a fault plan, or shutdown's drain
+  /// deadline -- whether or not the job has resolved yet. Lets callers
+  /// (and tests) observe the request before the affected items retire.
+  [[nodiscard]] bool cancel_requested() const {
+    return state_ && state_->token && state_->token->cancelled();
+  }
+
   /// Block until the job retires; rethrows its first failure. May be
   /// called repeatedly and from several threads.
+  ///
+  /// Typed projections (the RunJob/SweepJob/CampaignJob veneers) have
+  /// no way to express a payload-free outcome, so a non-ok status
+  /// throws CheckError with the result's message. JobHandle<JobResult>
+  /// -- the JobSpec front door -- returns the structured result
+  /// instead: rejected / cancelled / deadline-exceeded are ordinary
+  /// values there (kError still rethrows the original exception).
   const T& wait() const {
     APCC_CHECK(state_ != nullptr, "wait() on an empty JobHandle");
     std::unique_lock<std::mutex> lock(state_->mutex);
     state_->cv.wait(lock, [&] { return state_->done; });
     if (state_->failure) std::rethrow_exception(state_->failure);
+    if constexpr (!std::is_same_v<T, JobResult>) {
+      APCC_CHECK(state_->value.ok(),
+                 std::string(status_name(state_->value.status)) + ": " +
+                     state_->value.error);
+    }
     return detail::project<T>(state_->value);
   }
 
@@ -226,15 +292,39 @@ class Service {
   /// Block until every job submitted so far has retired.
   void drain();
 
+  /// Orderly teardown, distinct from the destructor: stop admitting
+  /// (later submits resolve as rejected), let in-flight jobs finish,
+  /// and fail still-queued (unstarted) jobs as cancelled. With a
+  /// drain_deadline, jobs still running when it elapses are cancelled
+  /// cooperatively and the call blocks until every handle resolved --
+  /// shutdown never abandons a handle. Idempotent; the destructor
+  /// calls shutdown(std::nullopt) if nobody did.
+  void shutdown(std::optional<std::chrono::milliseconds> drain_deadline =
+                    std::nullopt);
+
   /// Artifact-cache observability (tests pin dedup and reuse on these;
   /// counters are cumulative since construction). The byte figures are
   /// approximate resident sizes of the cached artifacts -- the numbers
   /// an eviction policy would budget against (ROADMAP).
+  ///
+  /// Two vocabularies, one ledger: built/borrows count *successful*
+  /// resolutions (the PR 4 names, kept stable), while hits/misses/
+  /// rebuilds count *attempts* -- a miss is any claim of a build
+  /// (including ones that then fail and roll back), a hit is a
+  /// ready-artifact borrow, and a rebuild is a miss on a slot whose
+  /// previous build failed (the rollback path re-opened it). So
+  /// misses == built exactly when no build ever failed.
   struct CacheStats {
     std::size_t images_built = 0;     // BlockImages materialized
     std::size_t image_borrows = 0;    // cells served by a cached image
     std::size_t frontiers_built = 0;  // FrontierCaches materialized
     std::size_t frontier_borrows = 0; // engines that borrowed geometry
+    std::size_t image_hits = 0;       // ready-image borrows
+    std::size_t image_misses = 0;     // image build attempts claimed
+    std::size_t image_rebuilds = 0;   // claims after a failed build
+    std::size_t frontier_hits = 0;    // ready-geometry borrows
+    std::size_t frontier_misses = 0;  // geometry build attempts
+    std::size_t frontier_rebuilds = 0; // claims after a failed build
     std::uint64_t image_bytes = 0;    // approx bytes of cached images
     std::uint64_t frontier_bytes = 0; // approx bytes of materialized
                                       // frontier geometry
@@ -253,28 +343,59 @@ class Service {
   struct ImageSlot;
   struct Registered;
 
-  /// Resolve (build-or-borrow) the image artifact for a cell.
+  /// Resolve (build-or-borrow) the image artifact for a cell. `token`
+  /// (may be null) makes the claim-build handshake cancellation-aware:
+  /// a cancelled builder rolls its claim back so waiters re-claim.
   const runtime::BlockImage& image_for(Registered& entry,
-                                       const core::SystemConfig& config);
+                                       const core::SystemConfig& config,
+                                       const sweep::CancelToken* token);
   /// Resolve the geometry artifact; creates the slot on first need.
-  const runtime::FrontierCache* frontiers_for(Registered& entry, unsigned k);
+  const runtime::FrontierCache* frontiers_for(Registered& entry, unsigned k,
+                                              const sweep::CancelToken* token);
   /// Engine config for one cell, with borrowed geometry when asked.
   sim::EngineConfig cell_config(Registered& entry,
                                 const sim::EngineConfig& base,
-                                bool share_frontiers);
+                                bool share_frontiers,
+                                const sweep::CancelToken* token);
+
+  /// The per-item prologue: polls the job token (false = the item must
+  /// return without doing work) and evaluates the fault plan's task-
+  /// boundary schedule (which may throw the injected failure).
+  bool task_boundary(detail::JobState& state);
 
   Registered& entry(WorkloadId id);
 
-  mutable std::mutex mutex_;  // registry + slot maps + stats
+  mutable std::mutex mutex_;  // registry + slot maps + stats + admission
   std::vector<std::unique_ptr<Registered>> registry_;
   /// Geometry artifacts, keyed by (CFG identity, k). Service-wide: the
   /// key is the CFG address, which each registered workload owns.
   std::map<runtime::FrontierKey, std::unique_ptr<runtime::SharedFrontier>>
       frontiers_;
+  /// (CFG, k) keys whose last geometry build failed: the next claim of
+  /// that key counts as a rebuild (mirrors ImageSlot::failed_before).
+  std::vector<runtime::FrontierKey> frontier_failed_;
   CacheStats stats_;
+
+  // -- admission / lifecycle (guarded by mutex_) ----------------------
+  const ServiceLimits limits_;
+  const std::shared_ptr<const FaultPlan> faults_;
+  bool accepting_ = true;
+  std::size_t live_jobs_ = 0;
+  std::map<std::string, std::size_t> live_per_client_;
+  /// States of admitted-but-not-finalized jobs, keyed by state address
+  /// (ids are not assigned yet at insertion). shutdown() walks this to
+  /// cancel still-queued work.
+  std::map<const detail::JobState*, std::shared_ptr<detail::JobState>>
+      live_states_;
+
+  // -- fault-plan progress (count-based schedules) --------------------
+  std::atomic<std::size_t> fault_boundaries_{0};
+  std::atomic<std::size_t> fault_builds_{0};
+
   // Declared last: the pool's destructor drains worker threads that
-  // touch the members above, so it must die first.
-  std::unique_ptr<sweep::Pool> pool_;
+  // touch the members above, so it must die first. shared_ptr so job
+  // states can hold a weak reference for JobHandle::cancel().
+  std::shared_ptr<sweep::Pool> pool_;
 };
 
 }  // namespace apcc::serving

@@ -113,6 +113,15 @@ const EnumName<JobKind> kJobKinds[] = {
     {JobKind::kCampaign, job_kind_name(JobKind::kCampaign)},
 };
 
+const EnumName<JobStatus> kStatuses[] = {
+    {JobStatus::kOk, status_name(JobStatus::kOk)},
+    {JobStatus::kError, status_name(JobStatus::kError)},
+    {JobStatus::kRejected, status_name(JobStatus::kRejected)},
+    {JobStatus::kCancelled, status_name(JobStatus::kCancelled)},
+    {JobStatus::kDeadlineExceeded,
+     status_name(JobStatus::kDeadlineExceeded)},
+};
+
 const EnumName<sweep::Priority> kPriorities[] = {
     {sweep::Priority::kHigh, sweep::priority_name(sweep::Priority::kHigh)},
     {sweep::Priority::kNormal,
@@ -636,6 +645,7 @@ std::string serialize_job(const JobSpec& spec) {
   out += enum_name(kPriorities, spec.priority);
   out += '\n';
   out += "max-workers " + fmt_u64(spec.max_workers) + '\n';
+  out += "deadline-ms " + fmt_u64(spec.deadline_ms) + '\n';
   out += "share-frontiers ";
   out += spec.share_frontiers ? "1" : "0";
   out += '\n';
@@ -717,6 +727,9 @@ JobSpec parse_job(std::string_view text, std::size_t first_line) {
     } else if (key == "max-workers") {
       spec.max_workers =
           parse_unsigned(rest, "max-workers", line->number, line->text);
+    } else if (key == "deadline-ms") {
+      spec.deadline_ms =
+          parse_u64(rest, "deadline-ms", line->number, line->text);
     } else if (key == "share-frontiers") {
       spec.share_frontiers =
           parse_bool01(rest, "share-frontiers", line->number, line->text);
@@ -813,8 +826,14 @@ std::string serialize_result(const ResultRecord& record) {
   out += "job " + fmt_u64(record.job) + '\n';
   out += "client " + escape_field(record.client) + '\n';
   if (!record.ok()) {
-    out += "status error\n";
-    out += "error " + escape_field(record.error) + '\n';
+    // Non-ok records never carry a payload -- they are byte-identical
+    // however far the job got before failing/being cancelled.
+    out += "status ";
+    out += enum_name(kStatuses, record.status);
+    out += '\n';
+    if (!record.error.empty()) {
+      out += "error " + escape_field(record.error) + '\n';
+    }
     out += "end\n";
     return out;
   }
@@ -878,12 +897,10 @@ ResultRecord parse_result(std::string_view text, std::size_t first_line) {
     } else if (key == "client") {
       record.client = unescape_at(rest, line->number, line->text);
     } else if (key == "status") {
-      if (rest != "ok" && rest != "error") {
-        fail("status must be ok or error, got '" + std::string(rest) + "'",
-             line->number, line->text);
-      }
+      record.status =
+          parse_enum(kStatuses, rest, "status", line->number, line->text);
       saw_status = true;
-      status_ok = rest == "ok";
+      status_ok = record.status == JobStatus::kOk;
     } else if (key == "error") {
       record.error = unescape_at(rest, line->number, line->text);
       if (record.error.empty()) {
@@ -919,14 +936,17 @@ ResultRecord parse_result(std::string_view text, std::size_t first_line) {
     fail("record is missing 'status'", header->number, header->text);
   }
   if (!status_ok) {
-    if (record.error.empty()) {
+    // kError always explains itself; the lifecycle statuses are
+    // self-describing, so their message is optional.
+    if (record.status == JobStatus::kError && record.error.empty()) {
       fail("status error record is missing 'error'", header->number,
            header->text);
     }
     if (saw_kind || saw_run || !record.result.sweep.empty() ||
         !record.result.campaign.empty()) {
-      fail("status error record cannot carry a payload", header->number,
-           header->text);
+      fail(std::string("status ") + status_name(record.status) +
+               " record cannot carry a payload",
+           header->number, header->text);
     }
     return record;
   }

@@ -6,11 +6,12 @@
 // round-trip gate all speak exactly this format. Records are
 // line-oriented text:
 //
-//   apcc.job v2                      <- strict versioned header
+//   apcc.job v3                      <- strict versioned header
 //   kind sweep
 //   client bench-rig
 //   priority high
 //   max-workers 2
+//   deadline-ms 0
 //   share-frontiers 1
 //   workload gsm-like
 //   codec huffman-shared
@@ -18,13 +19,19 @@
 //   task label=on-demand/k=1 strategy=on-demand kc=1 kd=1 ...
 //   end
 //
-//   apcc.result v2
+//   apcc.result v3
 //   job 1
 //   client bench-rig
 //   status ok
 //   kind sweep
 //   outcome index=0 label=on-demand/k=1 total-cycles=8124 ...
 //   end
+//
+// v3 (PR 6) adds the optional `deadline-ms` job field (0 = none) and
+// widens result `status` from ok|error to the full JobStatus set --
+// ok | error | rejected | cancelled | deadline-exceeded. Only `ok`
+// carries a payload; `error` requires an `error` message line; the
+// other non-ok statuses may carry one.
 //
 // Contract:
 //  * **Strict**: the header must match byte-for-byte (a future schema
@@ -106,15 +113,20 @@ class WireError : public CheckError {
 
 /// One job's wire-visible outcome: the submission sequence number the
 /// stream assigned it, the echoed client tag, and either the unified
-/// JobResult or a failure message.
+/// JobResult payload (status ok) or a status + message explaining why
+/// there is none.
 struct ResultRecord {
   std::uint64_t job = 0;
   std::string client;
-  /// Non-empty means the job failed; `result` is then meaningless.
+  /// How the job resolved. Only kOk records carry a payload.
+  JobStatus status = JobStatus::kOk;
+  /// The non-ok explanation: required for kError, optional for the
+  /// lifecycle statuses (rejected / cancelled / deadline-exceeded),
+  /// forbidden for kOk.
   std::string error;
   JobResult result;
 
-  [[nodiscard]] bool ok() const { return error.empty(); }
+  [[nodiscard]] bool ok() const { return status == JobStatus::kOk; }
 };
 
 [[nodiscard]] std::string serialize_result(const ResultRecord& record);

@@ -21,14 +21,7 @@ Pool::Pool(unsigned workers) {
   }
 }
 
-Pool::~Pool() {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
-}
+Pool::~Pool() { stop(StopMode::kDrain); }
 
 std::shared_ptr<Pool::Job> Pool::claimable_locked() {
   // queue_ is in submission (= ascending id) order, so the first hit
@@ -46,6 +39,40 @@ std::shared_ptr<Pool::Job> Pool::claimable_locked() {
     if (!best || job->priority < best->priority) best = job;
   }
   return best;
+}
+
+void Pool::cancel_locked(Job& job, CancelCause cause) {
+  if (job.cancelled) return;
+  job.cancelled = true;
+  job.cause = cause;
+  // Running items observe the request at their next task boundary;
+  // items that never poll simply finish.
+  if (job.token) job.token->request();
+  // Skipping bypasses the worker budget, so budget-gated idle workers
+  // can help drain the cancelled tail.
+  work_cv_.notify_all();
+}
+
+std::shared_ptr<Pool::Job> Pool::find_locked(JobId id) {
+  for (const auto& job : queue_) {
+    if (job->id == id) return job;
+  }
+  return nullptr;
+}
+
+FinalizeInfo Pool::finalize_info(const Job& job) {
+  // Failure wins: the first thrown exception is the job's outcome even
+  // when a cancel or deadline raced it -- callers must not lose the
+  // error. Otherwise the first-observed cancel cause is reported.
+  if (job.failure) return {JobOutcome::kFailed, job.failure};
+  switch (job.cause) {
+    case CancelCause::kCancel: return {JobOutcome::kCancelled, nullptr};
+    case CancelCause::kDeadline:
+      return {JobOutcome::kDeadlineExceeded, nullptr};
+    case CancelCause::kNone:
+    case CancelCause::kFailure: break;
+  }
+  return {JobOutcome::kCompleted, nullptr};
 }
 
 void Pool::retire_locked(JobId id) {
@@ -66,21 +93,72 @@ Pool::JobId Pool::submit(std::size_t total, ItemFn item, FinalizeFn finalize,
   job->finalize = std::move(finalize);
   job->priority = options.priority;
   job->max_workers = options.max_workers;
+  job->token = std::move(options.cancel);
+  job->deadline = options.deadline;
+  bool dead = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job->id = next_id_++;
-    if (total > 0) queue_.push_back(job);
+    dead = stopping_;
+    if (!dead && total > 0) queue_.push_back(job);
+  }
+  if (dead) {
+    // The pool is stopping or stopped: never enqueue, but never stall
+    // or drop the finalize either -- the job resolves as cancelled on
+    // the calling thread, exactly once.
+    if (job->token) job->token->request();
+    if (job->finalize) job->finalize({JobOutcome::kCancelled, nullptr});
+    const std::lock_guard<std::mutex> lock(mutex_);
+    retire_locked(job->id);
+    return job->id;
   }
   if (total == 0) {
     // Nothing to schedule: finalize synchronously (callers get a handle
     // that is already ready) and retire the id.
-    if (job->finalize) job->finalize(nullptr);
+    if (job->finalize) job->finalize({JobOutcome::kCompleted, nullptr});
     const std::lock_guard<std::mutex> lock(mutex_);
     retire_locked(job->id);
     return job->id;
   }
   work_cv_.notify_all();
   return job->id;
+}
+
+void Pool::finalize_unstarted_locked(std::unique_lock<std::mutex>& lock,
+                                     const std::shared_ptr<Job>& job) {
+  if (job->next != 0 || job->running != 0 || job->done != 0) return;
+  // No item was ever claimed: resolve the job right here on the
+  // cancelling thread instead of waking a worker to skip through its
+  // items -- cancelling *queued* work is immediate even when every
+  // worker is busy (the property shutdown's still-queued policy needs).
+  job->next = job->total;
+  job->done = job->total;
+  queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+  const FinalizeFn finalize = std::move(job->finalize);
+  const FinalizeInfo info = finalize_info(*job);
+  lock.unlock();
+  if (finalize) finalize(info);
+  lock.lock();
+  retire_locked(job->id);
+  work_cv_.notify_all();
+}
+
+bool Pool::cancel(JobId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::shared_ptr<Job> job = find_locked(id);
+  if (!job) return false;  // already finalized (or never issued)
+  cancel_locked(*job, CancelCause::kCancel);
+  finalize_unstarted_locked(lock, job);
+  return true;
+}
+
+bool Pool::cancel_if_unstarted(JobId id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::shared_ptr<Job> job = find_locked(id);
+  if (!job || job->next > 0) return false;
+  cancel_locked(*job, CancelCause::kCancel);
+  finalize_unstarted_locked(lock, job);
+  return true;
 }
 
 void Pool::worker_loop() {
@@ -91,6 +169,20 @@ void Pool::worker_loop() {
       if (stopping_ && queue_.empty()) return;
       work_cv_.wait(lock);
       continue;
+    }
+
+    // Dispatch-time lifecycle checks, cheapest first. A job with no
+    // deadline never reads the clock; a job with no token never loads
+    // the atomic.
+    if (!job->cancelled) {
+      if (job->token && job->token->cancelled()) {
+        // An item (or the submitter) requested the token directly --
+        // honour it as an explicit cancel.
+        cancel_locked(*job, CancelCause::kCancel);
+      } else if (job->deadline &&
+                 std::chrono::steady_clock::now() >= *job->deadline) {
+        cancel_locked(*job, CancelCause::kDeadline);
+      }
     }
 
     const std::size_t index = job->next++;
@@ -110,6 +202,12 @@ void Pool::worker_loop() {
     lock.lock();
     if (!skip) {
       --job->running;
+      // An item may have requested the token itself (self-cancel);
+      // observe it here too, or a request made by the job's *last*
+      // item would never be seen by a claim.
+      if (!job->cancelled && job->token && job->token->cancelled()) {
+        cancel_locked(*job, CancelCause::kCancel);
+      }
       // Freeing a budget slot can make this job claimable again for a
       // worker that went idle on the budget gate.
       if (job->max_workers != 0 && job->next < job->total) {
@@ -121,18 +219,15 @@ void Pool::worker_loop() {
       // Remaining unclaimed (not yet started) items of *this* job are
       // skipped -- whichever priority class queued behind them; their
       // results would be discarded anyway. Other jobs are unaffected.
-      job->cancelled = true;
-      // Skipping bypasses the worker budget, so budget-gated idle
-      // workers can help drain the cancelled tail.
-      work_cv_.notify_all();
+      cancel_locked(*job, CancelCause::kFailure);
     }
     ++job->done;
     if (job->done == job->total) {
       queue_.erase(std::find(queue_.begin(), queue_.end(), job));
       const FinalizeFn finalize = std::move(job->finalize);
-      const std::exception_ptr failure = job->failure;
+      const FinalizeInfo info = finalize_info(*job);
       lock.unlock();
-      if (finalize) finalize(failure);
+      if (finalize) finalize(info);
       lock.lock();
       retire_locked(job->id);
       // A retiring job can be what a stopping pool's idle workers were
@@ -156,6 +251,35 @@ void Pool::drain() {
   finished_cv_.wait(lock, [&] { return retired_below_ == next_id_; });
 }
 
+bool Pool::drain_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return finished_cv_.wait_for(lock, timeout,
+                               [&] { return retired_below_ == next_id_; });
+}
+
+void Pool::stop(StopMode mode) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+    if (mode == StopMode::kAbort) {
+      // Queued jobs are cancelled wholesale; whatever items are already
+      // on a worker finish (cooperatively early if they poll their
+      // token), then each job finalizes as cancelled. kDrain leaves the
+      // queue alone -- workers exit once it empties naturally.
+      for (const auto& job : queue_) {
+        cancel_locked(*job, CancelCause::kCancel);
+      }
+    }
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+}
+
 namespace detail {
 
 void parallel_for_index(std::size_t total, unsigned workers,
@@ -173,8 +297,9 @@ void parallel_for_index(std::size_t total, unsigned workers,
   Pool pool(static_cast<unsigned>(
       std::min<std::size_t>(workers, total)));
   std::exception_ptr failure;
-  pool.submit(
-      total, fn, [&failure](std::exception_ptr error) { failure = error; });
+  pool.submit(total, fn, [&failure](const FinalizeInfo& info) {
+    failure = info.failure;
+  });
   pool.drain();
   if (failure) std::rethrow_exception(failure);
 }

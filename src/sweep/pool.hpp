@@ -31,12 +31,40 @@
 //    handed to the job's finalize callback, which runs exactly once, on
 //    a pool thread, after the job's last item retires.
 //
+// Robustness (PR 6) extends the same claim loop with three controls,
+// all of which change only *whether* an item runs, never what a run
+// item computes:
+//
+//  * **Cancellation** is cooperative and two-speed. cancel(id) marks
+//    the job so every still-unclaimed item is skipped at claim time
+//    (immediate), and requests the job's CancelToken so items already
+//    on a worker can bail at their next task boundary (the token is
+//    shared with the submitter via SubmitOptions::cancel; items that
+//    ignore it simply run to completion). A job may also be cancelled
+//    from inside one of its own items by requesting the token -- the
+//    claim loop observes the token before dispatching each item.
+//  * **Deadlines** are enforced at dispatch: the first claim attempted
+//    at or after SubmitOptions::deadline cancels the job with outcome
+//    kDeadlineExceeded. Items already running are not interrupted
+//    (their token is requested, so boundary-checking items stop
+//    early). A job with no deadline never reads the clock.
+//  * **stop(StopMode)** is the explicit teardown path, distinct from
+//    the destructor only in being callable early and in kAbort:
+//    kDrain finishes every queued job first (what the destructor
+//    does), kAbort cancels all queued jobs (running items still finish
+//    their current item) and finalizes them as cancelled. After stop()
+//    returns the workers are joined; submit() still hands out ids but
+//    finalizes the job immediately as cancelled -- callers get a
+//    resolved handle, never a stall.
+//
 // parallel_for_index is kept as the synchronous veneer the one-shot
 // runners (run_sweep / run_campaign) use: inline at workers <= 1 (the
 // sequential reference order the differential tests compare against),
 // a temporary Pool otherwise.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -45,6 +73,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -61,12 +90,60 @@ enum class Priority : std::uint8_t {
 
 [[nodiscard]] const char* priority_name(Priority p);
 
-/// Per-job QoS knobs for Pool::submit().
+/// How stop() treats work that is still queued.
+enum class StopMode : std::uint8_t {
+  kDrain,  // finish every queued job, then join (destructor behaviour)
+  kAbort,  // cancel every queued job (running items finish their
+           // current item), finalize them as cancelled, then join
+};
+
+/// Why a job finalized. Failure wins over cancellation (the first
+/// thrown exception is the job's outcome even if a cancel raced it);
+/// deadline and explicit cancel report whichever was observed first.
+enum class JobOutcome : std::uint8_t {
+  kCompleted,
+  kFailed,
+  kCancelled,
+  kDeadlineExceeded,
+};
+
+/// What a finalize callback learns about its job.
+struct FinalizeInfo {
+  JobOutcome outcome = JobOutcome::kCompleted;
+  /// The first exception any item threw; set iff outcome == kFailed.
+  std::exception_ptr failure;
+};
+
+/// Cooperative cancellation flag shared between a job's submitter, the
+/// pool's claim loop, and the job's running items. request() is
+/// idempotent and thread-safe; items poll cancelled() at their task
+/// boundaries and return early once it flips.
+class CancelToken {
+ public:
+  [[nodiscard]] bool cancelled() const {
+    return flag_.load(std::memory_order_relaxed);
+  }
+  void request() { flag_.store(true, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Per-job QoS and lifecycle knobs for Pool::submit().
 struct SubmitOptions {
   Priority priority = Priority::kNormal;
   /// Max pool threads running this job's items concurrently; 0 = no
   /// cap. Affects scheduling only, never outcomes.
   unsigned max_workers = 0;
+  /// Cooperative cancellation token. Optional: when null the job can
+  /// still be cancelled via Pool::cancel(), but running items have no
+  /// flag to poll. The pool also *reads* the token at every claim, so
+  /// an item can cancel its own job by requesting it.
+  std::shared_ptr<CancelToken> cancel;
+  /// Enforced at dispatch: the first item claim at or after this
+  /// instant cancels the job with outcome kDeadlineExceeded. nullopt =
+  /// no deadline (the claim loop never reads the clock).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
 class Pool {
@@ -77,14 +154,15 @@ class Pool {
   /// concurrently from several pool threads.
   using ItemFn = std::function<void(std::size_t)>;
   /// Finalize callback: called exactly once per job, from a pool
-  /// thread, after every item has retired. The argument is the first
-  /// exception any item threw, or nullptr on clean completion.
-  using FinalizeFn = std::function<void(std::exception_ptr)>;
+  /// thread, after every item has retired (run or skipped). The info
+  /// says how the job ended and carries the first item failure.
+  using FinalizeFn = std::function<void(const FinalizeInfo&)>;
 
   /// Spin up `workers` resident threads (clamped to at least 1).
   explicit Pool(unsigned workers);
 
-  /// Drains every submitted job (finalizers included), then joins.
+  /// Equivalent to stop(StopMode::kDrain): drains every submitted job
+  /// (finalizers included), then joins.
   ~Pool();
 
   Pool(const Pool&) = delete;
@@ -96,9 +174,23 @@ class Pool {
 
   /// Enqueue a job and return its id without running anything on the
   /// calling thread. A job with total == 0 is finalized immediately
-  /// (synchronously, with a null failure).
+  /// (synchronously, with outcome kCompleted). After stop() the job is
+  /// instead finalized immediately as kCancelled -- submit() never
+  /// blocks and never loses a finalize.
   JobId submit(std::size_t total, ItemFn item, FinalizeFn finalize,
                SubmitOptions options = {});
+
+  /// Cancel a job: every still-unclaimed item is skipped, the job's
+  /// token (if any) is requested so running items can stop at their
+  /// next boundary, and the job finalizes with outcome kCancelled once
+  /// in-flight items retire. Returns false when the job has already
+  /// finalized (or was never issued) -- cancelling twice is a no-op.
+  bool cancel(JobId id);
+
+  /// cancel(id), but only if no item of the job has been claimed yet
+  /// -- the "still queued" half of a graceful shutdown. Returns true
+  /// iff the job was live and unstarted (and is now cancelled).
+  bool cancel_if_unstarted(JobId id);
 
   /// Block until job `id` has finalized (returns immediately for ids
   /// already retired or never issued).
@@ -107,7 +199,20 @@ class Pool {
   /// Block until every job submitted so far has finalized.
   void drain();
 
+  /// drain() with a timeout; true when everything finalized in time.
+  bool drain_for(std::chrono::milliseconds timeout);
+
+  /// Explicit teardown: refuse-and-finalize future submits, handle
+  /// queued work per `mode`, run every finalizer, join the workers.
+  /// Idempotent; the second call (and the destructor afterwards) is a
+  /// cheap no-op. kAbort after kDrain cannot un-drain.
+  void stop(StopMode mode);
+
  private:
+  /// Why a job stopped claiming items; kFailure wins for the outcome.
+  enum class CancelCause : std::uint8_t { kNone, kFailure, kCancel,
+                                          kDeadline };
+
   struct Job {
     JobId id = 0;
     std::size_t total = 0;
@@ -115,10 +220,13 @@ class Pool {
     FinalizeFn finalize;
     Priority priority = Priority::kNormal;
     unsigned max_workers = 0;  // 0 = unbudgeted
+    std::shared_ptr<CancelToken> token;  // may be null
+    std::optional<std::chrono::steady_clock::time_point> deadline;
     std::size_t next = 0;     // next unclaimed index (guarded by mutex_)
     std::size_t done = 0;     // retired items (guarded by mutex_)
     unsigned running = 0;     // items currently on a worker (mutex_)
-    bool cancelled = false;
+    bool cancelled = false;   // skip remaining unclaimed items
+    CancelCause cause = CancelCause::kNone;
     std::exception_ptr failure;
   };
 
@@ -129,6 +237,24 @@ class Pool {
   /// free slot (cancelled jobs bypass the budget -- their items are
   /// skipped, not run). nullptr when nothing is claimable.
   [[nodiscard]] std::shared_ptr<Job> claimable_locked();
+
+  /// Mark a job cancelled (first cause wins), request its token, and
+  /// wake budget-gated workers to drain the skipped tail. Caller holds
+  /// mutex_. No-op on an already-cancelled job.
+  void cancel_locked(Job& job, CancelCause cause);
+
+  /// The live job with this id, or nullptr. Caller holds mutex_.
+  [[nodiscard]] std::shared_ptr<Job> find_locked(JobId id);
+
+  /// If no item of `job` was ever claimed, finalize and retire it on
+  /// the calling thread (briefly dropping `lock` for the finalizer) --
+  /// cancelling queued work resolves immediately, without a worker.
+  void finalize_unstarted_locked(std::unique_lock<std::mutex>& lock,
+                                 const std::shared_ptr<Job>& job);
+
+  /// What finalize should report for a retiring job. Caller holds
+  /// mutex_ (reads cause/failure).
+  [[nodiscard]] static FinalizeInfo finalize_info(const Job& job);
 
   /// Record a finalized id (compacting into retired_below_) and wake
   /// waiters. Caller holds mutex_.
@@ -142,6 +268,7 @@ class Pool {
   JobId retired_below_ = 1;  // every id < this has finalized
   std::vector<JobId> retired_;  // finalized ids >= retired_below_
   bool stopping_ = false;
+  bool stopped_ = false;  // workers joined; submit() cancels instantly
   std::vector<std::thread> threads_;
 };
 

@@ -67,6 +67,22 @@ CommandResult run_cli_stderr(const std::string& args) {
   return result;
 }
 
+/// Run an arbitrary shell snippet (for orchestration the binary alone
+/// cannot express, e.g. signalling a backgrounded serve process).
+CommandResult run_shell(const std::string& script) {
+  CommandResult result;
+  FILE* pipe = popen(script.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
 std::string workload_path() {
   return std::string(kDataDir) + "/mini_dsp.s";
 }
@@ -153,12 +169,12 @@ TEST(CliSmoke, BatchRunsWireJobFileOverTheCheckedInWorkload) {
   {
     std::ofstream out(jobfile);
     out << "# smoke jobs (wire format)\n"
-        << "apcc.job v2\n"
+        << "apcc.job v3\n"
         << "kind run\n"
         << "workload " << workload_path() << "\n"
         << "end\n"
         << "\n"
-        << "apcc.job v2\n"
+        << "apcc.job v3\n"
         << "kind sweep\n"
         << "priority high\n"
         << "max-workers 1\n"
@@ -166,7 +182,7 @@ TEST(CliSmoke, BatchRunsWireJobFileOverTheCheckedInWorkload) {
         << "grid strategy-k\n"
         << "end\n"
         << "\n"
-        << "apcc.job v2\n"
+        << "apcc.job v3\n"
         << "kind campaign\n"
         << "priority batch\n"
         << "workload " << workload_path() << "\n"
@@ -188,7 +204,7 @@ TEST(CliSmoke, BatchRunsWireJobFileOverTheCheckedInWorkload) {
   // --wire emits machine-readable result records instead.
   const auto wired = run_cli("batch " + jobfile + " --wire");
   ASSERT_EQ(wired.exit_code, 0);
-  EXPECT_NE(wired.output.find("apcc.result v2\njob 1\n"), std::string::npos);
+  EXPECT_NE(wired.output.find("apcc.result v3\njob 1\n"), std::string::npos);
   EXPECT_NE(wired.output.find("status ok"), std::string::npos);
   EXPECT_NE(wired.output.find("kind campaign"), std::string::npos);
   std::remove(jobfile.c_str());
@@ -202,19 +218,19 @@ TEST(CliSmoke, BatchWireEmitsErrorRecordsForFailedJobs) {
       ::testing::TempDir() + "/apcc_smoke_wire_fail.wire";
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v2\nkind run\nworkload " << workload_path() << "\nend\n"
-        << "apcc.job v2\nkind run\nworkload " << workload_path() << "\n"
+    out << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n"
+        << "apcc.job v3\nkind run\nworkload " << workload_path() << "\n"
         << "policy budget=1\n"  // smaller than any block: engine throws
         << "end\n"
-        << "apcc.job v2\nkind run\nworkload /nonexistent/nope.s\nend\n"
-        << "apcc.job v2\nkind run\nworkload " << workload_path() << "\nend\n";
+        << "apcc.job v3\nkind run\nworkload /nonexistent/nope.s\nend\n"
+        << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n";
   }
   const auto result = run_cli("batch " + jobfile + " --wire");
   ASSERT_EQ(result.exit_code, 0);
-  const std::size_t first = result.output.find("apcc.result v2\njob 1\n");
-  const std::size_t second = result.output.find("apcc.result v2\njob 2\n");
-  const std::size_t third = result.output.find("apcc.result v2\njob 3\n");
-  const std::size_t fourth = result.output.find("apcc.result v2\njob 4\n");
+  const std::size_t first = result.output.find("apcc.result v3\njob 1\n");
+  const std::size_t second = result.output.find("apcc.result v3\njob 2\n");
+  const std::size_t third = result.output.find("apcc.result v3\njob 3\n");
+  const std::size_t fourth = result.output.find("apcc.result v3\njob 4\n");
   ASSERT_NE(first, std::string::npos);
   ASSERT_NE(second, std::string::npos);
   ASSERT_NE(third, std::string::npos);
@@ -242,7 +258,7 @@ TEST(CliSmoke, BatchReportsLineAndSnippetOnMalformedRecords) {
   // the file, the line, and echo the offending text -- not just exit 1.
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v2\n"
+    out << "apcc.job v3\n"
         << "kind sweep\n"
         << "workload " << workload_path() << "\n"
         << "task label=x strategy=warp-speed\n"
@@ -265,7 +281,7 @@ TEST(CliSmoke, BatchReportsLineAndSnippetOnMalformedRecords) {
   // is still rejected, not silently dropped.
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v2\nkind run\nworkload " << workload_path() << "\nend\n";
+    out << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n";
   }
   EXPECT_EQ(run_cli("batch " + jobfile + " --codec null").exit_code, 1);
   std::remove(jobfile.c_str());
@@ -279,16 +295,16 @@ TEST(CliSmoke, ServeStreamsWireResultsInSubmissionOrder) {
       ::testing::TempDir() + "/apcc_smoke_serve.wire";
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v2\n"
+    out << "apcc.job v3\n"
         << "kind run\n"
         << "client smoke\n"
         << "workload " << workload_path() << "\n"
         << "end\n"
-        << "apcc.job v2\n"
+        << "apcc.job v3\n"
         << "kind run\n"
         << "workload /nonexistent/nope.s\n"
         << "end\n"
-        << "apcc.job v2\n"
+        << "apcc.job v3\n"
         << "kind sweep\n"
         << "workload " << workload_path() << "\n"
         << "task label=on-demand/k=1 strategy=on-demand kc=1 kd=1\n"
@@ -296,9 +312,9 @@ TEST(CliSmoke, ServeStreamsWireResultsInSubmissionOrder) {
   }
   const auto result = run_cli("serve < " + jobfile);
   ASSERT_EQ(result.exit_code, 0);
-  const std::size_t first = result.output.find("apcc.result v2\njob 1\n");
-  const std::size_t second = result.output.find("apcc.result v2\njob 2\n");
-  const std::size_t third = result.output.find("apcc.result v2\njob 3\n");
+  const std::size_t first = result.output.find("apcc.result v3\njob 1\n");
+  const std::size_t second = result.output.find("apcc.result v3\njob 2\n");
+  const std::size_t third = result.output.find("apcc.result v3\njob 3\n");
   ASSERT_NE(first, std::string::npos);
   ASSERT_NE(second, std::string::npos);
   ASSERT_NE(third, std::string::npos);
@@ -326,7 +342,7 @@ TEST(CliSmoke, ServeEmitsResultsWhileStdinIsStillOpen) {
       ::testing::TempDir() + "/apcc_smoke_serve_stream.wire";
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v2\nkind run\nworkload " << workload_path() << "\nend\n";
+    out << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n";
   }
   // The subshell holds stdin open for 4s after the job; the first
   // result record must complete well before that.
@@ -349,7 +365,7 @@ TEST(CliSmoke, ServeEmitsResultsWhileStdinIsStillOpen) {
     }
   }
   pclose(pipe);  // waits out the subshell's sleep
-  EXPECT_NE(output.find("apcc.result v2\njob 1\n"), std::string::npos)
+  EXPECT_NE(output.find("apcc.result v3\njob 1\n"), std::string::npos)
       << output;
   EXPECT_NE(output.find("status ok"), std::string::npos) << output;
   EXPECT_LT(first_record_seconds, 3.0)
@@ -362,7 +378,7 @@ TEST(CliSmoke, WireRoundtripIsAFixedPoint) {
       ::testing::TempDir() + "/apcc_smoke_roundtrip.wire";
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v2\n"
+    out << "apcc.job v3\n"
         << "kind sweep\n"
         << "workload gsm-like\n"
         << "grid strategy-k\n"
@@ -380,6 +396,99 @@ TEST(CliSmoke, WireRoundtripIsAFixedPoint) {
   EXPECT_EQ(once.output, twice.output);
   std::remove(jobfile.c_str());
   std::remove(canonical.c_str());
+}
+
+TEST(CliSmoke, VersionPrintsToolAndWireVersion) {
+  const auto result = run_cli("version");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output.rfind("apcc_cli ", 0), 0u) << result.output;
+  EXPECT_NE(result.output.find("(wire v3)"), std::string::npos)
+      << result.output;
+  // Exactly-one-line contract, scripts parse it.
+  EXPECT_EQ(lines_of(result.output).size(), 1u);
+  EXPECT_EQ(run_cli("version --csv").exit_code, 1);
+}
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(CliSmoke, ServeMaxQueuedRejectsOverloadAsRecords) {
+  // Bounded admission: with --max-queued 1 and a slow sweep occupying
+  // the slot, the quick jobs behind it resolve as status-rejected
+  // records -- the stream never stalls, never throws, and still emits
+  // exactly one record per job, in submission order.
+  const std::string jobfile =
+      ::testing::TempDir() + "/apcc_smoke_overload.wire";
+  {
+    std::ofstream out(jobfile);
+    out << "apcc.job v3\nkind sweep\nworkload " << workload_path()
+        << "\ngrid strategy-k\nend\n"
+        << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n"
+        << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n";
+  }
+  const auto result =
+      run_cli("serve --max-queued 1 --workers 1 < " + jobfile);
+  ASSERT_EQ(result.exit_code, 0);
+  EXPECT_EQ(count_occurrences(result.output, "apcc.result v3\n"), 3u)
+      << result.output;
+  for (int job = 1; job <= 3; ++job) {
+    EXPECT_EQ(count_occurrences(result.output,
+                                "job " + std::to_string(job) + "\n"),
+              1u)
+        << result.output;
+  }
+  // The occupant finished; the overflow was rejected with the fixed
+  // admission message (deterministic bytes, see fault_injection_test).
+  EXPECT_NE(result.output.find("status ok"), std::string::npos);
+  EXPECT_NE(result.output.find("status rejected"), std::string::npos);
+  EXPECT_NE(result.output.find("job%20limit%20reached"), std::string::npos)
+      << result.output;
+  std::remove(jobfile.c_str());
+}
+
+TEST(CliSmoke, ServeDrainsGracefullyOnSigterm) {
+  // SIGTERM mid-stream: serve stops reading, finishes every accepted
+  // job, emits exactly one record per accepted job, and exits 0. The
+  // fifo keeps stdin open so the shutdown is signal-driven, not EOF.
+  const std::string dir = ::testing::TempDir();
+  const std::string jobfile = dir + "/apcc_smoke_drain.wire";
+  {
+    std::ofstream out(jobfile);
+    out << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n"
+        << "apcc.job v3\nkind sweep\nworkload " << workload_path()
+        << "\ngrid strategy-k\nend\n";
+  }
+  const std::string script =
+      "fifo=" + dir + "/apcc_drain_fifo; out=" + dir + "/apcc_drain_out; "
+      "rm -f \"$fifo\"; mkfifo \"$fifo\"; "
+      + std::string(kCliPath) + " serve --workers 1 < \"$fifo\" > \"$out\" "
+      "2>/dev/null & pid=$!; "
+      "exec 3> \"$fifo\"; cat " + jobfile + " >&3; "
+      "n=0; until grep -q '^end$' \"$out\" 2>/dev/null; do "
+      "sleep 0.1; n=$((n+1)); [ $n -gt 300 ] && break; done; "
+      "kill -TERM $pid; wait $pid; status=$?; exec 3>&-; "
+      "echo \"serve-exit=$status\"; cat \"$out\"; "
+      "rm -f \"$fifo\" \"$out\"";
+  const auto result = run_shell(script);
+  ASSERT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("serve-exit=0"), std::string::npos)
+      << result.output;
+  // Exactly one record per accepted job, drained to completion (the
+  // sweep may legitimately resolve cancelled if it had not started).
+  EXPECT_EQ(count_occurrences(result.output, "apcc.result v3\n"), 2u)
+      << result.output;
+  EXPECT_EQ(count_occurrences(result.output, "job 1\n"), 1u);
+  EXPECT_EQ(count_occurrences(result.output, "job 2\n"), 1u);
+  EXPECT_EQ(count_occurrences(result.output, "status error"), 0u)
+      << result.output;
+  std::remove(jobfile.c_str());
 }
 
 TEST(CliSmoke, AsmAndCfgStillWork) {

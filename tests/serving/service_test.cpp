@@ -196,6 +196,14 @@ TEST(Service, ArtifactCacheDeduplicatesAcrossJobs) {
             2 * job.tasks.size());
   EXPECT_EQ(stats.frontier_borrows + stats.frontiers_built,
             2 * job.tasks.size());
+  // The hit/miss ledger tells the same story: every build was a miss,
+  // every borrow a hit, and nothing was ever rebuilt.
+  EXPECT_EQ(stats.image_misses, stats.images_built);
+  EXPECT_EQ(stats.image_hits, stats.image_borrows);
+  EXPECT_EQ(stats.frontier_misses, stats.frontiers_built);
+  EXPECT_EQ(stats.frontier_hits, stats.frontier_borrows);
+  EXPECT_EQ(stats.image_rebuilds, 0u);
+  EXPECT_EQ(stats.frontier_rebuilds, 0u);
 }
 
 TEST(Service, RunResultIdenticalAcrossCodecs) {

@@ -1,18 +1,24 @@
 // Resident Pool semantics: job ids, cross-job scheduling, failure
 // cancellation scoped to one job, wait/drain, the zero-item fast
-// path, and the QoS scheduler -- strict priority classes with the
+// path, the QoS scheduler -- strict priority classes with the
 // lowest-id tie-break, per-job worker budgets, and cancellation of
-// queued-but-unstarted items across priority classes. (run_sweep /
-// run_campaign equivalence is pinned by the sweep and campaign
-// differential tests; these cover the pool directly. The TSan CI job
-// runs this binary.)
+// queued-but-unstarted items across priority classes -- and the
+// robustness surface: cooperative cancellation (queued skip + token
+// signalling + self-cancel), dispatch-time deadlines, failure-wins
+// outcome precedence, stop(kDrain|kAbort), and submit-after-stop.
+// (run_sweep / run_campaign equivalence is pinned by the sweep and
+// campaign differential tests; these cover the pool directly. The
+// TSan CI job runs this binary.)
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "sweep/pool.hpp"
@@ -39,12 +45,10 @@ TEST(Pool, RunsEveryIndexExactlyOnce) {
 TEST(Pool, JobIdsAreUniqueAndFinalizeRunsOnce) {
   Pool pool(2);
   std::atomic<int> finalized{0};
-  const auto a = pool.submit(3, [](std::size_t) {}, [&](std::exception_ptr) {
-    ++finalized;
-  });
-  const auto b = pool.submit(3, [](std::size_t) {}, [&](std::exception_ptr) {
-    ++finalized;
-  });
+  const auto a = pool.submit(3, [](std::size_t) {},
+                             [&](const FinalizeInfo&) { ++finalized; });
+  const auto b = pool.submit(3, [](std::size_t) {},
+                             [&](const FinalizeInfo&) { ++finalized; });
   EXPECT_NE(a, b);
   pool.drain();
   EXPECT_EQ(finalized.load(), 2);
@@ -66,23 +70,26 @@ TEST(Pool, FailureCancelsOnlyTheFailingJob) {
   Pool pool(2);
   std::atomic<std::size_t> poisoned_ran{0};
   std::atomic<std::size_t> healthy_ran{0};
-  std::exception_ptr poisoned_failure;
-  std::exception_ptr healthy_failure;
+  FinalizeInfo poisoned_info;
+  FinalizeInfo healthy_info;
   const auto poisoned = pool.submit(
       50,
       [&](std::size_t i) {
         if (i == 0) throw std::runtime_error("boom");
         ++poisoned_ran;
       },
-      [&](std::exception_ptr failure) { poisoned_failure = failure; });
+      [&](const FinalizeInfo& info) { poisoned_info = info; });
   const auto healthy = pool.submit(
       50, [&](std::size_t) { ++healthy_ran; },
-      [&](std::exception_ptr failure) { healthy_failure = failure; });
+      [&](const FinalizeInfo& info) { healthy_info = info; });
   pool.wait(poisoned);
   pool.wait(healthy);
-  ASSERT_TRUE(poisoned_failure != nullptr);
-  EXPECT_THROW(std::rethrow_exception(poisoned_failure), std::runtime_error);
-  EXPECT_TRUE(healthy_failure == nullptr);
+  EXPECT_EQ(poisoned_info.outcome, JobOutcome::kFailed);
+  ASSERT_TRUE(poisoned_info.failure != nullptr);
+  EXPECT_THROW(std::rethrow_exception(poisoned_info.failure),
+               std::runtime_error);
+  EXPECT_EQ(healthy_info.outcome, JobOutcome::kCompleted);
+  EXPECT_TRUE(healthy_info.failure == nullptr);
   EXPECT_EQ(healthy_ran.load(), 50u);  // unaffected by the other job
   EXPECT_LT(poisoned_ran.load(), 50u);  // tail skipped after the throw
 }
@@ -90,8 +97,9 @@ TEST(Pool, FailureCancelsOnlyTheFailingJob) {
 TEST(Pool, ZeroItemJobFinalizesImmediately) {
   Pool pool(1);
   bool finalized = false;
-  const auto id = pool.submit(0, nullptr, [&](std::exception_ptr failure) {
-    EXPECT_TRUE(failure == nullptr);
+  const auto id = pool.submit(0, nullptr, [&](const FinalizeInfo& info) {
+    EXPECT_EQ(info.outcome, JobOutcome::kCompleted);
+    EXPECT_TRUE(info.failure == nullptr);
     finalized = true;
   });
   EXPECT_TRUE(finalized);  // synchronous, no pool round trip
@@ -219,27 +227,29 @@ TEST(Pool, FailureCancelsQueuedItemsAcrossPriorityClasses) {
 
   std::atomic<std::size_t> poison_ran{0};
   std::atomic<std::size_t> healthy_ran{0};
-  std::exception_ptr poison_failure;
-  std::exception_ptr healthy_failure;
+  FinalizeInfo poison_info;
+  FinalizeInfo healthy_info;
   const auto poison = pool.submit(
       40,
       [&](std::size_t i) {
         if (i == 0) throw std::runtime_error("boom");
         ++poison_ran;
       },
-      [&](std::exception_ptr failure) { poison_failure = failure; },
+      [&](const FinalizeInfo& info) { poison_info = info; },
       {Priority::kHigh, 1});
   const auto healthy = pool.submit(
       40, [&](std::size_t) { ++healthy_ran; },
-      [&](std::exception_ptr failure) { healthy_failure = failure; },
+      [&](const FinalizeInfo& info) { healthy_info = info; },
       {Priority::kBatch, 0});
   gate.release();
   pool.wait(poison);
   pool.wait(healthy);
-  ASSERT_TRUE(poison_failure != nullptr);
-  EXPECT_THROW(std::rethrow_exception(poison_failure), std::runtime_error);
+  EXPECT_EQ(poison_info.outcome, JobOutcome::kFailed);
+  ASSERT_TRUE(poison_info.failure != nullptr);
+  EXPECT_THROW(std::rethrow_exception(poison_info.failure),
+               std::runtime_error);
   EXPECT_EQ(poison_ran.load(), 0u);    // every sibling was unstarted
-  EXPECT_TRUE(healthy_failure == nullptr);
+  EXPECT_TRUE(healthy_info.failure == nullptr);
   EXPECT_EQ(healthy_ran.load(), 40u);  // the other class is untouched
 
   // Serviceable afterwards: a fresh job runs cleanly.
@@ -248,6 +258,204 @@ TEST(Pool, FailureCancelsQueuedItemsAcrossPriorityClasses) {
       8, [&](std::size_t) { ++after; }, nullptr, {Priority::kHigh, 0});
   pool.wait(next);
   EXPECT_EQ(after.load(), 8u);
+}
+
+TEST(Pool, CancelSkipsQueuedItemsImmediately) {
+  // The only worker is parked behind the gate, so the second job is
+  // provably all-queued when cancel() lands: it must finalize as
+  // kCancelled on the cancelling thread, before any worker frees up,
+  // and run zero items.
+  Pool pool(1);
+  Gate gate;
+  pool.submit(1, [&](std::size_t) { gate.wait(); }, nullptr);
+  gate.await_arrivals(1);
+
+  std::atomic<std::size_t> ran{0};
+  FinalizeInfo info;
+  std::atomic<bool> finalized{false};
+  const auto id = pool.submit(
+      16, [&](std::size_t) { ++ran; },
+      [&](const FinalizeInfo& i) {
+        info = i;
+        finalized = true;
+      });
+  EXPECT_TRUE(pool.cancel(id));
+  EXPECT_TRUE(finalized.load());  // resolved without a worker
+  EXPECT_EQ(info.outcome, JobOutcome::kCancelled);
+  EXPECT_EQ(ran.load(), 0u);
+  EXPECT_FALSE(pool.cancel(id));  // second cancel is a no-op
+  gate.release();
+  pool.drain();
+}
+
+TEST(Pool, CancelSignalsRunningItemsViaToken) {
+  // A running item polls the shared token at its "task boundary" and
+  // bails once cancel() requests it; the job finalizes kCancelled and
+  // the items queued behind the running one never start. One worker,
+  // so item 0 is provably the only item ever dispatched.
+  Pool pool(1);
+  const auto token = std::make_shared<CancelToken>();
+  Gate started;
+  std::atomic<std::size_t> ran{0};
+  FinalizeInfo info;
+  SubmitOptions options;
+  options.cancel = token;
+  const auto id = pool.submit(
+      32,
+      [&](std::size_t i) {
+        if (i == 0) {
+          started.wait();  // parked until the cancel below has landed
+          // Task boundary: poll the token, stop early once requested.
+          if (token->cancelled()) return;
+        }
+        ++ran;
+      },
+      [&](const FinalizeInfo& i) { info = i; }, options);
+  started.await_arrivals(1);
+  EXPECT_TRUE(pool.cancel(id));
+  EXPECT_TRUE(token->cancelled());  // cancel() requested the token
+  started.release();
+  pool.wait(id);
+  EXPECT_EQ(info.outcome, JobOutcome::kCancelled);
+  EXPECT_EQ(ran.load(), 0u);  // item 0 bailed; the tail was skipped
+}
+
+TEST(Pool, ItemCanCancelItsOwnJobThroughTheToken) {
+  // Self-cancellation: an item requests the token; the claim loop (or
+  // the post-item check, if this was the last claim) observes it and
+  // the job finalizes kCancelled.
+  Pool pool(1);
+  const auto token = std::make_shared<CancelToken>();
+  std::atomic<std::size_t> ran{0};
+  FinalizeInfo info;
+  SubmitOptions options;
+  options.cancel = token;
+  const auto id = pool.submit(
+      8,
+      [&](std::size_t i) {
+        ++ran;
+        if (i == 2) token->request();
+      },
+      [&](const FinalizeInfo& i) { info = i; }, options);
+  pool.wait(id);
+  EXPECT_EQ(info.outcome, JobOutcome::kCancelled);
+  EXPECT_EQ(ran.load(), 3u);  // items 0..2 ran, the rest were skipped
+}
+
+TEST(Pool, DeadlineIsEnforcedAtDispatch) {
+  Pool pool(2);
+  // Already expired: no item may start.
+  {
+    std::atomic<std::size_t> ran{0};
+    FinalizeInfo info;
+    SubmitOptions options;
+    options.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::milliseconds(1);
+    const auto id = pool.submit(
+        8, [&](std::size_t) { ++ran; },
+        [&](const FinalizeInfo& i) { info = i; }, options);
+    pool.wait(id);
+    EXPECT_EQ(info.outcome, JobOutcome::kDeadlineExceeded);
+    EXPECT_EQ(ran.load(), 0u);
+  }
+  // Far in the future: runs to completion.
+  {
+    std::atomic<std::size_t> ran{0};
+    FinalizeInfo info;
+    SubmitOptions options;
+    options.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::hours(1);
+    const auto id = pool.submit(
+        8, [&](std::size_t) { ++ran; },
+        [&](const FinalizeInfo& i) { info = i; }, options);
+    pool.wait(id);
+    EXPECT_EQ(info.outcome, JobOutcome::kCompleted);
+    EXPECT_EQ(ran.load(), 8u);
+  }
+}
+
+TEST(Pool, FailureWinsOverCancel) {
+  // An item throws while a cancel() races in: the finalize must report
+  // kFailed and carry the exception -- callers never lose the error.
+  Pool pool(1);
+  FinalizeInfo info;
+  const auto id = pool.submit(
+      4,
+      [&](std::size_t) { throw std::runtime_error("boom"); },
+      [&](const FinalizeInfo& i) { info = i; });
+  pool.wait(id);
+  pool.cancel(id);  // after finalize: a no-op, not an overwrite
+  EXPECT_EQ(info.outcome, JobOutcome::kFailed);
+  ASSERT_TRUE(info.failure != nullptr);
+}
+
+TEST(Pool, StopDrainFinishesQueuedJobs) {
+  Pool pool(2);
+  std::atomic<std::size_t> ran{0};
+  FinalizeInfo info;
+  pool.submit(
+      24, [&](std::size_t) { ++ran; },
+      [&](const FinalizeInfo& i) { info = i; });
+  pool.stop(StopMode::kDrain);
+  EXPECT_EQ(ran.load(), 24u);
+  EXPECT_EQ(info.outcome, JobOutcome::kCompleted);
+  pool.stop(StopMode::kDrain);  // idempotent
+}
+
+TEST(Pool, StopAbortCancelsQueuedJobs) {
+  // With the lone worker parked, the queued job's items are all
+  // unclaimed at stop(kAbort): the job must finalize kCancelled and
+  // run nothing; the parked job still finishes its in-flight item.
+  // stop() runs on a helper thread (it joins the parked worker); the
+  // queued job's token flipping is the proof the abort landed before
+  // the gate opens, so queued_ran == 0 is deterministic.
+  Pool pool(1);
+  Gate gate;
+  std::atomic<std::size_t> first_ran{0};
+  pool.submit(1, [&](std::size_t) {
+    gate.wait();
+    ++first_ran;
+  }, nullptr);
+  gate.await_arrivals(1);
+
+  std::atomic<std::size_t> queued_ran{0};
+  FinalizeInfo info;
+  const auto token = std::make_shared<CancelToken>();
+  SubmitOptions options;
+  options.cancel = token;
+  pool.submit(
+      16, [&](std::size_t) { ++queued_ran; },
+      [&](const FinalizeInfo& i) { info = i; }, options);
+  std::thread stopper([&] { pool.stop(StopMode::kAbort); });
+  while (!token->cancelled()) std::this_thread::yield();
+  gate.release();
+  stopper.join();
+  EXPECT_EQ(first_ran.load(), 1u);  // running items finish
+  EXPECT_EQ(queued_ran.load(), 0u);
+  EXPECT_EQ(info.outcome, JobOutcome::kCancelled);
+}
+
+TEST(Pool, SubmitAfterStopFinalizesAsCancelled) {
+  Pool pool(1);
+  pool.stop(StopMode::kDrain);
+  std::atomic<std::size_t> ran{0};
+  FinalizeInfo info;
+  bool finalized = false;
+  const auto token = std::make_shared<CancelToken>();
+  SubmitOptions options;
+  options.cancel = token;
+  const auto id = pool.submit(
+      8, [&](std::size_t) { ++ran; },
+      [&](const FinalizeInfo& i) {
+        info = i;
+        finalized = true;
+      },
+      options);
+  EXPECT_TRUE(finalized);  // synchronous: no worker left to stall on
+  EXPECT_EQ(info.outcome, JobOutcome::kCancelled);
+  EXPECT_TRUE(token->cancelled());
+  EXPECT_EQ(ran.load(), 0u);
+  pool.wait(id);  // the id is retired, so wait() returns at once
 }
 
 TEST(Pool, ParallelForIndexCoversAndRethrows) {

@@ -26,10 +26,18 @@
 //                                records for machine consumption
 //   serve [options]              the remote front door: read job records
 //                                from stdin, stream result records to
-//                                stdout (in submission order)
+//                                stdout (in submission order). --max-queued
+//                                bounds admission (over-limit jobs get a
+//                                `status rejected` record); SIGINT/SIGTERM
+//                                drains gracefully -- in-flight jobs
+//                                finish, queued jobs resolve `status
+//                                cancelled`, and every accepted job still
+//                                gets exactly one result record
 //   wire-roundtrip <file>        parse every record in a wire file and
 //                                re-serialize it canonically (the CI
 //                                golden round-trip gate)
+//   version                      print the tool version and the wire
+//                                schema version it speaks
 //
 // <workload> is a path to a .s file or a built-in suite name
 // (adpcm-like, gsm-like, jpeg-like, mpeg2-like, g721-like, pegwit-like,
@@ -38,7 +46,7 @@
 // batch / serve job records are the versioned wire format -- see
 // docs/API.md for the full grammar. The minimal job is:
 //
-//   apcc.job v2
+//   apcc.job v3
 //   kind run
 //   workload gsm-like
 //   end
@@ -59,6 +67,8 @@
 //   --budget BYTES    decompressed-area budget (default unbounded)
 //   --units N         decompression helper units (default 1)
 //   --workers N       service pool width (default: hardware concurrency)
+//   --max-queued N    serve: admission bound -- at most N jobs in flight,
+//                     over-limit submissions get `status rejected` records
 //   --no-shared-frontiers   engines own their geometry (no borrowing)
 //   --csv             emit CSV instead of the text report
 //   --wire            batch: emit results as wire records
@@ -71,6 +81,7 @@
 // Exit code 0 on success, 1 on usage errors (including malformed wire
 // records and contradictory grid options), 2 on input errors.
 #include <condition_variable>
+#include <csignal>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -94,9 +105,23 @@
 #include "support/strings.hpp"
 #include "sweep/sweep.hpp"
 
+/// Graceful-drain flag for `serve`: set by SIGINT/SIGTERM. The handlers
+/// are installed *without* SA_RESTART so the blocking stdin read fails
+/// with EINTR instead of resuming -- the read loop then observes the
+/// flag and drains. (File scope, C linkage constraints: signal handlers
+/// cannot touch anything else here.)
+namespace {
+volatile std::sig_atomic_t g_serve_shutdown = 0;
+}
+extern "C" void apcc_cli_serve_signal(int) { g_serve_shutdown = 1; }
+
 namespace {
 
 using namespace apcc;
+
+/// The tool's own version (wire schema versioning is separate --
+/// JobSpec::kWireVersion -- and printed alongside by `version`).
+constexpr const char* kToolVersion = "0.6.0";
 
 [[noreturn]] void usage(const std::string& message = {}) {
   if (!message.empty()) std::cerr << "error: " << message << "\n\n";
@@ -107,6 +132,7 @@ using namespace apcc;
       "       apcc_cli batch <jobs.wire> [options]\n"
       "       apcc_cli serve [options]\n"
       "       apcc_cli wire-roundtrip <file>\n"
+      "       apcc_cli version\n"
       "\n"
       "All simulation commands run through one serving::Service --\n"
       "workloads registered once, compressed images + frontier geometry\n"
@@ -119,20 +145,22 @@ using namespace apcc;
       "\n"
       "batch files and the serve stdin stream hold wire format job\n"
       "records (docs/API.md):\n"
-      "  apcc.job v2\n"
+      "  apcc.job v3\n"
       "  kind run|sweep|campaign\n"
       "  workload <name-or-path>      (repeatable for campaign)\n"
       "  priority high|normal|batch   (optional QoS)\n"
       "  max-workers N                (optional worker budget)\n"
+      "  deadline-ms N                (optional per-job deadline)\n"
       "  grid strategy-k              (or explicit task lines)\n"
       "  end\n"
       "\n"
       "options: --codec K --strategy S --predictor P --kc N --kd N\n"
-      "         --budget BYTES --units N --workers N\n"
+      "         --budget BYTES --units N --workers N --max-queued N\n"
       "         --no-shared-frontiers --csv --wire\n"
       "(sweep and campaign grid over strategy and k themselves:\n"
       " --strategy/--kc/--kd there is a usage error; batch and serve\n"
-      " take per-job configuration from the job records)\n";
+      " take per-job configuration from the job records; --max-queued\n"
+      " bounds admission and is serve-only)\n";
   std::exit(message.empty() ? 0 : 1);
 }
 
@@ -184,6 +212,9 @@ runtime::PredictorKind parse_predictor(const std::string& name) {
 struct CliOptions {
   core::SystemConfig config;
   unsigned workers = 0;
+  /// serve-only admission bound (0 = unbounded): at most N jobs
+  /// submitted-but-unfinished; over-limit jobs get rejected records.
+  std::size_t max_queued = 0;
   bool share_frontiers = true;
   bool csv = false;
   bool wire = false;
@@ -234,6 +265,8 @@ CliOptions parse_options(const std::vector<std::string>& args,
       opts.config_flags.push_back(a);
     } else if (a == "--workers") {
       opts.workers = static_cast<unsigned>(parse_int(need_value(i++)));
+    } else if (a == "--max-queued") {
+      opts.max_queued = static_cast<std::size_t>(parse_int(need_value(i++)));
     } else if (a == "--no-shared-frontiers") {
       opts.share_frontiers = false;
     } else if (a == "--csv") {
@@ -253,6 +286,15 @@ void reject_wire_flag(const std::string& command, const CliOptions& opts) {
   if (!opts.wire) return;
   usage("'" + command + "' has no wire output; --wire is only meaningful "
         "for 'batch' (use 'serve' for a wire stream)");
+}
+
+/// --max-queued bounds a *stream* of jobs; everywhere but serve the job
+/// count is fixed by the command line / job file, so the flag would be
+/// silently ignored.
+void reject_max_queued(const std::string& command, const CliOptions& opts) {
+  if (opts.max_queued == 0) return;
+  usage("'" + command + "' submits a fixed set of jobs; --max-queued is "
+        "only meaningful for 'serve'");
 }
 
 /// Grid commands own the strategy/k axes; reject attempts to pin them.
@@ -411,6 +453,7 @@ int cmd_cfg(const std::string& path) {
 
 int cmd_sim(const std::string& spec, const CliOptions& opts) {
   reject_wire_flag("sim", opts);
+  reject_max_queued("sim", opts);
   serving::Service service({opts.workers});
   WorkloadDirectory directory(service);
   const auto id = directory.id_for(spec);
@@ -422,6 +465,7 @@ int cmd_sim(const std::string& spec, const CliOptions& opts) {
 
 int cmd_sweep(const std::string& spec, const CliOptions& opts) {
   reject_wire_flag("sweep", opts);
+  reject_max_queued("sweep", opts);
   reject_grid_overrides("sweep", opts);
   serving::Service service({opts.workers});
   WorkloadDirectory directory(service);
@@ -437,6 +481,7 @@ int cmd_sweep(const std::string& spec, const CliOptions& opts) {
 
 int cmd_suite(const CliOptions& opts) {
   reject_wire_flag("suite", opts);
+  reject_max_queued("suite", opts);
   serving::Service service({opts.workers});
   WorkloadDirectory directory(service);
   // Submit every workload's run job before waiting on any: the whole
@@ -459,6 +504,7 @@ int cmd_suite(const CliOptions& opts) {
 
 int cmd_campaign(const CliOptions& opts) {
   reject_wire_flag("campaign", opts);
+  reject_max_queued("campaign", opts);
   reject_grid_overrides("campaign", opts);
   serving::Service service({opts.workers});
   WorkloadDirectory directory(service);
@@ -503,6 +549,7 @@ std::string job_banner(const serving::JobSpec& spec) {
 
 int cmd_batch(const std::string& path, const CliOptions& global) {
   reject_job_config("batch", global);
+  reject_max_queued("batch", global);
   if (global.csv && global.wire) {
     usage("'batch' emits either CSV or wire records; --csv and --wire "
           "together would silently drop one");
@@ -527,7 +574,7 @@ int cmd_batch(const std::string& path, const CliOptions& global) {
     wire_usage(path, e);
   }
   if (parsed.empty()) {
-    usage(path + ": no job records (expected 'apcc.job v2' ... 'end')");
+    usage(path + ": no job records (expected 'apcc.job v3' ... 'end')");
   }
 
   // Phase 2: register workloads (input errors exit 2 here, still
@@ -575,11 +622,19 @@ int cmd_batch(const std::string& path, const CliOptions& global) {
       record.job = i + 1;
       record.client = job.client;
       if (!job.error.empty()) {
+        record.status = serving::JobStatus::kError;
         record.error = job.error;
       } else {
         try {
-          record.result = job.handle.wait();
+          const serving::JobResult& result = job.handle.wait();
+          record.status = result.status;
+          if (result.ok()) {
+            record.result = result;
+          } else {
+            record.error = result.error;
+          }
         } catch (const std::exception& e) {
+          record.status = serving::JobStatus::kError;
           record.error = e.what();
         }
       }
@@ -588,6 +643,14 @@ int cmd_batch(const std::string& path, const CliOptions& global) {
     }
     std::cout << "### job " << (i + 1) << ": " << job.banner << "\n";
     const serving::JobResult& result = job.handle.wait();
+    if (!result.ok()) {
+      // Rejected / cancelled / deadline-exceeded: report and move on
+      // (kError still rethrows out of wait() and aborts with exit 2,
+      // the historical batch contract for failed jobs).
+      std::cout << serving::status_name(result.status) << ": "
+                << result.error << "\n\n";
+      continue;
+    }
     switch (result.kind) {
       case serving::JobKind::kRun:
         print_run(service, job.run_workload, result.run, global.csv);
@@ -626,7 +689,20 @@ int cmd_serve(const CliOptions& opts) {
     usage("'serve' always emits wire records; --csv would be silently "
           "ignored and --wire is redundant");
   }
-  serving::Service service({opts.workers});
+  // SIGINT/SIGTERM mean "drain": stop reading jobs, finish what was
+  // accepted, emit every result record, exit 0. No SA_RESTART, so the
+  // blocked getline below fails with EINTR and the loop sees the flag.
+  struct sigaction drain {};
+  drain.sa_handler = apcc_cli_serve_signal;
+  sigemptyset(&drain.sa_mask);
+  drain.sa_flags = 0;
+  sigaction(SIGINT, &drain, nullptr);
+  sigaction(SIGTERM, &drain, nullptr);
+
+  serving::ServiceOptions service_options;
+  service_options.workers = opts.workers;
+  service_options.limits.max_queued_jobs = opts.max_queued;
+  serving::Service service(service_options);
   WorkloadDirectory directory(service);
 
   /// One stream slot, in submission order. An invalid handle means the
@@ -664,11 +740,21 @@ int cmd_serve(const CliOptions& opts) {
       record.client = slot.client;
       if (slot.handle.valid()) {
         try {
-          record.result = slot.handle.wait();
+          // Rejected / cancelled / deadline-exceeded come back as
+          // structured results (wait() only throws for kError).
+          const serving::JobResult& result = slot.handle.wait();
+          record.status = result.status;
+          if (result.ok()) {
+            record.result = result;
+          } else {
+            record.error = result.error;
+          }
         } catch (const std::exception& e) {
+          record.status = serving::JobStatus::kError;
           record.error = e.what();
         }
       } else {
+        record.status = serving::JobStatus::kError;
         record.error = slot.error;
       }
       std::cout << serving::wire::serialize_result(record) << std::flush;
@@ -693,10 +779,14 @@ int cmd_serve(const CliOptions& opts) {
   std::uint64_t seq = 0;
   serving::wire::RecordReader reader(std::cin);
   for (;;) {
+    if (g_serve_shutdown) break;
     std::optional<serving::wire::RawRecord> record;
     try {
       record = reader.next();
     } catch (const serving::wire::WireError& e) {
+      // A signal can interrupt getline mid-record, which surfaces as an
+      // unterminated record -- that is a drain, not a protocol error.
+      if (g_serve_shutdown) break;
       // Structural stream error: drain what was already accepted, then
       // report fatally.
       finish();
@@ -725,6 +815,13 @@ int cmd_serve(const CliOptions& opts) {
       }
     }
     push(std::move(slot));
+  }
+  if (g_serve_shutdown) {
+    // Orderly drain: stop admitting, let in-flight jobs finish, fail
+    // still-queued jobs as cancelled. Every accepted job's slot is
+    // already in the writer's queue, so each still emits exactly one
+    // record (ok or cancelled) before we exit.
+    service.shutdown();
   }
   finish();
   return 0;
@@ -765,6 +862,15 @@ int main(int argc, char** argv) {
   if (args.empty()) usage();
   try {
     const std::string& cmd = args[0];
+    if (cmd == "version") {
+      if (args.size() != 1) {
+        usage("version takes no arguments (extra arguments would be "
+              "silently ignored)");
+      }
+      std::cout << "apcc_cli " << kToolVersion << " (wire v"
+                << serving::JobSpec::kWireVersion << ")\n";
+      return 0;
+    }
     if (cmd == "suite") {
       return cmd_suite(parse_options(args, 1));
     }

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Regenerate the wire-format golden files in tests/serving/data from
+# their current contents: each file is parsed and re-serialized through
+# `apcc_cli wire-roundtrip`, which canonicalizes it under the current
+# schema (adding newly-introduced keys at their defaults, fixing field
+# order). Run after any deliberate wire change -- together with bumping
+# JobSpec::kWireVersion and updating the headers below -- then review
+# the diff; CI's golden gate diffs wire-roundtrip output against these
+# files byte-for-byte.
+#
+# Usage: tools/regen_wire_goldens.sh [path/to/apcc_cli]
+# (defaults to build/apcc_cli relative to the repo root)
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cli=${1:-"$root/build/apcc_cli"}
+data="$root/tests/serving/data"
+
+if [ ! -x "$cli" ]; then
+  echo "error: apcc_cli not found at $cli (build it, or pass its path)" >&2
+  exit 1
+fi
+
+for f in "$data"/*.wire; do
+  tmp="$f.tmp"
+  "$cli" wire-roundtrip "$f" > "$tmp"
+  if cmp -s "$tmp" "$f"; then
+    rm -f "$tmp"
+    echo "unchanged: ${f#"$root"/}"
+  else
+    mv "$tmp" "$f"
+    echo "rewrote:   ${f#"$root"/}"
+  fi
+done
+
+echo "done; review with: git diff tests/serving/data"
