@@ -30,6 +30,13 @@ using namespace apcc;
 
 constexpr auto kKind = workloads::WorkloadKind::kGsmLike;
 
+/// ServiceOptions pinned to one resident worker (this box's vCPU).
+serving::ServiceOptions one_worker() {
+  serving::ServiceOptions options;
+  options.workers = 1;
+  return options;
+}
+
 /// FNV digest over the counters every mode must agree on.
 std::uint64_t result_checksum(const sim::RunResult& r) {
   std::uint64_t h = 1469598103934665603ull;
@@ -92,7 +99,7 @@ void print_tables() {
     const auto start = std::chrono::steady_clock::now();
     std::uint64_t checksum = 0;
     for (int i = 0; i < reps; ++i) {
-      serving::Service service({1});
+      serving::Service service(one_worker());
       const auto id = service.register_workload(workload);
       checksum = result_checksum(
           service.submit(serving::RunJob{id}).wait());
@@ -103,7 +110,7 @@ void print_tables() {
   }
   {
     // Warm: one persistent Service, every request borrows the cache.
-    serving::Service service({1});
+    serving::Service service(one_worker());
     const auto id = service.register_workload(workload);
     (void)service.submit(serving::RunJob{id}).wait();  // prime
     const auto start = std::chrono::steady_clock::now();
@@ -125,9 +132,15 @@ void print_tables() {
               << stats.frontier_borrows << " frontier borrow(s)\n"
               << "warm hit rates: image " << stats.image_hits << " hit(s) / "
               << stats.image_misses << " miss(es) / " << stats.image_rebuilds
-              << " rebuild(s), frontier " << stats.frontier_hits
-              << " hit(s) / " << stats.frontier_misses << " miss(es) / "
-              << stats.frontier_rebuilds << " rebuild(s)\n"
+              << " rebuild(s) over " << stats.image_entries
+              << " resident entr(ies) [" << human_bytes(stats.image_bytes)
+              << "], frontier " << stats.frontier_hits << " hit(s) / "
+              << stats.frontier_misses << " miss(es) / "
+              << stats.frontier_rebuilds << " rebuild(s) over "
+              << stats.frontier_entries << " resident entr(ies) ["
+              << human_bytes(stats.frontier_bytes) << "]\n"
+              << "(resident entries x bytes is the working set an artifact\n"
+                 "eviction policy would act on -- ROADMAP item 1)\n"
               << "Shape check: one checksum everywhere (cached artifacts\n"
                  "change nothing), and the warm cache serves every repeat\n"
                  "request from 1 image + 1 frontier build. On this box the\n"
@@ -151,7 +164,7 @@ BENCHMARK(bm_direct_run)->Unit(benchmark::kMillisecond);
 void bm_service_cold_run(benchmark::State& state) {
   const auto& workload = bench::cached_workload(kKind);
   for (auto _ : state) {
-    serving::Service service({1});
+    serving::Service service(one_worker());
     const auto id = service.register_workload(workload);
     benchmark::DoNotOptimize(service.submit(serving::RunJob{id}).wait());
   }
@@ -161,7 +174,7 @@ BENCHMARK(bm_service_cold_run)->Unit(benchmark::kMillisecond);
 
 void bm_service_warm_run(benchmark::State& state) {
   const auto& workload = bench::cached_workload(kKind);
-  serving::Service service({1});
+  serving::Service service(one_worker());
   const auto id = service.register_workload(workload);
   (void)service.submit(serving::RunJob{id}).wait();
   for (auto _ : state) {
@@ -175,7 +188,7 @@ void bm_service_warm_sweep(benchmark::State& state) {
   // A 6-task grid per submit: the per-job scheduling + sink overhead on
   // top of the cached-artifact engine runs.
   const auto& workload = bench::cached_workload(kKind);
-  serving::Service service({1});
+  serving::Service service(one_worker());
   const auto id = service.register_workload(workload);
   std::vector<sweep::SweepTask> tasks;
   for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
@@ -190,22 +203,32 @@ void bm_service_warm_sweep(benchmark::State& state) {
       tasks.push_back(std::move(task));
     }
   }
-  serving::SweepJob job{id, {}, tasks, true};
+  // range(0) is the lockstep batch width (0 = historical per-engine
+  // scheduling), so BENCH_service.json records which batch mode each
+  // series ran under -- the label spells it out for consumers.
+  serving::SweepJob job{id, {}, tasks, true,
+                        static_cast<std::uint32_t>(state.range(0))};
   (void)service.submit(job).wait();
   std::uint64_t cells = 0;
   for (auto _ : state) {
     cells += service.submit(job).wait().size();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(cells));
-  state.SetLabel("6-task grid, cached artifacts");
+  state.SetLabel(std::string("6-task grid, cached artifacts, ") +
+                 (state.range(0) == 0
+                      ? "per-engine"
+                      : "batch-" + std::to_string(state.range(0))));
 }
-BENCHMARK(bm_service_warm_sweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(bm_service_warm_sweep)
+    ->Arg(0)
+    ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
 
 void bm_wire_roundtrip_sweep_result(benchmark::State& state) {
   // The serve front door's steady-state codec cost: one 12-outcome
   // sweep result record through serialize -> parse -> serialize.
   const auto& workload = bench::cached_workload(kKind);
-  serving::Service service({1});
+  serving::Service service(one_worker());
   const auto id = service.register_workload(workload);
   serving::JobSpec spec;
   spec.kind = serving::JobKind::kSweep;

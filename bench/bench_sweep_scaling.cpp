@@ -14,6 +14,8 @@
 #include <thread>
 
 #include "bench/bench_common.hpp"
+#include "runtime/block_image.hpp"
+#include "sim/trace_gen.hpp"
 #include "support/table.hpp"
 #include "sweep/sweep.hpp"
 
@@ -126,6 +128,51 @@ void print_tables() {
   std::cout << "Shape check: identical checksums across worker counts\n"
                "(deterministic sharding), speedup approaching the worker\n"
                "count until the grid runs out of tasks per worker.\n\n";
+
+  // Lockstep batching at one worker. On this grid the traces are long
+  // relative to the CFG, so the amortized setup is small and the
+  // column is expected to be ~flat; the regime where batching wins
+  // outright is the wide-CFG/short-trace series below
+  // (bm_sweep_batch_widecfg). Checksums must match the batch=1 row --
+  // batching is a scheduling knob, never a results knob.
+  TextTable batched;
+  batched.row()
+      .cell("batch")
+      .cell("cells")
+      .cell("wall ms")
+      .cell("cells/s")
+      .cell("vs batch=1")
+      .cell("checksum");
+  double unbatched_ms = 0.0;
+  for (const std::uint32_t batch : {1u, 2u, 4u, 8u, 16u}) {
+    sweep::SweepOptions options;
+    options.workers = 1;
+    options.batch_cells = batch;
+    const auto start = std::chrono::steady_clock::now();
+    const auto outcomes = sweep_system().run_sweep(tasks, options);
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (batch == 1) unbatched_ms = elapsed.count();
+    char checksum[32];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(grid_checksum(outcomes)));
+    batched.row()
+        .cell(std::uint64_t{batch})
+        .cell(std::uint64_t{outcomes.size()})
+        .cell(elapsed.count(), 1)
+        .cell(elapsed.count() > 0
+                  ? static_cast<double>(outcomes.size()) * 1000.0 /
+                        elapsed.count()
+                  : 0.0,
+              1)
+        .cell(unbatched_ms > 0 ? unbatched_ms / elapsed.count() : 1.0, 2)
+        .cell(checksum);
+  }
+  std::cout << batched.render() << '\n';
+  std::cout << "Shape check: identical checksums down the column (the\n"
+               "determinism claim); wall clock ~flat here -- long traces\n"
+               "dwarf the amortized setup. bm_sweep_batch_widecfg is the\n"
+               "series where the batch width pays for itself.\n\n";
 }
 
 void bm_sweep_grid(benchmark::State& state) {
@@ -146,6 +193,134 @@ BENCHMARK(bm_sweep_grid)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// The batching trend for BENCH_sweep.json: grid cells stepped per
+/// second at one worker as the lockstep batch width grows.
+/// items_per_second IS cells-stepped/sec, so real hardware can read the
+/// series past the 1-vCPU container this repo's CI runs on.
+void bm_sweep_batch(benchmark::State& state) {
+  const auto tasks = make_grid();
+  sweep::SweepOptions options;
+  options.workers = 1;
+  options.batch_cells = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t cells_stepped = 0;
+  for (auto _ : state) {
+    const auto outcomes = sweep_system().run_sweep(tasks, options);
+    benchmark::DoNotOptimize(outcomes.data());
+    cells_stepped += outcomes.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells_stepped));
+  state.SetLabel("batch-" + std::to_string(options.batch_cells));
+}
+BENCHMARK(bm_sweep_batch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// Wide-CFG / short-trace workload: the regime where batching's shared
+/// setup dominates. Per cell the per-engine path pays O(B + T) setup --
+/// trace validation, slot layout, size + execution-cost tables, a
+/// profile-predictor trace pass, and for planning strategies one
+/// bounded frontier BFS per exited block -- before an O(T) run; with B
+/// large and T short that setup is the bulk of the cell, and a batch
+/// pays it once instead of once per cell. The suite workloads above are
+/// the opposite regime (tiny B, long T), which is why their batching
+/// delta sits in the noise.
+struct WideCfgWorkload {
+  cfg::Cfg graph;
+  std::unique_ptr<runtime::BlockImage> image;
+  cfg::BlockTrace trace;
+};
+
+const WideCfgWorkload& wide_cfg_workload() {
+  static auto* cached = []() {
+    auto* w = new WideCfgWorkload();
+    const std::size_t blocks = bench::quick_mode() ? 256 : 2048;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      w->graph.add_block(static_cast<std::uint32_t>(b * 8),
+                         4 + static_cast<std::uint32_t>(b % 13));
+    }
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const auto from = static_cast<cfg::BlockId>(b);
+      const auto next = static_cast<cfg::BlockId>((b + 1) % blocks);
+      const auto far = static_cast<cfg::BlockId>((b * 7919 + 13) % blocks);
+      w->graph.add_edge(from, next, cfg::EdgeKind::kFallThrough, 0.9);
+      if (far != next && far != from) {
+        w->graph.add_edge(from, far, cfg::EdgeKind::kJump, 0.1);
+      }
+    }
+    w->graph.set_entry(0);
+    w->graph.normalize_probabilities();
+    w->image = std::make_unique<runtime::BlockImage>(
+        runtime::make_block_image(
+            w->graph,
+            [](const cfg::BasicBlock& b) {
+              return compress::Bytes(b.size_bytes(), 0x90);
+            },
+            compress::CodecKind::kNull));
+    sim::TraceGenOptions options;
+    options.seed = 20260808;
+    options.max_blocks = blocks * 2;  // short: ~2 visits per block
+    w->trace = sim::generate_trace(w->graph, options);
+    return w;
+  }();
+  return *cached;
+}
+
+/// A 16-cell planning-heavy grid over the wide CFG (the on-demand rows
+/// are excluded on purpose: they skip the geometry setup whose
+/// amortization this series measures).
+std::vector<sweep::SweepTask> wide_cfg_grid() {
+  std::vector<sweep::SweepTask> tasks;
+  for (const auto strategy : {runtime::DecompressionStrategy::kPreAll,
+                              runtime::DecompressionStrategy::kPreSingle}) {
+    for (const std::uint32_t k : {2u, 4u, 6u, 8u}) {
+      for (const auto fit :
+           {memory::FitPolicy::kFirstFit, memory::FitPolicy::kBestFit}) {
+        sweep::SweepTask task;
+        task.config.policy.strategy = strategy;
+        task.config.policy.compress_k = k;
+        task.config.policy.predecompress_k = k;
+        task.config.fit = fit;
+        task.label = std::string(runtime::strategy_name(strategy)) +
+                     "/k=" + std::to_string(k) +
+                     (fit == memory::FitPolicy::kBestFit ? "/best-fit"
+                                                         : "/first-fit");
+        tasks.push_back(std::move(task));
+      }
+    }
+  }
+  return tasks;
+}
+
+void bm_sweep_batch_widecfg(benchmark::State& state) {
+  const auto& w = wide_cfg_workload();
+  const auto tasks = wide_cfg_grid();
+  sweep::SweepOptions options;
+  options.workers = 1;
+  options.batch_cells = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t cells_stepped = 0;
+  for (auto _ : state) {
+    const auto outcomes =
+        sweep::run_sweep(w.graph, *w.image, w.trace, tasks, options);
+    benchmark::DoNotOptimize(outcomes.data());
+    cells_stepped += outcomes.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells_stepped));
+  state.SetLabel("wide-cfg batch-" + std::to_string(options.batch_cells));
+}
+BENCHMARK(bm_sweep_batch_widecfg)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

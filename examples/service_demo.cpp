@@ -21,7 +21,9 @@ int main() {
   //    jobs below genuinely overlap; on one vCPU the scheduling is
   //    still interleaved, and every outcome is byte-identical to the
   //    direct one-shot calls either way.
-  serving::Service service({2});
+  serving::ServiceOptions options;
+  options.workers = 2;
+  serving::Service service(options);
 
   // 2. Register the workload set once. Registration is cheap -- no
   //    compression, no geometry -- artifacts are built lazily by the

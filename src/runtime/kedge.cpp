@@ -23,7 +23,7 @@ std::vector<cfg::BlockId> KEdgeCompressionManager::on_edge_traversed(
   if (reference_scan_) {
     for (cfg::BlockId b = 0; b < states_.size(); ++b) {
       if (b == target) continue;
-      BlockState& s = states_[b];
+      const BlockRef s = states_[b];
       if (s.form() != BlockForm::kDecompressed) continue;
       ++s.kedge_counter;
       if (s.kedge_counter >= k_ && !s.executing()) {
@@ -34,7 +34,7 @@ std::vector<cfg::BlockId> KEdgeCompressionManager::on_edge_traversed(
   }
   for (const cfg::BlockId b : states_.decompressed_unordered()) {
     if (b == target) continue;
-    BlockState& s = states_[b];
+    const BlockRef s = states_[b];
     ++s.kedge_counter;
     if (s.kedge_counter >= k_ && !s.executing()) {
       to_delete.push_back(b);

@@ -15,41 +15,87 @@ const char* block_form_name(BlockForm f) {
   return "?";
 }
 
-bool BlockState::is_patched_for(cfg::BlockId pred) const {
-  return std::binary_search(patched_sorted_.begin(), patched_sorted_.end(),
-                            pred);
+namespace detail {
+
+bool PatchSet::contains(cfg::BlockId pred) const {
+  return std::binary_search(sorted.begin(), sorted.end(), pred);
 }
 
-void BlockState::add_patch(cfg::BlockId pred) {
-  const auto it =
-      std::lower_bound(patched_sorted_.begin(), patched_sorted_.end(), pred);
-  if (it != patched_sorted_.end() && *it == pred) return;
-  patched_sorted_.insert(it, pred);
-  remember_set_.push_back(pred);
+void PatchSet::add(cfg::BlockId pred) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), pred);
+  if (it != sorted.end() && *it == pred) return;
+  sorted.insert(it, pred);
+  order.push_back(pred);
+}
+
+}  // namespace detail
+
+StateBatch::StateBatch(std::size_t block_count, std::size_t cell_count)
+    : blocks_(block_count),
+      cell_count_(cell_count),
+      form_(block_count * cell_count, BlockForm::kCompressed),
+      executing_(block_count * cell_count, 0),
+      address_(block_count * cell_count, 0),
+      ready_time_(block_count * cell_count, 0),
+      last_use_(block_count * cell_count, 0),
+      kedge_(block_count * cell_count, 0),
+      sizes_(block_count * cell_count, 0),
+      patches_(block_count * cell_count),
+      views_(cell_count) {
+  APCC_CHECK(cell_count > 0, "state batch needs at least one cell");
+}
+
+StateBatch::~StateBatch() = default;
+
+StateTable& StateBatch::cell(std::size_t c) {
+  APCC_CHECK(c < cell_count_, "cell index out of range");
+  if (!views_[c]) views_[c].reset(new StateTable(*this, c));
+  return *views_[c];
 }
 
 StateTable::StateTable(std::size_t block_count)
-    : states_(block_count),
-      sizes_(block_count, 0),
+    : owned_(std::make_unique<StateBatch>(block_count, 1)),
+      batch_(owned_.get()),
+      base_(0),
+      blocks_(block_count),
       decomp_pos_(block_count, kNotInList) {
   form_counts_[static_cast<std::size_t>(BlockForm::kCompressed)] = block_count;
 }
 
-BlockState& StateTable::operator[](cfg::BlockId id) {
-  APCC_CHECK(id < states_.size(), "block id out of range");
-  return states_[id];
+StateTable::StateTable(StateBatch& batch, std::size_t cell)
+    : batch_(&batch),
+      base_(cell * batch.blocks_),
+      blocks_(batch.blocks_),
+      decomp_pos_(batch.blocks_, kNotInList) {
+  form_counts_[static_cast<std::size_t>(BlockForm::kCompressed)] = blocks_;
 }
 
-const BlockState& StateTable::operator[](cfg::BlockId id) const {
-  APCC_CHECK(id < states_.size(), "block id out of range");
-  return states_[id];
+BlockRef StateTable::operator[](cfg::BlockId id) {
+  APCC_CHECK(id < blocks_, "block id out of range");
+  const std::size_t i = at(id);
+  return BlockRef(batch_->address_[i], batch_->ready_time_[i],
+                  batch_->kedge_[i], batch_->form_[i], batch_->last_use_[i],
+                  batch_->executing_[i], batch_->patches_[i]);
+}
+
+ConstBlockRef StateTable::operator[](cfg::BlockId id) const {
+  APCC_CHECK(id < blocks_, "block id out of range");
+  const std::size_t i = at(id);
+  return ConstBlockRef(batch_->address_[i], batch_->ready_time_[i],
+                       batch_->kedge_[i], batch_->form_[i],
+                       batch_->last_use_[i], batch_->executing_[i],
+                       batch_->patches_[i]);
+}
+
+bool StateTable::eligible(cfg::BlockId id, cfg::BlockId protect) const {
+  return id != protect && batch_->executing_[at(id)] == 0;
 }
 
 void StateTable::index_insert(cfg::BlockId id) {
   decomp_pos_[id] = static_cast<std::uint32_t>(decomp_list_.size());
   decomp_list_.push_back(id);
-  lru_index_.emplace(states_[id].last_use_time_, id);
-  size_index_.emplace(sizes_[id], id);
+  lru_index_.emplace(batch_->last_use_[at(id)], id);
+  size_index_.emplace(batch_->sizes_[at(id)], id);
 }
 
 void StateTable::index_erase(cfg::BlockId id) {
@@ -59,46 +105,46 @@ void StateTable::index_erase(cfg::BlockId id) {
   decomp_pos_[moved] = pos;
   decomp_list_.pop_back();
   decomp_pos_[id] = kNotInList;
-  lru_index_.erase(Key{states_[id].last_use_time_, id});
-  size_index_.erase(Key{sizes_[id], id});
+  lru_index_.erase(Key{batch_->last_use_[at(id)], id});
+  size_index_.erase(Key{batch_->sizes_[at(id)], id});
 }
 
 void StateTable::set_form(cfg::BlockId id, BlockForm form) {
-  APCC_CHECK(id < states_.size(), "block id out of range");
-  BlockState& s = states_[id];
-  if (s.form_ == form) return;
-  if (s.form_ == BlockForm::kDecompressed) index_erase(id);
-  --form_counts_[static_cast<std::size_t>(s.form_)];
+  APCC_CHECK(id < blocks_, "block id out of range");
+  BlockForm& current = batch_->form_[at(id)];
+  if (current == form) return;
+  if (current == BlockForm::kDecompressed) index_erase(id);
+  --form_counts_[static_cast<std::size_t>(current)];
   ++form_counts_[static_cast<std::size_t>(form)];
-  s.form_ = form;
+  current = form;
   if (form == BlockForm::kDecompressed) index_insert(id);
 }
 
 void StateTable::touch(cfg::BlockId id, std::uint64_t time) {
-  APCC_CHECK(id < states_.size(), "block id out of range");
-  BlockState& s = states_[id];
-  if (s.form_ == BlockForm::kDecompressed && s.last_use_time_ != time) {
-    lru_index_.erase(Key{s.last_use_time_, id});
+  APCC_CHECK(id < blocks_, "block id out of range");
+  const std::size_t i = at(id);
+  std::uint64_t& last_use = batch_->last_use_[i];
+  if (batch_->form_[i] == BlockForm::kDecompressed && last_use != time) {
+    lru_index_.erase(Key{last_use, id});
     lru_index_.emplace(time, id);
   }
-  s.last_use_time_ = time;
+  last_use = time;
 }
 
 void StateTable::set_executing(cfg::BlockId id, bool executing) {
-  APCC_CHECK(id < states_.size(), "block id out of range");
-  states_[id].executing_ = executing;
+  APCC_CHECK(id < blocks_, "block id out of range");
+  batch_->executing_[at(id)] = executing ? 1 : 0;
 }
 
 void StateTable::set_block_sizes(std::vector<std::uint64_t> sizes) {
-  APCC_CHECK(sizes.size() == states_.size(),
-             "size table does not match block count");
+  APCC_CHECK(sizes.size() == blocks_, "size table does not match block count");
   // Re-key the size index for any currently decompressed blocks.
   for (const cfg::BlockId id : decomp_list_) {
-    size_index_.erase(Key{sizes_[id], id});
+    size_index_.erase(Key{batch_->sizes_[at(id)], id});
   }
-  sizes_ = std::move(sizes);
+  std::copy(sizes.begin(), sizes.end(), batch_->sizes_.begin() + base_);
   for (const cfg::BlockId id : decomp_list_) {
-    size_index_.emplace(sizes_[id], id);
+    size_index_.emplace(batch_->sizes_[at(id)], id);
   }
 }
 
@@ -144,12 +190,14 @@ cfg::BlockId StateTable::largest_victim(cfg::BlockId protect) const {
 cfg::BlockId StateTable::lru_victim_reference(cfg::BlockId protect) const {
   cfg::BlockId victim = cfg::kInvalidBlock;
   std::uint64_t oldest = UINT64_MAX;
-  for (std::size_t i = 0; i < states_.size(); ++i) {
-    const auto& s = states_[i];
-    if (s.form_ != BlockForm::kDecompressed || s.executing_) continue;
+  for (std::size_t i = 0; i < blocks_; ++i) {
+    const std::size_t f = base_ + i;
+    if (batch_->form_[f] != BlockForm::kDecompressed || batch_->executing_[f]) {
+      continue;
+    }
     if (static_cast<cfg::BlockId>(i) == protect) continue;
-    if (s.last_use_time_ < oldest) {
-      oldest = s.last_use_time_;
+    if (batch_->last_use_[f] < oldest) {
+      oldest = batch_->last_use_[f];
       victim = static_cast<cfg::BlockId>(i);
     }
   }
@@ -160,14 +208,14 @@ cfg::BlockId StateTable::mru_victim_reference(cfg::BlockId protect) const {
   cfg::BlockId victim = cfg::kInvalidBlock;
   std::uint64_t newest = 0;
   bool found = false;
-  for (std::size_t i = 0; i < states_.size(); ++i) {
-    const auto& s = states_[i];
-    if (s.form_ != BlockForm::kDecompressed || s.executing_ ||
-        static_cast<cfg::BlockId>(i) == protect) {
+  for (std::size_t i = 0; i < blocks_; ++i) {
+    const std::size_t f = base_ + i;
+    if (batch_->form_[f] != BlockForm::kDecompressed ||
+        batch_->executing_[f] || static_cast<cfg::BlockId>(i) == protect) {
       continue;
     }
-    if (!found || s.last_use_time_ > newest) {
-      newest = s.last_use_time_;
+    if (!found || batch_->last_use_[f] > newest) {
+      newest = batch_->last_use_[f];
       victim = static_cast<cfg::BlockId>(i);
       found = true;
     }
@@ -178,14 +226,14 @@ cfg::BlockId StateTable::mru_victim_reference(cfg::BlockId protect) const {
 cfg::BlockId StateTable::largest_victim_reference(cfg::BlockId protect) const {
   cfg::BlockId victim = cfg::kInvalidBlock;
   std::uint64_t biggest = 0;
-  for (std::size_t i = 0; i < states_.size(); ++i) {
-    const auto& s = states_[i];
-    if (s.form_ != BlockForm::kDecompressed || s.executing_ ||
-        static_cast<cfg::BlockId>(i) == protect) {
+  for (std::size_t i = 0; i < blocks_; ++i) {
+    const std::size_t f = base_ + i;
+    if (batch_->form_[f] != BlockForm::kDecompressed ||
+        batch_->executing_[f] || static_cast<cfg::BlockId>(i) == protect) {
       continue;
     }
-    if (sizes_[i] > biggest) {
-      biggest = sizes_[i];
+    if (batch_->sizes_[f] > biggest) {
+      biggest = batch_->sizes_[f];
       victim = static_cast<cfg::BlockId>(i);
     }
   }

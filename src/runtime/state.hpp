@@ -6,16 +6,27 @@
 // the LRU timestamp for budget mode, and the remember set of patched
 // branch sites.
 //
-// The table is indexed: it maintains the set of decompressed blocks as a
+// Storage is a structure-of-arrays plane, StateBatch: one parallel
+// array per field, cell-major, so N grid cells stepping over the same
+// trace share one allocation and keep each field's lane contiguous.
+// StateTable is the *cell view* over one lane of that plane -- the
+// interface every policy-side consumer (engine step logic, k-edge
+// manager, planner, predictors) programs against. A standalone
+// `StateTable(block_count)` owns a private single-cell batch, so the
+// per-engine path is the same code as the batched path with N == 1.
+//
+// The view is indexed: it maintains the set of decompressed blocks as a
 // dense id list (O(D) iteration instead of O(B) full scans) plus two
 // ordered victim indexes -- (last_use_time, id) and (copy size, id) --
 // so LRU / MRU / largest-victim selection is O(log B) instead of a scan.
 // To keep the indexes consistent by construction, the indexed fields
-// (form, last_use_time, executing) are read-only on BlockState and can
-// only be mutated through StateTable::set_form / touch / set_executing.
+// (form, last_use_time, executing) are read-only on the block proxies
+// and can only be mutated through StateTable::set_form / touch /
+// set_executing.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <span>
 #include <utility>
@@ -35,53 +46,130 @@ enum class BlockForm : std::uint8_t {
 [[nodiscard]] const char* block_form_name(BlockForm f);
 
 class StateTable;
+class StateBatch;
 
-/// Per-block dynamic state.
-struct BlockState {
+namespace detail {
+
+/// Remember set of one (cell, block): predecessor blocks whose branch to
+/// this block has been patched to target the decompressed copy directly
+/// (paper §5), in patch order (unpatch events replay it in that order).
+/// A sorted mirror backs contains(), so membership tests are O(log n)
+/// instead of a linear scan.
+struct PatchSet {
+  std::vector<cfg::BlockId> order;   // insertion (patch) order
+  std::vector<cfg::BlockId> sorted;  // sorted mirror for lookup
+
+  [[nodiscard]] bool contains(cfg::BlockId pred) const;
+  void add(cfg::BlockId pred);
+  void clear() {
+    order.clear();
+    sorted.clear();
+  }
+};
+
+}  // namespace detail
+
+/// Mutable proxy for one block of one cell. Value type over references
+/// into the backing StateBatch lanes -- copy it freely (`auto s = t[b]`),
+/// the copies alias the same block. The directly assignable members are
+/// exactly the fields no victim/decompressed index depends on.
+class BlockRef {
  public:
-  std::uint64_t address = 0;      // decompressed-area offset when resident
-  std::uint64_t ready_time = 0;   // completion time while kDecompressing
-  std::uint32_t kedge_counter = 0;
+  std::uint64_t& address;      // decompressed-area offset when resident
+  std::uint64_t& ready_time;   // completion time while kDecompressing
+  std::uint32_t& kedge_counter;
 
   [[nodiscard]] BlockForm form() const { return form_; }
   [[nodiscard]] std::uint64_t last_use_time() const { return last_use_time_; }
-  [[nodiscard]] bool executing() const { return executing_; }
+  [[nodiscard]] bool executing() const { return executing_ != 0; }
 
-  /// Remember set: predecessor blocks whose branch to this block has been
-  /// patched to target the decompressed copy directly (paper §5), in
-  /// patch order (unpatch events replay it in that order). A sorted
-  /// mirror backs is_patched_for, so membership tests are O(log n)
-  /// instead of a linear scan.
+  /// Remember set in patch order; see detail::PatchSet.
   [[nodiscard]] const std::vector<cfg::BlockId>& remember_set() const {
-    return remember_set_;
+    return patches_.order;
   }
-  [[nodiscard]] bool is_patched_for(cfg::BlockId pred) const;
-  void add_patch(cfg::BlockId pred);
-  void clear_patches() {
-    remember_set_.clear();
-    patched_sorted_.clear();
+  [[nodiscard]] bool is_patched_for(cfg::BlockId pred) const {
+    return patches_.contains(pred);
+  }
+  void add_patch(cfg::BlockId pred) { patches_.add(pred); }
+  void clear_patches() { patches_.clear(); }
+
+ private:
+  friend class StateTable;
+  BlockRef(std::uint64_t& address_in, std::uint64_t& ready_time_in,
+           std::uint32_t& kedge_in, const BlockForm& form_in,
+           const std::uint64_t& last_use_in, const std::uint8_t& executing_in,
+           detail::PatchSet& patches_in)
+      : address(address_in),
+        ready_time(ready_time_in),
+        kedge_counter(kedge_in),
+        form_(form_in),
+        last_use_time_(last_use_in),
+        executing_(executing_in),
+        patches_(patches_in) {}
+
+  const BlockForm& form_;
+  const std::uint64_t& last_use_time_;
+  const std::uint8_t& executing_;  // pinned: never delete mid-execution
+  detail::PatchSet& patches_;
+};
+
+/// Read-only counterpart of BlockRef.
+class ConstBlockRef {
+ public:
+  const std::uint64_t& address;
+  const std::uint64_t& ready_time;
+  const std::uint32_t& kedge_counter;
+
+  [[nodiscard]] BlockForm form() const { return form_; }
+  [[nodiscard]] std::uint64_t last_use_time() const { return last_use_time_; }
+  [[nodiscard]] bool executing() const { return executing_ != 0; }
+  [[nodiscard]] const std::vector<cfg::BlockId>& remember_set() const {
+    return patches_.order;
+  }
+  [[nodiscard]] bool is_patched_for(cfg::BlockId pred) const {
+    return patches_.contains(pred);
   }
 
  private:
   friend class StateTable;
+  ConstBlockRef(const std::uint64_t& address_in,
+                const std::uint64_t& ready_time_in,
+                const std::uint32_t& kedge_in, const BlockForm& form_in,
+                const std::uint64_t& last_use_in,
+                const std::uint8_t& executing_in,
+                const detail::PatchSet& patches_in)
+      : address(address_in),
+        ready_time(ready_time_in),
+        kedge_counter(kedge_in),
+        form_(form_in),
+        last_use_time_(last_use_in),
+        executing_(executing_in),
+        patches_(patches_in) {}
 
-  BlockForm form_ = BlockForm::kCompressed;
-  std::uint64_t last_use_time_ = 0;
-  bool executing_ = false;        // pinned: never delete mid-execution
-  std::vector<cfg::BlockId> remember_set_;    // insertion (patch) order
-  std::vector<cfg::BlockId> patched_sorted_;  // sorted mirror for lookup
+  const BlockForm& form_;
+  const std::uint64_t& last_use_time_;
+  const std::uint8_t& executing_;
+  const detail::PatchSet& patches_;
 };
 
-/// The state table: one BlockState per CFG block plus aggregate queries
-/// over the maintained indexes.
+/// The cell view: per-block dynamic state of one cell plus aggregate
+/// queries over the maintained indexes. Every view -- standalone or a
+/// lane of a multi-cell StateBatch -- exposes the identical interface,
+/// so policy code never knows whether it is batched.
 class StateTable {
  public:
+  /// Standalone table: owns a private single-cell StateBatch.
   explicit StateTable(std::size_t block_count);
 
-  [[nodiscard]] BlockState& operator[](cfg::BlockId id);
-  [[nodiscard]] const BlockState& operator[](cfg::BlockId id) const;
+  StateTable(const StateTable&) = delete;
+  StateTable& operator=(const StateTable&) = delete;
+  StateTable(StateTable&&) = default;
+  StateTable& operator=(StateTable&&) = default;
 
-  [[nodiscard]] std::size_t size() const { return states_.size(); }
+  [[nodiscard]] BlockRef operator[](cfg::BlockId id);
+  [[nodiscard]] ConstBlockRef operator[](cfg::BlockId id) const;
+
+  [[nodiscard]] std::size_t size() const { return blocks_; }
 
   /// Move `id` to `form`, keeping the decompressed-set indexes in sync.
   void set_form(cfg::BlockId id, BlockForm form);
@@ -127,13 +215,18 @@ class StateTable {
       cfg::BlockId protect) const;
 
  private:
+  friend class StateBatch;
   using Key = std::pair<std::uint64_t, cfg::BlockId>;  // (key, id)
+
+  /// Lane view over cell `cell` of `batch`.
+  StateTable(StateBatch& batch, std::size_t cell);
+
+  /// Flat index of block `id` in the batch's cell-major lanes.
+  [[nodiscard]] std::size_t at(cfg::BlockId id) const { return base_ + id; }
 
   void index_insert(cfg::BlockId id);
   void index_erase(cfg::BlockId id);
-  [[nodiscard]] bool eligible(cfg::BlockId id, cfg::BlockId protect) const {
-    return id != protect && !states_[id].executing_;
-  }
+  [[nodiscard]] bool eligible(cfg::BlockId id, cfg::BlockId protect) const;
   /// Smallest id within the highest key group with an eligible entry.
   [[nodiscard]] cfg::BlockId max_key_victim(const std::set<Key>& index,
                                             cfg::BlockId protect,
@@ -141,13 +234,54 @@ class StateTable {
 
   static constexpr std::uint32_t kNotInList = UINT32_MAX;
 
-  std::vector<BlockState> states_;
-  std::vector<std::uint64_t> sizes_;        // largest-victim key per block
+  std::unique_ptr<StateBatch> owned_;  // standalone tables only
+  StateBatch* batch_;                  // backing plane (owned_ or external)
+  std::size_t base_;                   // cell * block_count lane offset
+  std::size_t blocks_;
   std::vector<std::uint32_t> decomp_pos_;   // position in decomp_list_
   std::vector<cfg::BlockId> decomp_list_;   // dense decompressed-id list
   std::set<Key> lru_index_;                 // (last_use_time, id)
   std::set<Key> size_index_;                // (size, id)
   std::size_t form_counts_[3] = {0, 0, 0};
+};
+
+/// Structure-of-arrays state plane for `cell_count` cells over the same
+/// CFG. Each dynamic field is one flat cell-major array (flat index
+/// `cell * block_count + block`), so a batch of engines advancing in
+/// lockstep touches contiguous storage instead of N pointer-chased
+/// tables. Cells are exposed as StateTable views (see above); the views
+/// are created lazily and remain stable for the batch's lifetime.
+class StateBatch {
+ public:
+  StateBatch(std::size_t block_count, std::size_t cell_count);
+  ~StateBatch();
+
+  StateBatch(const StateBatch&) = delete;
+  StateBatch& operator=(const StateBatch&) = delete;
+
+  [[nodiscard]] std::size_t block_count() const { return blocks_; }
+  [[nodiscard]] std::size_t cell_count() const { return cell_count_; }
+
+  /// The StateTable view of cell `c`; stable across calls.
+  [[nodiscard]] StateTable& cell(std::size_t c);
+
+ private:
+  friend class StateTable;
+  friend class BlockRef;
+  friend class ConstBlockRef;
+
+  std::size_t blocks_;
+  std::size_t cell_count_;
+  // Cell-major parallel lanes, each of size blocks_ * cell_count_.
+  std::vector<BlockForm> form_;
+  std::vector<std::uint8_t> executing_;
+  std::vector<std::uint64_t> address_;
+  std::vector<std::uint64_t> ready_time_;
+  std::vector<std::uint64_t> last_use_;
+  std::vector<std::uint32_t> kedge_;
+  std::vector<std::uint64_t> sizes_;  // largest-victim key per (cell, block)
+  std::vector<detail::PatchSet> patches_;
+  std::vector<std::unique_ptr<StateTable>> views_;  // lazy, stable
 };
 
 }  // namespace apcc::runtime

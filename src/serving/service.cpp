@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "compress/codec.hpp"
+#include "sim/batch_engine.hpp"
 #include "sim/engine.hpp"
 #include "support/strings.hpp"
 
@@ -354,6 +355,55 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
                   std::chrono::milliseconds(deadline_ms);
   }
 
+  // Batched stepping (batch-cells > 1): a pool work item advances a run
+  // of consecutive grid cells in lockstep (sim::BatchEngine) instead of
+  // one cell. The task boundary and the artifact lookups stay *per
+  // cell*, so FaultPlan ordinals, cancellation points, and cache-stats
+  // counters are identical to the sequential path; a cell that faults
+  // or cancels is retired in place while its batch siblings finish, and
+  // the first failure propagates after the batch (the sequential
+  // rethrow order at one worker).
+  const auto run_batch = [this, ctx, state](Registered& target,
+                                            std::size_t begin,
+                                            std::size_t end,
+                                            sweep::ResultSink& sink) {
+    std::vector<std::size_t> indices;
+    std::vector<sim::EngineConfig> configs;
+    std::exception_ptr first_error;
+    const runtime::BlockImage* image = nullptr;
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        // Cancelled cells retire quietly; a boundary that throws (fault
+        // injection) fails only this cell -- siblings still run.
+        if (!task_boundary(*state)) continue;
+        image = &image_for(target, ctx->spec.config, state->token.get());
+        configs.push_back(cell_config(target, ctx->spec.tasks[i].config,
+                                      ctx->spec.share_frontiers,
+                                      state->token.get()));
+        indices.push_back(i);
+      } catch (const JobCancelled&) {
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (!indices.empty()) {
+      sim::BatchEngine engine(target.workload->cfg, *image,
+                              std::move(configs));
+      auto outcomes = engine.run(target.workload->trace);
+      for (std::size_t c = 0; c < indices.size(); ++c) {
+        if (!outcomes[c].ok()) {
+          if (!first_error) first_error = outcomes[c].error;
+          continue;
+        }
+        sink.push(sweep::SweepOutcome{indices[c],
+                                      ctx->spec.tasks[indices[c]].label,
+                                      outcomes[c].result});
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  };
+  const std::size_t batch = ctx->spec.batch_cells;
+
   std::size_t total = 0;
   sweep::Pool::ItemFn item;
   switch (ctx->spec.kind) {
@@ -379,6 +429,17 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
       };
       break;
     case JobKind::kSweep:
+      if (batch > 1) {
+        total = (ctx->spec.tasks.size() + batch - 1) / batch;
+        ctx->sinks = std::vector<sweep::ResultSink>(1);
+        item = [ctx, run_batch, batch](std::size_t chunk) {
+          const std::size_t begin = chunk * batch;
+          const std::size_t end =
+              std::min(begin + batch, ctx->spec.tasks.size());
+          run_batch(*ctx->entries[0], begin, end, ctx->sinks[0]);
+        };
+        break;
+      }
       total = ctx->spec.tasks.size();
       ctx->sinks = std::vector<sweep::ResultSink>(1);
       item = [this, ctx, state](std::size_t i) {
@@ -402,6 +463,21 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
       // Same workload-major flattening as sweep::run_campaign: cell i
       // is workload i / |grid|, task i % |grid|.
       const std::size_t grid_size = ctx->spec.tasks.size();
+      if (batch > 1) {
+        // Batches never span workloads (one (cfg, image, trace) triple
+        // per batch): chunk each workload's grid independently.
+        const std::size_t per_workload = (grid_size + batch - 1) / batch;
+        total = ctx->entries.size() * per_workload;
+        ctx->sinks = std::vector<sweep::ResultSink>(ctx->entries.size());
+        item = [ctx, run_batch, batch, per_workload,
+                grid_size](std::size_t i) {
+          const std::size_t w = i / per_workload;
+          const std::size_t begin = (i % per_workload) * batch;
+          const std::size_t end = std::min(begin + batch, grid_size);
+          run_batch(*ctx->entries[w], begin, end, ctx->sinks[w]);
+        };
+        break;
+      }
       total = ctx->entries.size() * grid_size;
       ctx->sinks = std::vector<sweep::ResultSink>(ctx->entries.size());
       item = [this, ctx, state, grid_size](std::size_t i) {
@@ -518,6 +594,7 @@ JobHandle<std::vector<sweep::SweepOutcome>> Service::submit(SweepJob job) {
   spec.config = job.config;
   spec.tasks = std::move(job.tasks);
   spec.share_frontiers = job.share_frontiers;
+  spec.batch_cells = job.batch_cells;
   return JobHandle<std::vector<sweep::SweepOutcome>>(
       submit(std::move(spec)).state_);
 }
@@ -533,6 +610,7 @@ JobHandle<std::vector<sweep::CampaignResult>> Service::submit(
   spec.config = job.config;
   spec.tasks = std::move(job.grid);
   spec.share_frontiers = job.share_frontiers;
+  spec.batch_cells = job.batch_cells;
   return JobHandle<std::vector<sweep::CampaignResult>>(
       submit(std::move(spec)).state_);
 }
@@ -571,7 +649,19 @@ void Service::shutdown(
 
 Service::CacheStats Service::cache_stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  CacheStats stats = stats_;
+  // Resident-set sizes are counted at query time: the running counters
+  // above survive artifact eviction (a future policy), these do not.
+  for (const auto& entry : registry_) {
+    for (const auto& [codec, slot] : entry->images) {
+      const std::lock_guard<std::mutex> slot_lock(slot->mutex);
+      if (slot->image) ++stats.image_entries;
+    }
+  }
+  for (const auto& [key, slot] : frontiers_) {
+    if (slot->ready()) ++stats.frontier_entries;
+  }
+  return stats;
 }
 
 unsigned Service::workers() const { return pool_->workers(); }

@@ -126,6 +126,8 @@ struct SweepJob {
   /// bit-identical either way; off forces every engine to own its
   /// frontier cache (the reference behaviour).
   bool share_frontiers = true;
+  /// Grid cells stepped per pool work item (JobSpec::batch_cells).
+  std::uint32_t batch_cells = 0;
 };
 
 /// Run one grid over many workloads -- the typed veneer over a
@@ -135,6 +137,8 @@ struct CampaignJob {
   core::SystemConfig config{};
   std::vector<sweep::SweepTask> grid;
   bool share_frontiers = true;
+  /// Grid cells stepped per pool work item (JobSpec::batch_cells).
+  std::uint32_t batch_cells = 0;
 };
 
 namespace detail {
@@ -328,6 +332,10 @@ class Service {
     std::uint64_t image_bytes = 0;    // approx bytes of cached images
     std::uint64_t frontier_bytes = 0; // approx bytes of materialized
                                       // frontier geometry
+    // The resident sets an eviction policy would act on (ROADMAP item
+    // 1): artifacts currently held ready, counted at query time.
+    std::size_t image_entries = 0;    // resident cached images
+    std::size_t frontier_entries = 0; // resident materialized geometries
   };
   [[nodiscard]] CacheStats cache_stats() const;
 

@@ -646,6 +646,7 @@ std::string serialize_job(const JobSpec& spec) {
   out += '\n';
   out += "max-workers " + fmt_u64(spec.max_workers) + '\n';
   out += "deadline-ms " + fmt_u64(spec.deadline_ms) + '\n';
+  out += "batch-cells " + fmt_u64(spec.batch_cells) + '\n';
   out += "share-frontiers ";
   out += spec.share_frontiers ? "1" : "0";
   out += '\n';
@@ -730,6 +731,11 @@ JobSpec parse_job(std::string_view text, std::size_t first_line) {
     } else if (key == "deadline-ms") {
       spec.deadline_ms =
           parse_u64(rest, "deadline-ms", line->number, line->text);
+    } else if (key == "batch-cells") {
+      // Optional since v4; omitted means 0 (the per-engine path), which
+      // keeps v3-era records meaningful under the v4 header.
+      spec.batch_cells =
+          parse_u32(rest, "batch-cells", line->number, line->text);
     } else if (key == "share-frontiers") {
       spec.share_frontiers =
           parse_bool01(rest, "share-frontiers", line->number, line->text);

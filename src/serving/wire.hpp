@@ -6,12 +6,13 @@
 // round-trip gate all speak exactly this format. Records are
 // line-oriented text:
 //
-//   apcc.job v3                      <- strict versioned header
+//   apcc.job v4                      <- strict versioned header
 //   kind sweep
 //   client bench-rig
 //   priority high
 //   max-workers 2
 //   deadline-ms 0
+//   batch-cells 0
 //   share-frontiers 1
 //   workload gsm-like
 //   codec huffman-shared
@@ -19,7 +20,7 @@
 //   task label=on-demand/k=1 strategy=on-demand kc=1 kd=1 ...
 //   end
 //
-//   apcc.result v3
+//   apcc.result v4
 //   job 1
 //   client bench-rig
 //   status ok
@@ -32,6 +33,12 @@
 // ok | error | rejected | cancelled | deadline-exceeded. Only `ok`
 // carries a payload; `error` requires an `error` message line; the
 // other non-ok statuses may carry one.
+//
+// v4 (PR 7) adds the optional `batch-cells` job field (0 = the
+// per-engine path): grid cells stepped in lockstep per pool work item
+// for sweep/campaign jobs. Omitting it reproduces v3 behaviour exactly;
+// any value changes scheduling granularity, never results. Result
+// records are unchanged from v3 apart from the header version.
 //
 // Contract:
 //  * **Strict**: the header must match byte-for-byte (a future schema

@@ -62,6 +62,12 @@ struct CampaignOptions {
   /// engine owns its own cache (the run_sweep behaviour); outcomes are
   /// bit-identical either way.
   bool share_frontiers = true;
+  /// Matrix cells stepped per pool work item (see
+  /// SweepOptions::batch_cells). Batches never span workloads: each
+  /// workload's grid is chunked independently, so a batch shares one
+  /// (CFG, image, trace) triple. 0 and 1 keep the one-Engine-per-cell
+  /// path; results are byte-identical at any value.
+  std::uint32_t batch_cells = 0;
 };
 
 /// Run `grid` over every workload, sharded across one shared pool, and

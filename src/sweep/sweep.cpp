@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "sim/batch_engine.hpp"
 #include "sweep/pool.hpp"
 
 namespace apcc::sweep {
@@ -46,6 +47,37 @@ std::vector<SweepOutcome> run_sweep(const cfg::Cfg& cfg,
                                     const std::vector<SweepTask>& tasks,
                                     const SweepOptions& options) {
   if (tasks.empty()) return {};
+  if (options.batch_cells > 1) {
+    const std::size_t batch = options.batch_cells;
+    const std::size_t chunks = (tasks.size() + batch - 1) / batch;
+    const unsigned workers = resolve_workers(options, chunks);
+    ResultSink sink;
+    detail::parallel_for_index(chunks, workers, [&](std::size_t chunk) {
+      const std::size_t begin = chunk * batch;
+      const std::size_t end = std::min(begin + batch, tasks.size());
+      std::vector<sim::EngineConfig> configs;
+      configs.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        configs.push_back(tasks[i].config);
+      }
+      sim::BatchEngine engine(cfg, image, std::move(configs));
+      auto outcomes = engine.run(trace);
+      // Surviving siblings land in the sink even when a cell threw; the
+      // first failure (lowest task index, matching the sequential path's
+      // rethrow order at workers == 1) propagates after that.
+      std::exception_ptr first_error;
+      for (std::size_t i = begin; i < end; ++i) {
+        sim::CellOutcome& cell = outcomes[i - begin];
+        if (!cell.ok()) {
+          if (!first_error) first_error = cell.error;
+          continue;
+        }
+        sink.push(SweepOutcome{i, tasks[i].label, cell.result});
+      }
+      if (first_error) std::rethrow_exception(first_error);
+    });
+    return sink.take_sorted();
+  }
   const unsigned workers = resolve_workers(options, tasks.size());
 
   ResultSink sink;

@@ -48,6 +48,14 @@ struct SweepOptions {
   /// never more than there are tasks). 1 runs inline on the caller's
   /// thread with no pool at all.
   unsigned workers = 0;
+  /// Grid cells stepped per pool work item. 0 and 1 keep the historical
+  /// one-Engine-per-task path; N > 1 chunks the task list into
+  /// consecutive runs of N cells, each advanced in lockstep by one
+  /// sim::BatchEngine (amortized trace decode, block metadata, and
+  /// frontier geometry). Batched and per-engine sweeps are byte-identical
+  /// (tests/sweep pins it); the knob trades scheduling granularity for
+  /// per-cell setup cost.
+  std::uint32_t batch_cells = 0;
 };
 
 /// Thread-safe collection point for sweep outcomes.

@@ -133,6 +133,33 @@ TEST(CliSmoke, SweepCsvHasFullGridInTaskOrder) {
   }
 }
 
+TEST(CliSmoke, SweepBatchCellsMatchesPerEngineSweep) {
+  // --batch-cells is a scheduling knob, never a results knob: the CSV
+  // (task order, every field) must be byte-identical to the per-engine
+  // sweep, including a width that does not divide the 12-task grid.
+  const auto reference =
+      run_cli("sweep " + workload_path() + " --csv --workers 2");
+  ASSERT_EQ(reference.exit_code, 0);
+  for (const char* width : {"1", "5", "16"}) {
+    const auto batched =
+        run_cli("sweep " + workload_path() + " --csv --workers 2" +
+                " --batch-cells " + width);
+    ASSERT_EQ(batched.exit_code, 0) << width;
+    EXPECT_EQ(batched.output, reference.output) << width;
+  }
+}
+
+TEST(CliSmoke, BatchCellsRejectedWhereItCannotApply) {
+  // Run-kind commands have a single cell per job; batch and serve take
+  // per-job knobs from the job records. Silently ignoring the flag is
+  // the trap the CLI rejects everywhere.
+  EXPECT_EQ(run_cli("sim " + workload_path() + " --batch-cells 4").exit_code,
+            1);
+  EXPECT_EQ(run_cli("suite --batch-cells 4").exit_code, 1);
+  EXPECT_EQ(run_cli("batch nofile.wire --batch-cells 4").exit_code, 1);
+  EXPECT_EQ(run_cli("serve --batch-cells 4 < /dev/null").exit_code, 1);
+}
+
 TEST(CliSmoke, SweepAndCampaignRejectContradictoryGridOptions) {
   EXPECT_EQ(run_cli("sweep " + workload_path() + " --strategy pre-all")
                 .exit_code,
@@ -169,12 +196,12 @@ TEST(CliSmoke, BatchRunsWireJobFileOverTheCheckedInWorkload) {
   {
     std::ofstream out(jobfile);
     out << "# smoke jobs (wire format)\n"
-        << "apcc.job v3\n"
+        << "apcc.job v4\n"
         << "kind run\n"
         << "workload " << workload_path() << "\n"
         << "end\n"
         << "\n"
-        << "apcc.job v3\n"
+        << "apcc.job v4\n"
         << "kind sweep\n"
         << "priority high\n"
         << "max-workers 1\n"
@@ -182,7 +209,7 @@ TEST(CliSmoke, BatchRunsWireJobFileOverTheCheckedInWorkload) {
         << "grid strategy-k\n"
         << "end\n"
         << "\n"
-        << "apcc.job v3\n"
+        << "apcc.job v4\n"
         << "kind campaign\n"
         << "priority batch\n"
         << "workload " << workload_path() << "\n"
@@ -204,7 +231,7 @@ TEST(CliSmoke, BatchRunsWireJobFileOverTheCheckedInWorkload) {
   // --wire emits machine-readable result records instead.
   const auto wired = run_cli("batch " + jobfile + " --wire");
   ASSERT_EQ(wired.exit_code, 0);
-  EXPECT_NE(wired.output.find("apcc.result v3\njob 1\n"), std::string::npos);
+  EXPECT_NE(wired.output.find("apcc.result v4\njob 1\n"), std::string::npos);
   EXPECT_NE(wired.output.find("status ok"), std::string::npos);
   EXPECT_NE(wired.output.find("kind campaign"), std::string::npos);
   std::remove(jobfile.c_str());
@@ -218,19 +245,19 @@ TEST(CliSmoke, BatchWireEmitsErrorRecordsForFailedJobs) {
       ::testing::TempDir() + "/apcc_smoke_wire_fail.wire";
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n"
-        << "apcc.job v3\nkind run\nworkload " << workload_path() << "\n"
+    out << "apcc.job v4\nkind run\nworkload " << workload_path() << "\nend\n"
+        << "apcc.job v4\nkind run\nworkload " << workload_path() << "\n"
         << "policy budget=1\n"  // smaller than any block: engine throws
         << "end\n"
-        << "apcc.job v3\nkind run\nworkload /nonexistent/nope.s\nend\n"
-        << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n";
+        << "apcc.job v4\nkind run\nworkload /nonexistent/nope.s\nend\n"
+        << "apcc.job v4\nkind run\nworkload " << workload_path() << "\nend\n";
   }
   const auto result = run_cli("batch " + jobfile + " --wire");
   ASSERT_EQ(result.exit_code, 0);
-  const std::size_t first = result.output.find("apcc.result v3\njob 1\n");
-  const std::size_t second = result.output.find("apcc.result v3\njob 2\n");
-  const std::size_t third = result.output.find("apcc.result v3\njob 3\n");
-  const std::size_t fourth = result.output.find("apcc.result v3\njob 4\n");
+  const std::size_t first = result.output.find("apcc.result v4\njob 1\n");
+  const std::size_t second = result.output.find("apcc.result v4\njob 2\n");
+  const std::size_t third = result.output.find("apcc.result v4\njob 3\n");
+  const std::size_t fourth = result.output.find("apcc.result v4\njob 4\n");
   ASSERT_NE(first, std::string::npos);
   ASSERT_NE(second, std::string::npos);
   ASSERT_NE(third, std::string::npos);
@@ -258,7 +285,7 @@ TEST(CliSmoke, BatchReportsLineAndSnippetOnMalformedRecords) {
   // the file, the line, and echo the offending text -- not just exit 1.
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v3\n"
+    out << "apcc.job v4\n"
         << "kind sweep\n"
         << "workload " << workload_path() << "\n"
         << "task label=x strategy=warp-speed\n"
@@ -281,7 +308,7 @@ TEST(CliSmoke, BatchReportsLineAndSnippetOnMalformedRecords) {
   // is still rejected, not silently dropped.
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n";
+    out << "apcc.job v4\nkind run\nworkload " << workload_path() << "\nend\n";
   }
   EXPECT_EQ(run_cli("batch " + jobfile + " --codec null").exit_code, 1);
   std::remove(jobfile.c_str());
@@ -295,16 +322,16 @@ TEST(CliSmoke, ServeStreamsWireResultsInSubmissionOrder) {
       ::testing::TempDir() + "/apcc_smoke_serve.wire";
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v3\n"
+    out << "apcc.job v4\n"
         << "kind run\n"
         << "client smoke\n"
         << "workload " << workload_path() << "\n"
         << "end\n"
-        << "apcc.job v3\n"
+        << "apcc.job v4\n"
         << "kind run\n"
         << "workload /nonexistent/nope.s\n"
         << "end\n"
-        << "apcc.job v3\n"
+        << "apcc.job v4\n"
         << "kind sweep\n"
         << "workload " << workload_path() << "\n"
         << "task label=on-demand/k=1 strategy=on-demand kc=1 kd=1\n"
@@ -312,9 +339,9 @@ TEST(CliSmoke, ServeStreamsWireResultsInSubmissionOrder) {
   }
   const auto result = run_cli("serve < " + jobfile);
   ASSERT_EQ(result.exit_code, 0);
-  const std::size_t first = result.output.find("apcc.result v3\njob 1\n");
-  const std::size_t second = result.output.find("apcc.result v3\njob 2\n");
-  const std::size_t third = result.output.find("apcc.result v3\njob 3\n");
+  const std::size_t first = result.output.find("apcc.result v4\njob 1\n");
+  const std::size_t second = result.output.find("apcc.result v4\njob 2\n");
+  const std::size_t third = result.output.find("apcc.result v4\njob 3\n");
   ASSERT_NE(first, std::string::npos);
   ASSERT_NE(second, std::string::npos);
   ASSERT_NE(third, std::string::npos);
@@ -342,7 +369,7 @@ TEST(CliSmoke, ServeEmitsResultsWhileStdinIsStillOpen) {
       ::testing::TempDir() + "/apcc_smoke_serve_stream.wire";
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n";
+    out << "apcc.job v4\nkind run\nworkload " << workload_path() << "\nend\n";
   }
   // The subshell holds stdin open for 4s after the job; the first
   // result record must complete well before that.
@@ -365,7 +392,7 @@ TEST(CliSmoke, ServeEmitsResultsWhileStdinIsStillOpen) {
     }
   }
   pclose(pipe);  // waits out the subshell's sleep
-  EXPECT_NE(output.find("apcc.result v3\njob 1\n"), std::string::npos)
+  EXPECT_NE(output.find("apcc.result v4\njob 1\n"), std::string::npos)
       << output;
   EXPECT_NE(output.find("status ok"), std::string::npos) << output;
   EXPECT_LT(first_record_seconds, 3.0)
@@ -378,7 +405,7 @@ TEST(CliSmoke, WireRoundtripIsAFixedPoint) {
       ::testing::TempDir() + "/apcc_smoke_roundtrip.wire";
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v3\n"
+    out << "apcc.job v4\n"
         << "kind sweep\n"
         << "workload gsm-like\n"
         << "grid strategy-k\n"
@@ -402,7 +429,7 @@ TEST(CliSmoke, VersionPrintsToolAndWireVersion) {
   const auto result = run_cli("version");
   EXPECT_EQ(result.exit_code, 0);
   EXPECT_EQ(result.output.rfind("apcc_cli ", 0), 0u) << result.output;
-  EXPECT_NE(result.output.find("(wire v3)"), std::string::npos)
+  EXPECT_NE(result.output.find("(wire v4)"), std::string::npos)
       << result.output;
   // Exactly-one-line contract, scripts parse it.
   EXPECT_EQ(lines_of(result.output).size(), 1u);
@@ -428,15 +455,15 @@ TEST(CliSmoke, ServeMaxQueuedRejectsOverloadAsRecords) {
       ::testing::TempDir() + "/apcc_smoke_overload.wire";
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v3\nkind sweep\nworkload " << workload_path()
+    out << "apcc.job v4\nkind sweep\nworkload " << workload_path()
         << "\ngrid strategy-k\nend\n"
-        << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n"
-        << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n";
+        << "apcc.job v4\nkind run\nworkload " << workload_path() << "\nend\n"
+        << "apcc.job v4\nkind run\nworkload " << workload_path() << "\nend\n";
   }
   const auto result =
       run_cli("serve --max-queued 1 --workers 1 < " + jobfile);
   ASSERT_EQ(result.exit_code, 0);
-  EXPECT_EQ(count_occurrences(result.output, "apcc.result v3\n"), 3u)
+  EXPECT_EQ(count_occurrences(result.output, "apcc.result v4\n"), 3u)
       << result.output;
   for (int job = 1; job <= 3; ++job) {
     EXPECT_EQ(count_occurrences(result.output,
@@ -461,8 +488,8 @@ TEST(CliSmoke, ServeDrainsGracefullyOnSigterm) {
   const std::string jobfile = dir + "/apcc_smoke_drain.wire";
   {
     std::ofstream out(jobfile);
-    out << "apcc.job v3\nkind run\nworkload " << workload_path() << "\nend\n"
-        << "apcc.job v3\nkind sweep\nworkload " << workload_path()
+    out << "apcc.job v4\nkind run\nworkload " << workload_path() << "\nend\n"
+        << "apcc.job v4\nkind sweep\nworkload " << workload_path()
         << "\ngrid strategy-k\nend\n";
   }
   const std::string script =
@@ -482,7 +509,7 @@ TEST(CliSmoke, ServeDrainsGracefullyOnSigterm) {
       << result.output;
   // Exactly one record per accepted job, drained to completion (the
   // sweep may legitimately resolve cancelled if it had not started).
-  EXPECT_EQ(count_occurrences(result.output, "apcc.result v3\n"), 2u)
+  EXPECT_EQ(count_occurrences(result.output, "apcc.result v4\n"), 2u)
       << result.output;
   EXPECT_EQ(count_occurrences(result.output, "job 1\n"), 1u);
   EXPECT_EQ(count_occurrences(result.output, "job 2\n"), 1u);

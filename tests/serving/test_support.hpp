@@ -99,9 +99,16 @@ inline void expect_identical(const sweep::SweepOutcome& a,
   expect_identical(a.result, b.result);
 }
 
+/// ServiceOptions carrying just a pool width.
+inline serving::ServiceOptions pool_options(unsigned workers) {
+  serving::ServiceOptions options;
+  options.workers = workers;
+  return options;
+}
+
 /// A Service with every test workload registered; ids in kind order.
 struct Fixture {
-  explicit Fixture(unsigned workers) : service({workers}) {
+  explicit Fixture(unsigned workers) : service(pool_options(workers)) {
     for (const auto kind : kinds_under_test()) {
       ids.push_back(service.register_workload(workloads::make_workload(kind)));
     }

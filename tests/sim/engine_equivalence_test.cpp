@@ -14,11 +14,19 @@
 // emitted event streams are bit-identical across all four, so any
 // divergence in settle order, victim tie-breaking, k-edge bookkeeping,
 // planner request order, or borrowed-vs-owned geometry fails loudly.
+// PR 7 adds the batched axis: BatchEngine steps N cells in lockstep
+// over one trace scan, and every cell must still be bit-identical to
+// its own per-engine run -- at batch sizes {1, 4, 16} (or the single
+// size named by APCC_EQ_BATCH_CELLS, which is how CI gates the batched
+// path at 16 explicitly), with heterogeneous owned/borrowed-geometry
+// cells mixed in one batch.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <tuple>
 #include <vector>
 
+#include "sim/batch_engine.hpp"
 #include "sim/engine.hpp"
 #include "workloads/suite.hpp"
 
@@ -171,6 +179,53 @@ TEST_P(EngineEquivalenceTest, IndexedMatchesReferenceBitExactly) {
   expect_same_events(ref, fast, "full-reference vs indexed");
   expect_same_events(frontier_ref, fast, "reference-frontiers vs memoized");
   expect_same_events(borrowed, fast, "borrowed-geometry vs owned-geometry");
+}
+
+// The batch widths the lockstep test sweeps. APCC_EQ_BATCH_CELLS=N
+// narrows the sweep to one width -- CI's Release job sets 16 so the
+// batched path stays gated even if library defaults change.
+std::vector<std::size_t> batch_widths() {
+  if (const char* env = std::getenv("APCC_EQ_BATCH_CELLS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return {static_cast<std::size_t>(n)};
+  }
+  return {1, 4, 16};
+}
+
+TEST_P(EngineEquivalenceTest, BatchedMatchesPerEngineBitExactly) {
+  // Per-engine references for the two cell flavours the batch mixes:
+  // owned geometry (BatchEngine injects its own materialized frontier
+  // cache) and borrowed campaign geometry (shared_frontiers preset).
+  const Capture owned = run(Mode::kIndexed);
+  const Capture borrowed = run(Mode::kBorrowedGeometry);
+
+  for (const std::size_t width : batch_widths()) {
+    SCOPED_TRACE("batch width " + std::to_string(width));
+    std::vector<EngineConfig> configs;
+    configs.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      configs.push_back(config_for(
+          GetParam(), i % 2 == 0 ? Mode::kIndexed : Mode::kBorrowedGeometry));
+    }
+    BatchEngine engine(workload().cfg, image(), std::move(configs));
+    std::vector<Capture> cells(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      engine.set_event_sink(i, [&cells, i](const Event& e) {
+        cells[i].events.push_back(e);
+      });
+    }
+    const std::vector<CellOutcome> outcomes = engine.run(workload().trace);
+    ASSERT_EQ(outcomes.size(), width);
+    for (std::size_t i = 0; i < width; ++i) {
+      SCOPED_TRACE("cell " + std::to_string(i));
+      ASSERT_TRUE(outcomes[i].ok());
+      cells[i].result = outcomes[i].result;
+      const Capture& ref = i % 2 == 0 ? owned : borrowed;
+      expect_same_result(ref.result, cells[i].result,
+                         "batched vs per-engine counters");
+      expect_same_events(ref, cells[i], "batched vs per-engine events");
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -26,6 +26,14 @@
 namespace apcc::sweep {
 namespace {
 
+/// SubmitOptions carrying just the QoS fields the scheduling tests vary.
+SubmitOptions qos(Priority priority, unsigned max_workers) {
+  SubmitOptions options;
+  options.priority = priority;
+  options.max_workers = max_workers;
+  return options;
+}
+
 TEST(Pool, RunsEveryIndexExactlyOnce) {
   Pool pool(4);
   std::mutex mutex;
@@ -175,10 +183,10 @@ TEST(Pool, StrictPriorityClaimsHighestClassLowestIdFirst) {
       order.push_back(tag);
     };
   };
-  pool.submit(2, recorder('a'), nullptr, {Priority::kBatch, 0});
-  pool.submit(2, recorder('b'), nullptr, {Priority::kNormal, 0});
-  pool.submit(2, recorder('c'), nullptr, {Priority::kHigh, 0});
-  pool.submit(2, recorder('d'), nullptr, {Priority::kHigh, 0});
+  pool.submit(2, recorder('a'), nullptr, qos(Priority::kBatch, 0));
+  pool.submit(2, recorder('b'), nullptr, qos(Priority::kNormal, 0));
+  pool.submit(2, recorder('c'), nullptr, qos(Priority::kHigh, 0));
+  pool.submit(2, recorder('d'), nullptr, qos(Priority::kHigh, 0));
   gate.release();
   pool.drain();
   EXPECT_EQ((std::vector<char>{'c', 'c', 'd', 'd', 'b', 'b', 'a', 'a'}),
@@ -202,11 +210,11 @@ TEST(Pool, WorkerBudgetCapsConcurrencyAndFreesSlots) {
         for (int i = 0; i < 2000; ++i) spin = spin + static_cast<unsigned>(i);
         --running;
       },
-      nullptr, {Priority::kNormal, 2});
+      nullptr, qos(Priority::kNormal, 2));
   // The surplus workers must flow to other jobs instead of idling.
   const auto other = pool.submit(
       48, [&](std::size_t) { ++other_ran; }, nullptr,
-      {Priority::kBatch, 0});
+      qos(Priority::kBatch, 0));
   pool.wait(budgeted);
   pool.wait(other);
   EXPECT_LE(peak.load(), 2u);  // the budget is a hard cap
@@ -236,11 +244,11 @@ TEST(Pool, FailureCancelsQueuedItemsAcrossPriorityClasses) {
         ++poison_ran;
       },
       [&](const FinalizeInfo& info) { poison_info = info; },
-      {Priority::kHigh, 1});
+      qos(Priority::kHigh, 1));
   const auto healthy = pool.submit(
       40, [&](std::size_t) { ++healthy_ran; },
       [&](const FinalizeInfo& info) { healthy_info = info; },
-      {Priority::kBatch, 0});
+      qos(Priority::kBatch, 0));
   gate.release();
   pool.wait(poison);
   pool.wait(healthy);
@@ -255,7 +263,7 @@ TEST(Pool, FailureCancelsQueuedItemsAcrossPriorityClasses) {
   // Serviceable afterwards: a fresh job runs cleanly.
   std::atomic<std::size_t> after{0};
   const auto next = pool.submit(
-      8, [&](std::size_t) { ++after; }, nullptr, {Priority::kHigh, 0});
+      8, [&](std::size_t) { ++after; }, nullptr, qos(Priority::kHigh, 0));
   pool.wait(next);
   EXPECT_EQ(after.load(), 8u);
 }

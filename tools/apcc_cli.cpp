@@ -46,7 +46,7 @@
 // batch / serve job records are the versioned wire format -- see
 // docs/API.md for the full grammar. The minimal job is:
 //
-//   apcc.job v3
+//   apcc.job v4
 //   kind run
 //   workload gsm-like
 //   end
@@ -67,6 +67,9 @@
 //   --budget BYTES    decompressed-area budget (default unbounded)
 //   --units N         decompression helper units (default 1)
 //   --workers N       service pool width (default: hardware concurrency)
+//   --batch-cells N   sweep/campaign: grid cells stepped in lockstep per
+//                     pool work item (0 = one engine per cell; results
+//                     are byte-identical either way)
 //   --max-queued N    serve: admission bound -- at most N jobs in flight,
 //                     over-limit submissions get `status rejected` records
 //   --no-shared-frontiers   engines own their geometry (no borrowing)
@@ -145,18 +148,19 @@ constexpr const char* kToolVersion = "0.6.0";
       "\n"
       "batch files and the serve stdin stream hold wire format job\n"
       "records (docs/API.md):\n"
-      "  apcc.job v3\n"
+      "  apcc.job v4\n"
       "  kind run|sweep|campaign\n"
       "  workload <name-or-path>      (repeatable for campaign)\n"
       "  priority high|normal|batch   (optional QoS)\n"
       "  max-workers N                (optional worker budget)\n"
       "  deadline-ms N                (optional per-job deadline)\n"
+      "  batch-cells N                (optional lockstep batch width)\n"
       "  grid strategy-k              (or explicit task lines)\n"
       "  end\n"
       "\n"
       "options: --codec K --strategy S --predictor P --kc N --kd N\n"
       "         --budget BYTES --units N --workers N --max-queued N\n"
-      "         --no-shared-frontiers --csv --wire\n"
+      "         --batch-cells N --no-shared-frontiers --csv --wire\n"
       "(sweep and campaign grid over strategy and k themselves:\n"
       " --strategy/--kc/--kd there is a usage error; batch and serve\n"
       " take per-job configuration from the job records; --max-queued\n"
@@ -216,6 +220,11 @@ struct CliOptions {
   /// submitted-but-unfinished; over-limit jobs get rejected records.
   std::size_t max_queued = 0;
   bool share_frontiers = true;
+  /// Lockstep batch width for grid commands (sweep/campaign); 0 keeps
+  /// the historical one-engine-per-cell path. Run-kind commands reject
+  /// it (a run job has a single cell), and batch/serve take it from
+  /// the job records like every other per-job knob.
+  std::uint32_t batch_cells = 0;
   bool csv = false;
   bool wire = false;
   /// Which of --strategy/--kc/--kd appeared: grid commands (sweep,
@@ -267,6 +276,10 @@ CliOptions parse_options(const std::vector<std::string>& args,
       opts.workers = static_cast<unsigned>(parse_int(need_value(i++)));
     } else if (a == "--max-queued") {
       opts.max_queued = static_cast<std::size_t>(parse_int(need_value(i++)));
+    } else if (a == "--batch-cells") {
+      opts.batch_cells =
+          static_cast<std::uint32_t>(parse_int(need_value(i++)));
+      opts.config_flags.push_back(a);
     } else if (a == "--no-shared-frontiers") {
       opts.share_frontiers = false;
     } else if (a == "--csv") {
@@ -295,6 +308,14 @@ void reject_max_queued(const std::string& command, const CliOptions& opts) {
   if (opts.max_queued == 0) return;
   usage("'" + command + "' submits a fixed set of jobs; --max-queued is "
         "only meaningful for 'serve'");
+}
+
+/// Run-kind commands (sim, suite) submit single-cell run jobs, where a
+/// lockstep batch width has nothing to apply to.
+void reject_batch_cells(const std::string& command, const CliOptions& opts) {
+  if (opts.batch_cells == 0) return;
+  usage("'" + command + "' runs single-configuration jobs; --batch-cells "
+        "only applies to the sweep/campaign grids");
 }
 
 /// Grid commands own the strategy/k axes; reject attempts to pin them.
@@ -451,10 +472,19 @@ int cmd_cfg(const std::string& path) {
   return 0;
 }
 
+/// ServiceOptions carrying just a pool width -- the subcommands take
+/// every other Service knob at its default.
+serving::ServiceOptions pool_options(unsigned workers) {
+  serving::ServiceOptions options;
+  options.workers = workers;
+  return options;
+}
+
 int cmd_sim(const std::string& spec, const CliOptions& opts) {
   reject_wire_flag("sim", opts);
   reject_max_queued("sim", opts);
-  serving::Service service({opts.workers});
+  reject_batch_cells("sim", opts);
+  serving::Service service(pool_options(opts.workers));
   WorkloadDirectory directory(service);
   const auto id = directory.id_for(spec);
   const auto handle = service.submit(
@@ -467,13 +497,13 @@ int cmd_sweep(const std::string& spec, const CliOptions& opts) {
   reject_wire_flag("sweep", opts);
   reject_max_queued("sweep", opts);
   reject_grid_overrides("sweep", opts);
-  serving::Service service({opts.workers});
+  serving::Service service(pool_options(opts.workers));
   WorkloadDirectory directory(service);
   const auto id = directory.id_for(spec);
   serving::SweepJob job{
       id, opts.config,
       serving::strategy_k_grid(core::engine_config(opts.config)),
-      opts.share_frontiers};
+      opts.share_frontiers, opts.batch_cells};
   const auto handle = service.submit(std::move(job));
   print_sweep(handle.wait(), opts.csv);
   return 0;
@@ -482,7 +512,8 @@ int cmd_sweep(const std::string& spec, const CliOptions& opts) {
 int cmd_suite(const CliOptions& opts) {
   reject_wire_flag("suite", opts);
   reject_max_queued("suite", opts);
-  serving::Service service({opts.workers});
+  reject_batch_cells("suite", opts);
+  serving::Service service(pool_options(opts.workers));
   WorkloadDirectory directory(service);
   // Submit every workload's run job before waiting on any: the whole
   // suite is in flight on the shared pool at once.
@@ -506,7 +537,7 @@ int cmd_campaign(const CliOptions& opts) {
   reject_wire_flag("campaign", opts);
   reject_max_queued("campaign", opts);
   reject_grid_overrides("campaign", opts);
-  serving::Service service({opts.workers});
+  serving::Service service(pool_options(opts.workers));
   WorkloadDirectory directory(service);
   serving::CampaignJob job;
   for (const auto kind : workloads::all_workload_kinds()) {
@@ -515,6 +546,7 @@ int cmd_campaign(const CliOptions& opts) {
   job.config = opts.config;
   job.grid = serving::strategy_k_grid(core::engine_config(opts.config));
   job.share_frontiers = opts.share_frontiers;
+  job.batch_cells = opts.batch_cells;
   const auto handle = service.submit(std::move(job));
   print_campaign(handle.wait(), opts.csv);
   return 0;
@@ -574,7 +606,7 @@ int cmd_batch(const std::string& path, const CliOptions& global) {
     wire_usage(path, e);
   }
   if (parsed.empty()) {
-    usage(path + ": no job records (expected 'apcc.job v3' ... 'end')");
+    usage(path + ": no job records (expected 'apcc.job v4' ... 'end')");
   }
 
   // Phase 2: register workloads (input errors exit 2 here, still
@@ -583,7 +615,7 @@ int cmd_batch(const std::string& path, const CliOptions& global) {
   // tail overlaps the next job's cells, workloads shared between
   // records hit the same cached artifacts, and the per-record QoS
   // (priority, max-workers) decides who gets the pool first.
-  serving::Service service({global.workers});
+  serving::Service service(pool_options(global.workers));
   WorkloadDirectory directory(service);
   std::vector<BatchJob> jobs;
   for (serving::JobSpec& spec : parsed) {

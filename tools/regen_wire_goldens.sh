@@ -4,9 +4,15 @@
 # `apcc_cli wire-roundtrip`, which canonicalizes it under the current
 # schema (adding newly-introduced keys at their defaults, fixing field
 # order). Run after any deliberate wire change -- together with bumping
-# JobSpec::kWireVersion and updating the headers below -- then review
+# JobSpec::kWireVersion and updating the golden headers to match (the
+# strict parser rejects old headers, so sed them first) -- then review
 # the diff; CI's golden gate diffs wire-roundtrip output against these
 # files byte-for-byte.
+#
+# Failure policy: any roundtrip failure, empty output, or
+# non-idempotent canonical form aborts with a message and a nonzero
+# exit, leaving the golden untouched -- a partial or truncated golden
+# must never land silently.
 #
 # Usage: tools/regen_wire_goldens.sh [path/to/apcc_cli]
 # (defaults to build/apcc_cli relative to the repo root)
@@ -16,14 +22,32 @@ root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cli=${1:-"$root/build/apcc_cli"}
 data="$root/tests/serving/data"
 
-if [ ! -x "$cli" ]; then
-  echo "error: apcc_cli not found at $cli (build it, or pass its path)" >&2
+fail() {
+  echo "error: $1" >&2
   exit 1
-fi
+}
+
+[ -x "$cli" ] ||
+  fail "apcc_cli not found at $cli (build it, or pass its path)"
 
 for f in "$data"/*.wire; do
   tmp="$f.tmp"
-  "$cli" wire-roundtrip "$f" > "$tmp"
+  if ! "$cli" wire-roundtrip "$f" > "$tmp"; then
+    rm -f "$tmp"
+    fail "wire-roundtrip failed on ${f#"$root"/}; golden left untouched"
+  fi
+  [ -s "$tmp" ] || { rm -f "$tmp";
+    fail "wire-roundtrip produced no output for ${f#"$root"/}"; }
+  # The canonical form must be a fixed point: roundtripping it again
+  # has to reproduce it byte-for-byte, or the codec itself is broken
+  # and these goldens would bake the bug into CI.
+  tmp2="$f.tmp2"
+  if ! "$cli" wire-roundtrip "$tmp" > "$tmp2" ||
+      ! cmp -s "$tmp" "$tmp2"; then
+    rm -f "$tmp" "$tmp2"
+    fail "canonical form of ${f#"$root"/} is not a serialize/parse fixed point"
+  fi
+  rm -f "$tmp2"
   if cmp -s "$tmp" "$f"; then
     rm -f "$tmp"
     echo "unchanged: ${f#"$root"/}"

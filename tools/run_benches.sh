@@ -7,12 +7,15 @@
 #   BENCH_engine.json   -- E11 engine hot-path throughput (steps/sec)
 #   BENCH_codecs.json   -- E4 codec + huffman decoder throughput
 #   BENCH_sweep.json    -- sharded policy-grid sweep scaling (grid pts/sec
-#                          at 1/2/4/8 workers)
+#                          at 1/2/4/8 workers) + lockstep batch series
+#                          (cells-stepped/sec at batch 1..16, incl. the
+#                          wide-CFG regime where batching wins)
 #   BENCH_campaign.json -- suite x grid campaign throughput (matrix
 #                          cells/sec, shared vs owned FrontierCache
 #                          geometry)
 #   BENCH_service.json  -- serving::Service submit latency (direct
-#                          one-shot vs cold vs warm artifact cache)
+#                          one-shot vs cold vs warm artifact cache,
+#                          per-engine vs batched warm sweeps)
 #
 # --quick is the CI smoke mode: benches shrink their scales (via
 # APCC_BENCH_QUICK) and google-benchmark runs minimal repetitions, so the
@@ -64,7 +67,7 @@ echo "== E4 codec throughput -> ${OUT_DIR}/BENCH_codecs.json"
 echo "== sweep scaling -> ${OUT_DIR}/BENCH_sweep.json"
 "${BUILD_DIR}/bench_sweep_scaling" \
     ${QUICK_ARGS[@]+"${QUICK_ARGS[@]}"} \
-    --benchmark_filter='bm_sweep_grid' \
+    --benchmark_filter='bm_sweep_(grid|batch)' \
     --benchmark_format=json \
     --benchmark_out="${OUT_DIR}/BENCH_sweep.json" \
     --benchmark_out_format=json
