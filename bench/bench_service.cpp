@@ -124,23 +124,10 @@ void print_tables() {
     add_row("service warm", reps, elapsed.count(), checksum);
     const auto stats = service.cache_stats();
     std::cout << table.render() << '\n';
-    std::cout << "warm cache stats: " << stats.images_built
-              << " image build(s) holding " << human_bytes(stats.image_bytes)
-              << ", " << stats.image_borrows << " image borrow(s), "
-              << stats.frontiers_built << " frontier build(s) holding "
-              << human_bytes(stats.frontier_bytes) << ", "
-              << stats.frontier_borrows << " frontier borrow(s)\n"
-              << "warm hit rates: image " << stats.image_hits << " hit(s) / "
-              << stats.image_misses << " miss(es) / " << stats.image_rebuilds
-              << " rebuild(s) over " << stats.image_entries
-              << " resident entr(ies) [" << human_bytes(stats.image_bytes)
-              << "], frontier " << stats.frontier_hits << " hit(s) / "
-              << stats.frontier_misses << " miss(es) / "
-              << stats.frontier_rebuilds << " rebuild(s) over "
-              << stats.frontier_entries << " resident entr(ies) ["
-              << human_bytes(stats.frontier_bytes) << "]\n"
-              << "(resident entries x bytes is the working set an artifact\n"
-                 "eviction policy would act on -- ROADMAP item 1)\n"
+    std::cout << serving::format_cache_stats(stats)
+              << "(resident entries x bytes is the working set the\n"
+                 "cache-budget eviction policy acts on -- see\n"
+                 "bm_service_thrash for throughput under budget pressure)\n"
               << "Shape check: one checksum everywhere (cached artifacts\n"
                  "change nothing), and the warm cache serves every repeat\n"
                  "request from 1 image + 1 frontier build. On this box the\n"
@@ -184,12 +171,10 @@ void bm_service_warm_run(benchmark::State& state) {
 }
 BENCHMARK(bm_service_warm_run)->Unit(benchmark::kMillisecond);
 
-void bm_service_warm_sweep(benchmark::State& state) {
-  // A 6-task grid per submit: the per-job scheduling + sink overhead on
-  // top of the cached-artifact engine runs.
-  const auto& workload = bench::cached_workload(kKind);
-  serving::Service service(one_worker());
-  const auto id = service.register_workload(workload);
+/// The 6-task strategy x k{1,4} grid the warm-path benches submit: two
+/// frontier keys per job, so the resident working set is 1 image + 2
+/// geometries.
+std::vector<sweep::SweepTask> six_task_grid() {
   std::vector<sweep::SweepTask> tasks;
   for (const auto strategy : {runtime::DecompressionStrategy::kOnDemand,
                               runtime::DecompressionStrategy::kPreAll,
@@ -203,6 +188,16 @@ void bm_service_warm_sweep(benchmark::State& state) {
       tasks.push_back(std::move(task));
     }
   }
+  return tasks;
+}
+
+void bm_service_warm_sweep(benchmark::State& state) {
+  // A 6-task grid per submit: the per-job scheduling + sink overhead on
+  // top of the cached-artifact engine runs.
+  const auto& workload = bench::cached_workload(kKind);
+  serving::Service service(one_worker());
+  const auto id = service.register_workload(workload);
+  std::vector<sweep::SweepTask> tasks = six_task_grid();
   // range(0) is the lockstep batch width (0 = historical per-engine
   // scheduling), so BENCH_service.json records which batch mode each
   // series ran under -- the label spells it out for consumers.
@@ -222,6 +217,61 @@ void bm_service_warm_sweep(benchmark::State& state) {
 BENCHMARK(bm_service_warm_sweep)
     ->Arg(0)
     ->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+/// The unbounded resident footprint (images + geometry) after one warm
+/// 6-task grid job -- the 100% mark the thrash series scales against.
+/// Computed once; google-benchmark re-enters each bench body many
+/// times.
+std::uint64_t warm_working_set_bytes() {
+  static const std::uint64_t bytes = [] {
+    serving::Service service(one_worker());
+    const auto id =
+        service.register_workload(bench::cached_workload(kKind));
+    (void)service.submit(serving::SweepJob{id, {}, six_task_grid()}).wait();
+    const auto stats = service.cache_stats();
+    return stats.images.bytes + stats.frontiers.bytes;
+  }();
+  return bytes;
+}
+
+void bm_service_thrash(benchmark::State& state) {
+  // Warm-sweep throughput under cache-budget pressure: the same 6-task
+  // grid, with the artifact cache capped at range(0) percent of the
+  // unbounded working set (0 = unbounded baseline). Outcomes are
+  // byte-identical at any budget (tests/serving/eviction_test.cpp pins
+  // it); what a tight budget costs is rebuild work, and this series
+  // prices it. The eviction counters land in BENCH_service.json so CI
+  // can assert the budget machinery actually ran.
+  const auto& workload = bench::cached_workload(kKind);
+  const std::int64_t pct = state.range(0);
+  serving::ServiceOptions options = one_worker();
+  options.cache_budget.total_bytes =
+      pct == 0 ? 0 : warm_working_set_bytes() * static_cast<std::uint64_t>(pct) / 100;
+  serving::Service service(options);
+  const auto id = service.register_workload(workload);
+  serving::SweepJob job{id, {}, six_task_grid()};
+  (void)service.submit(job).wait();  // prime
+  std::uint64_t cells = 0;
+  for (auto _ : state) {
+    cells += service.submit(job).wait().size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cells));
+  const auto stats = service.cache_stats();
+  state.counters["evictions"] = static_cast<double>(
+      stats.images.evictions + stats.frontiers.evictions);
+  state.counters["evicted_bytes"] = static_cast<double>(
+      stats.images.evicted_bytes + stats.frontiers.evicted_bytes);
+  state.SetLabel(pct == 0
+                     ? "6-task grid, unbounded cache (baseline)"
+                     : "6-task grid, budget " + std::to_string(pct) +
+                           "% of warm working set");
+}
+BENCHMARK(bm_service_thrash)
+    ->Arg(0)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
 void bm_wire_roundtrip_sweep_result(benchmark::State& state) {

@@ -89,9 +89,9 @@ int main() {
   //    rebuilding. A one-shot API would have built an image and a
   //    geometry cache per engine.
   const auto stats = service.cache_stats();
-  std::cout << "\nartifact cache: " << stats.images_built
-            << " images built, " << stats.image_borrows << " borrowed; "
-            << stats.frontiers_built << " frontier caches built, "
-            << stats.frontier_borrows << " borrowed\n";
+  std::cout << "\nartifact cache: " << stats.images.built
+            << " images built, " << stats.images.borrows << " borrowed; "
+            << stats.frontiers.built << " frontier caches built, "
+            << stats.frontiers.borrows << " borrowed\n";
   return 0;
 }

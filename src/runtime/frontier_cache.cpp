@@ -27,6 +27,14 @@ void FrontierCache::materialize() {
   materialized_ = true;
 }
 
+void FrontierCache::reset() {
+  // assign (not clear) releases the per-block vectors' heap storage --
+  // the point of evicting -- while keeping the per-CFG shape.
+  entries_.assign(cfg_.block_count(), {});
+  computed_.assign(cfg_.block_count(), false);
+  materialized_ = false;
+}
+
 std::uint64_t FrontierCache::approx_bytes() const {
   std::uint64_t bytes = 0;
   for (cfg::BlockId b = 0; b < computed_.size(); ++b) {
@@ -37,10 +45,12 @@ std::uint64_t FrontierCache::approx_bytes() const {
   return bytes;
 }
 
-const FrontierCache* SharedFrontier::acquire(bool* built_this_call) {
+const FrontierCache* SharedFrontier::acquire(bool* built_this_call,
+                                             bool pin) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (state_ == State::kReady) {
+      if (pin) ++pins_;
       if (built_this_call != nullptr) *built_this_call = false;
       return &cache_;
     }
@@ -66,12 +76,36 @@ const FrontierCache* SharedFrontier::acquire(bool* built_this_call) {
       }
       lock.lock();
       state_ = State::kReady;
+      // The builder pins itself before anyone can observe the ready
+      // flip, so a publish-time eviction pass can never reclaim an
+      // artifact out from under the cell that just built it.
+      if (pin) ++pins_;
       ready_cv_.notify_all();
       if (built_this_call != nullptr) *built_this_call = true;
       return &cache_;
     }
     ready_cv_.wait(lock, [&] { return state_ != State::kBuilding; });
   }
+}
+
+void SharedFrontier::unpin() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  APCC_CHECK(pins_ > 0, "SharedFrontier::unpin() without a pin");
+  --pins_;
+}
+
+std::size_t SharedFrontier::pins() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pins_;
+}
+
+bool SharedFrontier::evict() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kReady || pins_ != 0) return false;
+  cache_.reset();
+  state_ = State::kIdle;
+  builder_ = {};
+  return true;
 }
 
 bool SharedFrontier::ready() const {

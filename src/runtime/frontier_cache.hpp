@@ -49,6 +49,14 @@ class FrontierCache {
   /// shared_frontiers relies on).
   void materialize();
 
+  /// Drop every computed candidate list and return to the lazy, empty
+  /// state (artifact eviction). A later materialize() recomputes lists
+  /// bit-identical to the first build -- the geometry is a pure
+  /// function of (CFG, k) -- which is what keeps eviction invisible to
+  /// job outcomes. Only SharedFrontier::evict() calls this, and only
+  /// while no reader holds a borrow.
+  void reset();
+
   [[nodiscard]] bool materialized() const { return materialized_; }
 
   [[nodiscard]] unsigned k() const { return k_; }
@@ -111,7 +119,28 @@ class SharedFrontier {
   /// build throws, the claim is rolled back and waiters wake to re-claim
   /// -- every caller either returns a ready cache or propagates a build
   /// failure; none deadlocks.
-  [[nodiscard]] const FrontierCache* acquire(bool* built_this_call = nullptr);
+  ///
+  /// With `pin` true the borrow refcount is incremented atomically with
+  /// the acquire (ready-check and pin under one lock hold, so an
+  /// evictor can never slip between them); the caller must balance it
+  /// with unpin() when its cell retires. Callers that own the slot for
+  /// its whole lifetime (sweep::run_campaign) skip pinning -- they
+  /// never evict.
+  [[nodiscard]] const FrontierCache* acquire(bool* built_this_call = nullptr,
+                                             bool pin = false);
+
+  /// Release one acquire(pin=true) borrow.
+  void unpin();
+
+  /// Live borrows (cells holding the cache via acquire(pin=true)).
+  [[nodiscard]] std::size_t pins() const;
+
+  /// Evict the materialized geometry: a ready, unpinned slot drops its
+  /// candidate lists and returns to idle, so the next acquire()
+  /// re-claims and rebuilds bit-identically. Returns false -- and does
+  /// nothing -- when the slot is not ready (nothing resident to evict)
+  /// or pinned (an in-flight cell still borrows it).
+  bool evict();
 
   /// True once a builder has finished (never blocks).
   [[nodiscard]] bool ready() const;
@@ -127,6 +156,10 @@ class SharedFrontier {
   mutable std::mutex mutex_;
   std::condition_variable ready_cv_;
   State state_ = State::kIdle;
+  /// Borrow refcount (guarded by mutex_): cells pin on acquire and
+  /// unpin at retirement; evict() refuses while nonzero, which is the
+  /// whole pinned-artifacts-survive guarantee.
+  std::size_t pins_ = 0;
   std::thread::id builder_{};
 };
 

@@ -1,0 +1,174 @@
+// serving cache types: budgets, per-kind statistics, and the pure
+// cost-aware eviction policy.
+//
+// PR 8 lifts these out of serving::Service so the eviction policy is a
+// testable unit instead of private Service internals. The paper's whole
+// premise is operating under a hard memory budget -- its engine manages
+// decompressed blocks under a byte ceiling with budget-LRU machinery
+// (bench_e5/bench_e9) -- and the Service's artifact cache inherits the
+// same discipline at the serving layer: compressed BlockImages and
+// materialized FrontierCaches are resident artifacts competing for a
+// configurable byte budget, evicted cost-aware (not merely
+// recency-aware) and transparently rebuilt through the existing
+// claim-build/wait handshake when a later job needs them again.
+//
+// Division of labour:
+//  * CacheBudget / ArtifactStats / CacheStats are plain values --
+//    configuration in (ServiceOptions::cache_budget), observability out
+//    (Service::cache_stats()).
+//  * plan_evictions() is a pure function: resident set + budget ->
+//    victim list. The Service merely snapshots its slots into
+//    CacheEntry views under its mutex and applies the returned plan;
+//    everything policy-shaped lives here, under unit test
+//    (tests/serving/cache_test.cpp).
+//
+// The determinism contract (ROADMAP invariant): eviction only changes
+// *when* an artifact is rebuilt, never any job outcome. Rebuilt
+// artifacts are byte-identical to their first build (codec training
+// over the same bytes, BFS over the same CFG), so the differential
+// suites pass byte-identical with any budget -- including one small
+// enough to force constant thrash (tests/serving/eviction_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace apcc::serving {
+
+/// Byte ceilings for the Service's resident artifact cache. Every
+/// ceiling is "0 = unbounded" -- the default preserves the historical
+/// grow-without-bound behaviour (and its exact cache counters). The
+/// per-kind ceilings bound images and frontier geometry separately;
+/// total_bytes is a shared ceiling across both kinds, enforced after
+/// the per-kind ones. Budgets are pressure, not hard guarantees: an
+/// artifact borrowed by an in-flight cell is pinned and never evicted,
+/// so the resident set may transiently exceed the budget until those
+/// cells retire and the next publish re-evaluates.
+struct CacheBudget {
+  std::uint64_t image_bytes = 0;     // compressed BlockImage ceiling
+  std::uint64_t frontier_bytes = 0;  // materialized geometry ceiling
+  std::uint64_t total_bytes = 0;     // shared ceiling across both kinds
+
+  [[nodiscard]] bool unbounded() const {
+    return image_bytes == 0 && frontier_bytes == 0 && total_bytes == 0;
+  }
+};
+
+/// Cumulative counters for one artifact kind (images or frontier
+/// geometry). Two vocabularies, one ledger: built/borrows count
+/// *successful* resolutions (the PR 4 names, kept stable), hits/
+/// misses/rebuilds count *attempts* -- a miss is any claim of a build
+/// (including ones that then fail and roll back), a hit is a
+/// ready-artifact borrow, and a rebuild is a miss on a slot whose
+/// previous build failed. Eviction adds the third vocabulary:
+/// evictions/evicted_bytes count artifacts dropped under budget
+/// pressure; an evicted key's next claim is an ordinary miss that
+/// rebuilds the artifact bit-identically. `bytes` is the *resident*
+/// footprint (grows at publish, shrinks at evict); `entries` is the
+/// resident artifact count, snapshotted at cache_stats() query time.
+struct ArtifactStats {
+  std::size_t built = 0;          // artifacts materialized
+  std::size_t borrows = 0;        // cells served by a cached artifact
+  std::size_t hits = 0;           // ready-artifact borrows
+  std::size_t misses = 0;         // build attempts claimed
+  std::size_t rebuilds = 0;       // claims after a failed build
+  std::size_t evictions = 0;      // artifacts evicted under budget
+  std::uint64_t evicted_bytes = 0;  // cumulative bytes evicted
+  std::uint64_t bytes = 0;        // approx resident bytes
+  std::size_t entries = 0;        // resident artifacts (query time)
+};
+
+/// Artifact-cache observability, one ArtifactStats per kind. The PR 4-7
+/// flat field names (images_built, frontier_bytes, ...) survive as
+/// accessors -- a one-release deprecation shim so existing callers
+/// migrate to the per-kind structs deliberately, not silently.
+struct CacheStats {
+  ArtifactStats images;
+  ArtifactStats frontiers;
+
+  // -- deprecation shim: the flat PR 4-7 spellings ---------------------
+  [[nodiscard]] std::size_t images_built() const { return images.built; }
+  [[nodiscard]] std::size_t image_borrows() const { return images.borrows; }
+  [[nodiscard]] std::size_t image_hits() const { return images.hits; }
+  [[nodiscard]] std::size_t image_misses() const { return images.misses; }
+  [[nodiscard]] std::size_t image_rebuilds() const { return images.rebuilds; }
+  [[nodiscard]] std::uint64_t image_bytes() const { return images.bytes; }
+  [[nodiscard]] std::size_t image_entries() const { return images.entries; }
+  [[nodiscard]] std::size_t frontiers_built() const {
+    return frontiers.built;
+  }
+  [[nodiscard]] std::size_t frontier_borrows() const {
+    return frontiers.borrows;
+  }
+  [[nodiscard]] std::size_t frontier_hits() const { return frontiers.hits; }
+  [[nodiscard]] std::size_t frontier_misses() const {
+    return frontiers.misses;
+  }
+  [[nodiscard]] std::size_t frontier_rebuilds() const {
+    return frontiers.rebuilds;
+  }
+  [[nodiscard]] std::uint64_t frontier_bytes() const {
+    return frontiers.bytes;
+  }
+  [[nodiscard]] std::size_t frontier_entries() const {
+    return frontiers.entries;
+  }
+};
+
+/// One resident artifact, as the eviction policy sees it: how big it
+/// is, what rebuilding it would cost, when it was last useful, and
+/// whether an in-flight cell holds a borrow (pinned artifacts are never
+/// victims -- a cell's artifact stays alive until the cell retires).
+struct CacheEntry {
+  std::uint64_t bytes = 0;         // resident footprint
+  std::uint64_t rebuild_cost = 0;  // deterministic rebuild estimate
+  std::uint64_t last_use = 0;      // ledger clock at last borrow/publish
+  bool pinned = false;             // borrowed by an in-flight cell
+};
+
+/// Cost-aware LRU: pick victims until the resident set fits
+/// `budget_bytes` (an exact ceiling here -- the caller interprets its
+/// own "0 = unbounded" convention and simply doesn't call; budget 0 to
+/// this function means "evict everything unpinned", the fault-injection
+/// forced flush). `clock` is the ledger's current tick.
+///
+/// The score is a cost-weighted staleness: an entry's eviction
+/// priority is (clock - last_use) * bytes / max(rebuild_cost, 1) --
+/// "stale resident bytes per unit of rebuild cost". A big, stale,
+/// cheap-to-rebuild artifact (one-BFS-per-block geometry) goes long
+/// before a small, recent, expensive one (a trained codec image).
+/// Pure LRU is the rebuild_cost == bytes special case. Ties break on
+/// older last_use, then lower index, so the plan is a deterministic
+/// function of its inputs. Pinned entries are never selected; if
+/// evicting every unpinned entry still leaves the set over budget, the
+/// plan simply returns all of them (budgets are pressure, not
+/// guarantees).
+///
+/// Returns indices into `entries`, in eviction order.
+[[nodiscard]] std::vector<std::size_t> plan_evictions(
+    std::span<const CacheEntry> entries, std::uint64_t budget_bytes,
+    std::uint64_t clock);
+
+/// Deterministic rebuild-cost estimates, shared by the Service's ledger
+/// and the policy tests. Units are abstract "work" (comparable across
+/// kinds, not wall-clock): rebuilding an image means retraining the
+/// codec over every block byte, so its cost scales with the original
+/// image size; rebuilding frontier geometry means one k-bounded BFS per
+/// block, so its cost scales with block_count * (k + 1). The estimates
+/// only steer eviction *order*; they can be wrong by a constant factor
+/// without affecting any job outcome.
+[[nodiscard]] std::uint64_t estimate_image_cost(
+    std::uint64_t original_bytes);
+[[nodiscard]] std::uint64_t estimate_frontier_cost(std::size_t block_count,
+                                                   unsigned k);
+
+/// The one shared rendering of a CacheStats snapshot (bench_service,
+/// the CLI batch summary, examples) -- two lines, one per artifact
+/// kind, newline-terminated, eviction counters included so a log line
+/// proves the budget machinery ran.
+[[nodiscard]] std::string format_cache_stats(const CacheStats& stats);
+
+}  // namespace apcc::serving

@@ -56,6 +56,16 @@ struct FaultPlan {
   /// are unaffected.
   bool expire_deadlines = false;
 
+  /// At the Nth successful artifact publish (images + frontier
+  /// geometry, 1-based, counted service-wide in publish order), force
+  /// an eviction pass that reclaims every unpinned resident artifact
+  /// regardless of the configured budget; 0 = never. Pinned artifacts
+  /// (borrowed by in-flight cells -- including the publisher itself)
+  /// survive, exactly as under real budget pressure, so this is the
+  /// deterministic driver for the evict-then-rebuild path without
+  /// having to tune a byte budget per workload.
+  std::size_t evict_at_publish = 0;
+
   /// Test seam: called at every task boundary with the 1-based
   /// boundary ordinal, before the declarative faults above are
   /// evaluated. Tests use it to park a cell on a gate so queue depth
@@ -66,7 +76,8 @@ struct FaultPlan {
   /// True when the plan injects nothing (on_boundary still fires).
   [[nodiscard]] bool empty() const {
     return fail_image_build == 0 && throw_in_task == 0 &&
-           cancel_at_boundary == 0 && !expire_deadlines && !on_boundary;
+           cancel_at_boundary == 0 && !expire_deadlines &&
+           evict_at_publish == 0 && !on_boundary;
   }
 };
 

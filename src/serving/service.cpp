@@ -29,7 +29,10 @@ struct JobCancelled {};
 /// lock; concurrent cells block on the cv; afterwards the image is
 /// immutable and borrowed without locks. A builder that throws -- or
 /// observes its job's cancellation -- rolls the claim back to kIdle so
-/// waiters re-claim instead of deadlocking.
+/// waiters re-claim instead of deadlocking. Eviction reuses the same
+/// state machine: a ready, unpinned slot drops its image and returns
+/// to kIdle, so the next claim rebuilds it bit-identically (an
+/// ordinary miss -- failed_before stays untouched).
 struct Service::ImageSlot {
   enum class State : std::uint8_t { kIdle, kBuilding, kReady };
 
@@ -39,8 +42,52 @@ struct Service::ImageSlot {
   /// The last claim of this slot rolled back (build failure or builder
   /// cancellation); the next claim counts as a cache *rebuild*.
   bool failed_before = false;
+  /// Borrow refcount: every borrow (and the builder's own publish)
+  /// pins, the cell's CellLease unpins at retirement; the eviction
+  /// pass never selects a pinned slot. Guarded by `mutex`.
+  std::size_t pins = 0;
   std::unique_ptr<const runtime::BlockImage> image;
+
+  // -- eviction ledger, guarded by Service::mutex_, NOT by `mutex` ----
+  std::uint64_t bytes = 0;         // resident bytes (0 = not resident)
+  std::uint64_t rebuild_cost = 0;  // estimate_image_cost at publish
+  std::uint64_t last_use = 0;      // cache_clock_ at last borrow/publish
 };
+
+Service::CellLease::CellLease(CellLease&& other) noexcept {
+  *this = std::move(other);
+}
+
+Service::CellLease& Service::CellLease::operator=(
+    CellLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    image_ = other.image_;
+    frontier_ = other.frontier_;
+    other.image_ = nullptr;
+    other.frontier_ = nullptr;
+  }
+  return *this;
+}
+
+Service::CellLease::~CellLease() { release(); }
+
+void Service::CellLease::release() {
+  // Only slot-level locks here (never Service::mutex_): release runs on
+  // pool threads at cell retirement and must not contend with the
+  // registry. The newly unpinned artifact stays resident until the next
+  // publish re-evaluates the budget -- eviction is publish-driven.
+  if (image_ != nullptr) {
+    const std::lock_guard<std::mutex> lock(image_->mutex);
+    APCC_CHECK(image_->pins > 0, "image lease released without a pin");
+    --image_->pins;
+    image_ = nullptr;
+  }
+  if (frontier_ != nullptr) {
+    frontier_->unpin();
+    frontier_ = nullptr;
+  }
+}
 
 /// One registered workload plus its image artifacts. The workload lives
 /// behind a unique_ptr so its Cfg / trace / bytes keep stable addresses
@@ -54,7 +101,9 @@ struct Service::Registered {
 };
 
 Service::Service(ServiceOptions options)
-    : limits_(options.limits), faults_(std::move(options.faults)) {
+    : limits_(options.limits),
+      budget_(options.cache_budget),
+      faults_(std::move(options.faults)) {
   unsigned workers = options.workers != 0
                          ? options.workers
                          : std::thread::hardware_concurrency();
@@ -135,7 +184,7 @@ bool Service::task_boundary(detail::JobState& state) {
 
 const runtime::BlockImage& Service::image_for(
     Registered& entry, const core::SystemConfig& config,
-    const sweep::CancelToken* token) {
+    const sweep::CancelToken* token, CellLease& lease) {
   ImageSlot* slot = nullptr;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -150,11 +199,18 @@ const runtime::BlockImage& Service::image_for(
     // before every re-claim attempt after a rolled-back build.
     if (token && token->cancelled()) throw JobCancelled{};
     if (slot->state == ImageSlot::State::kReady) {
+      // Pin before the slot lock drops: ready-check and pin are one
+      // atomic step, so the eviction pass can never reclaim the image
+      // between our check and our borrow.
+      ++slot->pins;
+      lease.image_ = slot;
+      const runtime::BlockImage& image = *slot->image;
       slot_lock.unlock();
       const std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.image_borrows;
-      ++stats_.image_hits;
-      return *slot->image;
+      ++stats_.images.borrows;
+      ++stats_.images.hits;
+      slot->last_use = ++cache_clock_;
+      return image;
     }
     if (slot->state == ImageSlot::State::kIdle) {
       const bool rebuild = slot->failed_before;
@@ -162,14 +218,16 @@ const runtime::BlockImage& Service::image_for(
       slot_lock.unlock();
       {
         const std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.image_misses;
-        if (rebuild) ++stats_.image_rebuilds;
+        ++stats_.images.misses;
+        if (rebuild) ++stats_.images.rebuilds;
       }
       // Build off the lock: exactly what from_workload does -- train
       // the codec on a copy of the block bytes, then freeze the image
-      // -- so a cached image is byte-identical to a per-call one.
+      // -- so a cached image is byte-identical to a per-call one (and a
+      // rebuilt-after-eviction image byte-identical to the first).
       const workloads::Workload& w = *entry.workload;
       std::unique_ptr<const runtime::BlockImage> image;
+      std::uint64_t original_bytes = 0;
       try {
         if (token && token->cancelled()) throw JobCancelled{};
         if (faults_) {
@@ -183,6 +241,7 @@ const runtime::BlockImage& Service::image_for(
           }
         }
         std::vector<compress::Bytes> bytes = w.block_bytes;
+        for (const compress::Bytes& b : bytes) original_bytes += b.size();
         auto codec = compress::make_codec(config.codec, bytes);
         image = std::make_unique<const runtime::BlockImage>(
             w.cfg, std::move(bytes), std::move(codec));
@@ -201,12 +260,25 @@ const runtime::BlockImage& Service::image_for(
       slot->image = std::move(image);
       slot->state = ImageSlot::State::kReady;
       slot->failed_before = false;
+      // The builder borrows what it just built -- pinned before anyone
+      // can observe the ready flip, so the publish-time eviction pass
+      // below (or a concurrent one) can never reclaim the image out
+      // from under this cell.
+      ++slot->pins;
+      lease.image_ = slot;
+      const runtime::BlockImage& built = *slot->image;
+      const std::uint64_t resident = built.approx_bytes();
       slot->ready_cv.notify_all();
       slot_lock.unlock();
       const std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.images_built;
-      stats_.image_bytes += slot->image->approx_bytes();
-      return *slot->image;
+      ++stats_.images.built;
+      stats_.images.bytes += resident;
+      slot->bytes = resident;
+      slot->rebuild_cost = estimate_image_cost(original_bytes);
+      slot->last_use = ++cache_clock_;
+      ++publish_count_;
+      evict_over_budget_locked();
+      return built;
     }
     slot->ready_cv.wait(slot_lock, [&] {
       return slot->state != ImageSlot::State::kBuilding;
@@ -215,53 +287,55 @@ const runtime::BlockImage& Service::image_for(
 }
 
 const runtime::FrontierCache* Service::frontiers_for(
-    Registered& entry, unsigned k, const sweep::CancelToken* token) {
+    Registered& entry, unsigned k, const sweep::CancelToken* token,
+    CellLease& lease) {
   if (token && token->cancelled()) throw JobCancelled{};
   const runtime::FrontierKey key{&entry.workload->cfg, k};
   runtime::SharedFrontier* slot = nullptr;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    auto& owned = frontiers_[key];
-    if (!owned) {
-      owned =
+    FrontierLedger& ledger = frontiers_[key];
+    if (!ledger.shared) {
+      ledger.shared =
           std::make_unique<runtime::SharedFrontier>(entry.workload->cfg, k);
     }
-    slot = owned.get();
+    slot = ledger.shared.get();
   }
   bool built = false;
   const runtime::FrontierCache* cache = nullptr;
   try {
-    cache = slot->acquire(&built);
+    // pin=true: the ready-check (or the builder's own ready flip) and
+    // the pin happen under one slot-lock hold, so an eviction pass can
+    // never slip between them. The pin is handed to the lease below.
+    cache = slot->acquire(&built, /*pin=*/true);
   } catch (...) {
     // This caller claimed the build and it threw (SharedFrontier rolled
     // its own claim back): a miss, and a rebuild if the key had failed
     // before.
     const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.frontier_misses;
-    const auto it =
-        std::find(frontier_failed_.begin(), frontier_failed_.end(), key);
-    if (it != frontier_failed_.end()) {
-      ++stats_.frontier_rebuilds;
-    } else {
-      frontier_failed_.push_back(key);
-    }
+    ++stats_.frontiers.misses;
+    if (!frontier_failed_.insert(key).second) ++stats_.frontiers.rebuilds;
     throw;
   }
+  lease.frontier_ = slot;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    FrontierLedger& ledger = frontiers_.find(key)->second;
+    ledger.last_use = ++cache_clock_;
     if (built) {
-      ++stats_.frontiers_built;
-      ++stats_.frontier_misses;
-      stats_.frontier_bytes += cache->approx_bytes();
-      const auto it =
-          std::find(frontier_failed_.begin(), frontier_failed_.end(), key);
-      if (it != frontier_failed_.end()) {
-        ++stats_.frontier_rebuilds;
-        frontier_failed_.erase(it);
-      }
+      ++stats_.frontiers.built;
+      ++stats_.frontiers.misses;
+      const std::uint64_t resident = cache->approx_bytes();
+      stats_.frontiers.bytes += resident;
+      ledger.bytes = resident;
+      ledger.rebuild_cost =
+          estimate_frontier_cost(entry.workload->cfg.block_count(), k);
+      if (frontier_failed_.erase(key) != 0) ++stats_.frontiers.rebuilds;
+      ++publish_count_;
+      evict_over_budget_locked();
     } else {
-      ++stats_.frontier_borrows;
-      ++stats_.frontier_hits;
+      ++stats_.frontiers.borrows;
+      ++stats_.frontiers.hits;
     }
   }
   return cache;
@@ -270,13 +344,123 @@ const runtime::FrontierCache* Service::frontiers_for(
 sim::EngineConfig Service::cell_config(Registered& entry,
                                        const sim::EngineConfig& base,
                                        bool share_frontiers,
-                                       const sweep::CancelToken* token) {
+                                       const sweep::CancelToken* token,
+                                       CellLease& lease) {
   sim::EngineConfig config = base;
   if (share_frontiers) {
     config.shared_frontiers =
-        frontiers_for(entry, config.policy.predecompress_k, token);
+        frontiers_for(entry, config.policy.predecompress_k, token, lease);
   }
   return config;
+}
+
+void Service::evict_over_budget_locked() {
+  const bool forced = faults_ != nullptr && faults_->evict_at_publish != 0 &&
+                      publish_count_ == faults_->evict_at_publish;
+  if (!forced && budget_.unbounded()) return;
+
+  // Snapshot the resident artifacts into policy views, in deterministic
+  // order (registry index, then codec key; then frontier key). Pins are
+  // read under each slot's lock (mutex_ -> slot order); a borrow that
+  // lands after the snapshot is caught by the apply-time re-check.
+  struct Resident {
+    ImageSlot* image = nullptr;        // exactly one of image /
+    FrontierLedger* frontier = nullptr;  // frontier is set
+    CacheEntry entry;
+  };
+  std::vector<Resident> residents;
+  std::vector<std::size_t> image_indices;
+  std::vector<std::size_t> frontier_indices;
+  for (const auto& registered : registry_) {
+    for (const auto& [codec, slot] : registered->images) {
+      if (slot->bytes == 0) continue;  // never published, or evicted
+      bool pinned = false;
+      {
+        const std::lock_guard<std::mutex> slot_lock(slot->mutex);
+        pinned = slot->pins != 0;
+      }
+      image_indices.push_back(residents.size());
+      residents.push_back(
+          {slot.get(), nullptr,
+           CacheEntry{slot->bytes, slot->rebuild_cost, slot->last_use,
+                      pinned}});
+    }
+  }
+  for (auto& [key, ledger] : frontiers_) {
+    if (ledger.bytes == 0) continue;
+    frontier_indices.push_back(residents.size());
+    residents.push_back(
+        {nullptr, &ledger,
+         CacheEntry{ledger.bytes, ledger.rebuild_cost, ledger.last_use,
+                    ledger.shared->pins() != 0}});
+  }
+
+  // Evict one victim; the apply-time ready/pinned re-check under the
+  // slot's own lock is authoritative (a racing borrow exempts the
+  // artifact this pass). On success, zero the snapshot bytes so later
+  // passes see the post-eviction resident set; on failure, mark the
+  // snapshot pinned so they stop retrying it.
+  const auto apply = [this](Resident& r) {
+    std::uint64_t freed = 0;
+    if (r.image != nullptr) {
+      {
+        const std::lock_guard<std::mutex> slot_lock(r.image->mutex);
+        if (r.image->state != ImageSlot::State::kReady ||
+            r.image->pins != 0) {
+          r.entry.pinned = true;
+          return;
+        }
+        r.image->image.reset();
+        r.image->state = ImageSlot::State::kIdle;
+      }
+      freed = r.image->bytes;
+      r.image->bytes = 0;
+      ++stats_.images.evictions;
+      stats_.images.evicted_bytes += freed;
+      stats_.images.bytes -= freed;
+    } else {
+      if (!r.frontier->shared->evict()) {
+        r.entry.pinned = true;
+        return;
+      }
+      freed = r.frontier->bytes;
+      r.frontier->bytes = 0;
+      ++stats_.frontiers.evictions;
+      stats_.frontiers.evicted_bytes += freed;
+      stats_.frontiers.bytes -= freed;
+    }
+    r.entry.bytes = 0;
+  };
+
+  const auto run_pass = [&](const std::vector<std::size_t>& subset,
+                            std::uint64_t budget) {
+    std::vector<CacheEntry> view;
+    view.reserve(subset.size());
+    for (const std::size_t idx : subset) view.push_back(residents[idx].entry);
+    for (const std::size_t victim :
+         plan_evictions(view, budget, cache_clock_)) {
+      apply(residents[subset[victim]]);
+    }
+  };
+
+  if (forced) {
+    // The fault plan's flush: every unpinned resident artifact goes,
+    // whatever the configured budget -- budget 0 to the pure policy
+    // means exactly that.
+    std::vector<std::size_t> all(residents.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    run_pass(all, 0);
+    return;
+  }
+  if (budget_.image_bytes != 0) run_pass(image_indices, budget_.image_bytes);
+  if (budget_.frontier_bytes != 0) {
+    run_pass(frontier_indices, budget_.frontier_bytes);
+  }
+  if (budget_.total_bytes != 0) {
+    std::vector<std::size_t> all(residents.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    run_pass(all, budget_.total_bytes);
+  }
 }
 
 JobHandle<JobResult> Service::submit(JobSpec spec) {
@@ -369,6 +553,11 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
                                             sweep::ResultSink& sink) {
     std::vector<std::size_t> indices;
     std::vector<sim::EngineConfig> configs;
+    // One lease per admitted cell, collected so every borrow outlives
+    // the whole batched run below (a batch sibling's artifacts must not
+    // become eviction victims while the lockstep engine still reads
+    // them). Destruction at scope exit releases the pins.
+    std::vector<CellLease> leases;
     std::exception_ptr first_error;
     const runtime::BlockImage* image = nullptr;
     for (std::size_t i = begin; i < end; ++i) {
@@ -376,11 +565,14 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
         // Cancelled cells retire quietly; a boundary that throws (fault
         // injection) fails only this cell -- siblings still run.
         if (!task_boundary(*state)) continue;
-        image = &image_for(target, ctx->spec.config, state->token.get());
+        CellLease lease;
+        image =
+            &image_for(target, ctx->spec.config, state->token.get(), lease);
         configs.push_back(cell_config(target, ctx->spec.tasks[i].config,
                                       ctx->spec.share_frontiers,
-                                      state->token.get()));
+                                      state->token.get(), lease));
         indices.push_back(i);
+        leases.push_back(std::move(lease));
       } catch (const JobCancelled&) {
       } catch (...) {
         if (!first_error) first_error = std::current_exception();
@@ -413,11 +605,14 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
         if (!task_boundary(*state)) return;
         try {
           Registered& target = *ctx->entries[0];
+          // The lease pins the cell's borrows until scope exit -- after
+          // the engine run, so eviction never races a live engine.
+          CellLease lease;
           const runtime::BlockImage& image =
-              image_for(target, ctx->spec.config, state->token.get());
+              image_for(target, ctx->spec.config, state->token.get(), lease);
           const sim::EngineConfig config = cell_config(
               target, core::engine_config(ctx->spec.config),
-              ctx->spec.share_frontiers, state->token.get());
+              ctx->spec.share_frontiers, state->token.get(), lease);
           sim::Engine engine(target.workload->cfg, image, config);
           sim::RunResult result = engine.run(target.workload->trace);
           const std::lock_guard<std::mutex> lock(state->mutex);
@@ -446,12 +641,13 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
         if (!task_boundary(*state)) return;
         try {
           Registered& target = *ctx->entries[0];
+          CellLease lease;  // pins the cell's borrows past the run
           const runtime::BlockImage& image =
-              image_for(target, ctx->spec.config, state->token.get());
+              image_for(target, ctx->spec.config, state->token.get(), lease);
           const sweep::SweepTask& task = ctx->spec.tasks[i];
           const sim::EngineConfig config =
               cell_config(target, task.config, ctx->spec.share_frontiers,
-                          state->token.get());
+                          state->token.get(), lease);
           sim::Engine engine(target.workload->cfg, image, config);
           ctx->sinks[0].push(sweep::SweepOutcome{
               i, task.label, engine.run(target.workload->trace)});
@@ -486,12 +682,13 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
           const std::size_t w = i / grid_size;
           const std::size_t t = i % grid_size;
           Registered& target = *ctx->entries[w];
+          CellLease lease;  // pins the cell's borrows past the run
           const runtime::BlockImage& image =
-              image_for(target, ctx->spec.config, state->token.get());
+              image_for(target, ctx->spec.config, state->token.get(), lease);
           const sweep::SweepTask& task = ctx->spec.tasks[t];
           const sim::EngineConfig config =
               cell_config(target, task.config, ctx->spec.share_frontiers,
-                          state->token.get());
+                          state->token.get(), lease);
           sim::Engine engine(target.workload->cfg, image, config);
           ctx->sinks[w].push(sweep::SweepOutcome{
               t, task.label, engine.run(target.workload->trace)});
@@ -651,15 +848,15 @@ Service::CacheStats Service::cache_stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   CacheStats stats = stats_;
   // Resident-set sizes are counted at query time: the running counters
-  // above survive artifact eviction (a future policy), these do not.
+  // above survive artifact eviction, these reflect what eviction left.
   for (const auto& entry : registry_) {
     for (const auto& [codec, slot] : entry->images) {
       const std::lock_guard<std::mutex> slot_lock(slot->mutex);
-      if (slot->image) ++stats.image_entries;
+      if (slot->image) ++stats.images.entries;
     }
   }
-  for (const auto& [key, slot] : frontiers_) {
-    if (slot->ready()) ++stats.frontier_entries;
+  for (const auto& [key, ledger] : frontiers_) {
+    if (ledger.shared->ready()) ++stats.frontiers.entries;
   }
   return stats;
 }
@@ -673,7 +870,7 @@ const runtime::SharedFrontier* Service::frontier_slot(
   const runtime::FrontierKey key{&registry_[id]->workload->cfg,
                                  predecompress_k};
   const auto it = frontiers_.find(key);
-  return it == frontiers_.end() ? nullptr : it->second.get();
+  return it == frontiers_.end() ? nullptr : it->second.shared.get();
 }
 
 }  // namespace apcc::serving

@@ -56,12 +56,14 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "core/system.hpp"
 #include "runtime/frontier_cache.hpp"
+#include "serving/cache.hpp"
 #include "serving/fault_plan.hpp"
 #include "serving/job_spec.hpp"
 #include "support/assert.hpp"
@@ -100,6 +102,14 @@ struct ServiceOptions {
   /// worker *thread* -- submit() never runs work inline.
   unsigned workers = 0;
   ServiceLimits limits;
+  /// Byte ceilings for the resident artifact cache (see cache.hpp).
+  /// All-zero -- the default -- preserves the historical
+  /// grow-without-bound behaviour, including its exact cache counters.
+  /// Under a budget, publishes trigger a cost-aware eviction pass;
+  /// evicted artifacts are transparently rebuilt (bit-identical) by the
+  /// next job that needs them, so a budget never changes any job
+  /// outcome -- only when artifacts are rebuilt.
+  CacheBudget cache_budget;
   /// Deterministic fault injection (tests / soak runs); null -- the
   /// default -- costs one branch per fault point. See fault_plan.hpp.
   std::shared_ptr<const FaultPlan> faults;
@@ -306,37 +316,14 @@ class Service {
   void shutdown(std::optional<std::chrono::milliseconds> drain_deadline =
                     std::nullopt);
 
-  /// Artifact-cache observability (tests pin dedup and reuse on these;
-  /// counters are cumulative since construction). The byte figures are
-  /// approximate resident sizes of the cached artifacts -- the numbers
-  /// an eviction policy would budget against (ROADMAP).
-  ///
-  /// Two vocabularies, one ledger: built/borrows count *successful*
-  /// resolutions (the PR 4 names, kept stable), while hits/misses/
-  /// rebuilds count *attempts* -- a miss is any claim of a build
-  /// (including ones that then fail and roll back), a hit is a
-  /// ready-artifact borrow, and a rebuild is a miss on a slot whose
-  /// previous build failed (the rollback path re-opened it). So
-  /// misses == built exactly when no build ever failed.
-  struct CacheStats {
-    std::size_t images_built = 0;     // BlockImages materialized
-    std::size_t image_borrows = 0;    // cells served by a cached image
-    std::size_t frontiers_built = 0;  // FrontierCaches materialized
-    std::size_t frontier_borrows = 0; // engines that borrowed geometry
-    std::size_t image_hits = 0;       // ready-image borrows
-    std::size_t image_misses = 0;     // image build attempts claimed
-    std::size_t image_rebuilds = 0;   // claims after a failed build
-    std::size_t frontier_hits = 0;    // ready-geometry borrows
-    std::size_t frontier_misses = 0;  // geometry build attempts
-    std::size_t frontier_rebuilds = 0; // claims after a failed build
-    std::uint64_t image_bytes = 0;    // approx bytes of cached images
-    std::uint64_t frontier_bytes = 0; // approx bytes of materialized
-                                      // frontier geometry
-    // The resident sets an eviction policy would act on (ROADMAP item
-    // 1): artifacts currently held ready, counted at query time.
-    std::size_t image_entries = 0;    // resident cached images
-    std::size_t frontier_entries = 0; // resident materialized geometries
-  };
+  /// Artifact-cache observability (tests pin dedup, reuse, and
+  /// eviction on these; counters are cumulative since construction).
+  /// One serving::ArtifactStats per artifact kind -- see cache.hpp for
+  /// the counter semantics (built/borrows vs hits/misses/rebuilds vs
+  /// evictions/evicted_bytes, resident bytes/entries). The PR 4-7 flat
+  /// spellings (stats.image_hits -> stats.image_hits()) survive as
+  /// accessors on the returned struct for one release.
+  using CacheStats = serving::CacheStats;
   [[nodiscard]] CacheStats cache_stats() const;
 
   [[nodiscard]] unsigned workers() const;
@@ -351,20 +338,74 @@ class Service {
   struct ImageSlot;
   struct Registered;
 
+  /// RAII record of one grid cell's borrowed artifacts. Every borrow
+  /// (and every publish -- the builder borrows what it built) pins the
+  /// artifact's slot; the lease unpins at destruction, which the item
+  /// lambdas arrange to happen only after the cell's engine run
+  /// finished. While a lease is live its artifacts are never eviction
+  /// victims, so engines hold plain references with no locking --
+  /// exactly the pre-budget borrowing contract. Movable (batched cells
+  /// collect their leases into a vector that outlives the BatchEngine
+  /// run), not copyable (a pin has one owner).
+  class CellLease {
+   public:
+    CellLease() = default;
+    CellLease(CellLease&& other) noexcept;
+    CellLease& operator=(CellLease&& other) noexcept;
+    CellLease(const CellLease&) = delete;
+    CellLease& operator=(const CellLease&) = delete;
+    ~CellLease();
+
+    /// Drop the borrows now (idempotent; the destructor calls it).
+    void release();
+
+   private:
+    friend class Service;
+    ImageSlot* image_ = nullptr;
+    runtime::SharedFrontier* frontier_ = nullptr;
+  };
+
+  /// One geometry slot plus its eviction-ledger entry. The slot guards
+  /// its own handshake state and pin count under its mutex; the ledger
+  /// fields are guarded by Service::mutex_ (bytes == 0 means "not
+  /// resident" -- never published, or evicted).
+  struct FrontierLedger {
+    std::unique_ptr<runtime::SharedFrontier> shared;
+    std::uint64_t bytes = 0;         // resident bytes (0 = not resident)
+    std::uint64_t rebuild_cost = 0;  // estimate_frontier_cost at publish
+    std::uint64_t last_use = 0;      // cache_clock_ at last borrow/publish
+  };
+
   /// Resolve (build-or-borrow) the image artifact for a cell. `token`
   /// (may be null) makes the claim-build handshake cancellation-aware:
-  /// a cancelled builder rolls its claim back so waiters re-claim.
+  /// a cancelled builder rolls its claim back so waiters re-claim. The
+  /// borrow is pinned into `lease` before the slot lock is released, so
+  /// the returned reference stays valid until the lease releases.
   const runtime::BlockImage& image_for(Registered& entry,
                                        const core::SystemConfig& config,
-                                       const sweep::CancelToken* token);
+                                       const sweep::CancelToken* token,
+                                       CellLease& lease);
   /// Resolve the geometry artifact; creates the slot on first need.
+  /// Pins the borrow into `lease` (see image_for).
   const runtime::FrontierCache* frontiers_for(Registered& entry, unsigned k,
-                                              const sweep::CancelToken* token);
+                                              const sweep::CancelToken* token,
+                                              CellLease& lease);
   /// Engine config for one cell, with borrowed geometry when asked.
   sim::EngineConfig cell_config(Registered& entry,
                                 const sim::EngineConfig& base,
                                 bool share_frontiers,
-                                const sweep::CancelToken* token);
+                                const sweep::CancelToken* token,
+                                CellLease& lease);
+
+  /// The publish-time eviction pass (call with mutex_ held): snapshot
+  /// the resident artifacts into cache.hpp CacheEntry views, run
+  /// plan_evictions per ceiling (image budget, then frontier budget,
+  /// then the shared total over both kinds), and apply the victim
+  /// lists. Also evaluates the fault plan's evict_at_publish forced
+  /// flush. Per-slot eviction re-checks ready/pinned under the slot's
+  /// own lock, so a borrow that raced the snapshot simply exempts its
+  /// artifact this pass (budgets are pressure, not guarantees).
+  void evict_over_budget_locked();
 
   /// The per-item prologue: polls the job token (false = the item must
   /// return without doing work) and evaluates the fault plan's task-
@@ -375,17 +416,26 @@ class Service {
 
   mutable std::mutex mutex_;  // registry + slot maps + stats + admission
   std::vector<std::unique_ptr<Registered>> registry_;
-  /// Geometry artifacts, keyed by (CFG identity, k). Service-wide: the
-  /// key is the CFG address, which each registered workload owns.
-  std::map<runtime::FrontierKey, std::unique_ptr<runtime::SharedFrontier>>
-      frontiers_;
+  /// Geometry artifacts plus their eviction ledger, keyed by (CFG
+  /// identity, k). Service-wide: the key is the CFG address, which each
+  /// registered workload owns. Map nodes are stable, so slot pointers
+  /// survive later insertions.
+  std::map<runtime::FrontierKey, FrontierLedger> frontiers_;
   /// (CFG, k) keys whose last geometry build failed: the next claim of
   /// that key counts as a rebuild (mirrors ImageSlot::failed_before).
-  std::vector<runtime::FrontierKey> frontier_failed_;
+  std::set<runtime::FrontierKey> frontier_failed_;
   CacheStats stats_;
+  /// Eviction-ledger clock: one tick per artifact borrow or publish.
+  /// last_use stamps come from it, so "recency" is a deterministic
+  /// function of the borrow sequence, never of wall time.
+  std::uint64_t cache_clock_ = 0;
+  /// Successful publishes (images + geometry), the fault plan's
+  /// evict_at_publish ordinal.
+  std::size_t publish_count_ = 0;
 
   // -- admission / lifecycle (guarded by mutex_) ----------------------
   const ServiceLimits limits_;
+  const CacheBudget budget_;
   const std::shared_ptr<const FaultPlan> faults_;
   bool accepting_ = true;
   std::size_t live_jobs_ = 0;

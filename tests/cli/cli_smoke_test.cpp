@@ -149,6 +149,58 @@ TEST(CliSmoke, SweepBatchCellsMatchesPerEngineSweep) {
   }
 }
 
+TEST(CliSmoke, CacheBudgetIsAServerKnobNeverAResultsKnob) {
+  // --cache-budget-bytes bounds the service's artifact cache: a one-byte
+  // ceiling forces eviction at every publish, yet the CSV must stay
+  // byte-identical to the unbudgeted sweep (evicted artifacts rebuild
+  // bit-identically on next use).
+  const auto reference =
+      run_cli("sweep " + workload_path() + " --csv --workers 1");
+  ASSERT_EQ(reference.exit_code, 0);
+  const auto budgeted =
+      run_cli("sweep " + workload_path() + " --csv --workers 1" +
+              " --cache-budget-bytes 1");
+  ASSERT_EQ(budgeted.exit_code, 0);
+  EXPECT_EQ(budgeted.output, reference.output);
+  // The per-kind variants parse too.
+  const auto per_kind = run_cli(
+      "sweep " + workload_path() + " --csv --workers 1" +
+      " --cache-budget-image-bytes 1 --cache-budget-frontier-bytes 1");
+  ASSERT_EQ(per_kind.exit_code, 0);
+  EXPECT_EQ(per_kind.output, reference.output);
+  // A missing value is a usage error, not a silent zero.
+  EXPECT_EQ(run_cli("sweep " + workload_path() + " --cache-budget-bytes")
+                .exit_code,
+            1);
+}
+
+TEST(CliSmoke, BatchSummaryReportsEvictionCountersUnderBudget) {
+  // The batch summary on stderr uses the shared cache-stats formatter:
+  // under a one-byte budget the thrashing sweep must surface nonzero
+  // eviction counters there.
+  const std::string jobfile =
+      ::testing::TempDir() + "/apcc_smoke_budget_jobs.wire";
+  {
+    std::ofstream out(jobfile);
+    out << "apcc.job v4\nkind sweep\nworkload " << workload_path()
+        << "\ngrid strategy-k\nend\n";
+  }
+  const auto result = run_cli_stderr("batch " + jobfile +
+                                     " --workers 1 --cache-budget-bytes 1");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("cache images:"), std::string::npos)
+      << result.output;
+  const std::size_t frontier_line = result.output.find("cache frontiers:");
+  ASSERT_NE(frontier_line, std::string::npos) << result.output;
+  // The k-gridded sweep thrashes the one-byte budget, so the frontier
+  // eviction counter is nonzero. (The lone image stays pinned by every
+  // publishing cell, so its counter legitimately reads 0.)
+  const std::string frontiers = result.output.substr(frontier_line);
+  EXPECT_NE(frontiers.find(" eviction(s)"), std::string::npos) << frontiers;
+  EXPECT_EQ(frontiers.find(" 0 eviction(s)"), std::string::npos) << frontiers;
+  std::remove(jobfile.c_str());
+}
+
 TEST(CliSmoke, BatchCellsRejectedWhereItCannotApply) {
   // Run-kind commands have a single cell per job; batch and serve take
   // per-job knobs from the job records. Silently ignoring the flag is

@@ -190,9 +190,9 @@ TEST(FaultInjection, ImageBuildFaultRollsBackAndNextClaimRebuilds) {
   expect_identical(retried.wait().run, reference_systems()[0].run());
 
   const auto stats = fx.service.cache_stats();
-  EXPECT_EQ(stats.images_built, 1u);    // only the successful build
-  EXPECT_EQ(stats.image_misses, 2u);    // both claims count as misses
-  EXPECT_EQ(stats.image_rebuilds, 1u);  // the retry re-opened a failure
+  EXPECT_EQ(stats.images.built, 1u);    // only the successful build
+  EXPECT_EQ(stats.images.misses, 2u);   // both claims count as misses
+  EXPECT_EQ(stats.images.rebuilds, 1u); // the retry re-opened a failure
 }
 
 TEST(FaultInjection, ExpiredDeadlineResolvesDeadlineExceeded) {

@@ -38,14 +38,20 @@ TEST(Service, RunJobMatchesDirectRunColdAndWarm) {
       // Warm: resubmission borrows every artifact, same bytes out.
       expect_identical(fx.service.submit(job).wait(), direct);
       const auto stats = fx.service.cache_stats();
-      EXPECT_EQ(stats.images_built, 1u);
-      EXPECT_EQ(stats.image_borrows, 1u);
+      EXPECT_EQ(stats.images.built, 1u);
+      EXPECT_EQ(stats.images.borrows, 1u);
+      EXPECT_EQ(stats.images.evictions, 0u);  // no budget, no eviction
       if (share) {
-        EXPECT_EQ(stats.frontiers_built, 1u);
-        EXPECT_EQ(stats.frontier_borrows, 1u);
+        EXPECT_EQ(stats.frontiers.built, 1u);
+        EXPECT_EQ(stats.frontiers.borrows, 1u);
+        EXPECT_EQ(stats.frontiers.evictions, 0u);
       } else {
-        EXPECT_EQ(stats.frontiers_built, 0u);
+        EXPECT_EQ(stats.frontiers.built, 0u);
       }
+      // The PR 4-7 flat spellings survive as accessors (deprecation
+      // shim); pin one per kind so the shim cannot silently drift.
+      EXPECT_EQ(stats.images_built(), stats.images.built);
+      EXPECT_EQ(stats.frontier_borrows(), stats.frontiers.borrows);
     }
   }
 }
@@ -190,20 +196,29 @@ TEST(Service, ArtifactCacheDeduplicatesAcrossJobs) {
   const auto stats = fx.service.cache_stats();
   // One image and one geometry cache per distinct key, no matter how
   // many cells or jobs borrowed them.
-  EXPECT_EQ(stats.images_built, 1u);
-  EXPECT_EQ(stats.frontiers_built, 2u);  // k=1 and k=4
-  EXPECT_EQ(stats.image_borrows + stats.images_built,
+  EXPECT_EQ(stats.images.built, 1u);
+  EXPECT_EQ(stats.frontiers.built, 2u);  // k=1 and k=4
+  EXPECT_EQ(stats.images.borrows + stats.images.built,
             2 * job.tasks.size());
-  EXPECT_EQ(stats.frontier_borrows + stats.frontiers_built,
+  EXPECT_EQ(stats.frontiers.borrows + stats.frontiers.built,
             2 * job.tasks.size());
   // The hit/miss ledger tells the same story: every build was a miss,
   // every borrow a hit, and nothing was ever rebuilt.
-  EXPECT_EQ(stats.image_misses, stats.images_built);
-  EXPECT_EQ(stats.image_hits, stats.image_borrows);
-  EXPECT_EQ(stats.frontier_misses, stats.frontiers_built);
-  EXPECT_EQ(stats.frontier_hits, stats.frontier_borrows);
-  EXPECT_EQ(stats.image_rebuilds, 0u);
-  EXPECT_EQ(stats.frontier_rebuilds, 0u);
+  EXPECT_EQ(stats.images.misses, stats.images.built);
+  EXPECT_EQ(stats.images.hits, stats.images.borrows);
+  EXPECT_EQ(stats.frontiers.misses, stats.frontiers.built);
+  EXPECT_EQ(stats.frontiers.hits, stats.frontiers.borrows);
+  EXPECT_EQ(stats.images.rebuilds, 0u);
+  EXPECT_EQ(stats.frontiers.rebuilds, 0u);
+  // The default budget is unbounded -- these are exactly the counters
+  // the pre-budget Service produced, and nothing was ever evicted
+  // (the acceptance pin for "budget 0 reproduces today's behaviour").
+  EXPECT_EQ(stats.images.evictions, 0u);
+  EXPECT_EQ(stats.frontiers.evictions, 0u);
+  EXPECT_EQ(stats.images.evicted_bytes, 0u);
+  EXPECT_EQ(stats.frontiers.evicted_bytes, 0u);
+  EXPECT_EQ(stats.images.entries, 1u);
+  EXPECT_EQ(stats.frontiers.entries, 2u);
 }
 
 TEST(Service, RunResultIdenticalAcrossCodecs) {

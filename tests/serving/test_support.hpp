@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/system.hpp"
@@ -107,8 +108,11 @@ inline serving::ServiceOptions pool_options(unsigned workers) {
 }
 
 /// A Service with every test workload registered; ids in kind order.
+/// The ServiceOptions overload is for tests that configure more than
+/// the pool width (cache budgets, fault plans).
 struct Fixture {
-  explicit Fixture(unsigned workers) : service(pool_options(workers)) {
+  explicit Fixture(unsigned workers) : Fixture(pool_options(workers)) {}
+  explicit Fixture(ServiceOptions options) : service(std::move(options)) {
     for (const auto kind : kinds_under_test()) {
       ids.push_back(service.register_workload(workloads::make_workload(kind)));
     }

@@ -67,6 +67,13 @@
 //   --budget BYTES    decompressed-area budget (default unbounded)
 //   --units N         decompression helper units (default 1)
 //   --workers N       service pool width (default: hardware concurrency)
+//   --cache-budget-bytes N          artifact-cache ceiling across images
+//                     and frontier geometry (0 = unbounded). Over-budget
+//                     artifacts are evicted cost-aware at publish time
+//                     and rebuilt bit-identically on next use -- results
+//                     never change, only when artifacts are rebuilt
+//   --cache-budget-image-bytes N    per-kind image ceiling
+//   --cache-budget-frontier-bytes N per-kind geometry ceiling
 //   --batch-cells N   sweep/campaign: grid cells stepped in lockstep per
 //                     pool work item (0 = one engine per cell; results
 //                     are byte-identical either way)
@@ -160,6 +167,8 @@ constexpr const char* kToolVersion = "0.6.0";
       "\n"
       "options: --codec K --strategy S --predictor P --kc N --kd N\n"
       "         --budget BYTES --units N --workers N --max-queued N\n"
+      "         --cache-budget-bytes N --cache-budget-image-bytes N\n"
+      "         --cache-budget-frontier-bytes N\n"
       "         --batch-cells N --no-shared-frontiers --csv --wire\n"
       "(sweep and campaign grid over strategy and k themselves:\n"
       " --strategy/--kc/--kd there is a usage error; batch and serve\n"
@@ -216,6 +225,11 @@ runtime::PredictorKind parse_predictor(const std::string& name) {
 struct CliOptions {
   core::SystemConfig config;
   unsigned workers = 0;
+  /// Service artifact-cache ceilings (--cache-budget-bytes and the
+  /// per-kind variants; 0 = unbounded, the historical behaviour).
+  /// Server-side configuration like --workers: accepted on every
+  /// Service-backed command, never part of the wire job records.
+  serving::CacheBudget cache_budget;
   /// serve-only admission bound (0 = unbounded): at most N jobs
   /// submitted-but-unfinished; over-limit jobs get rejected records.
   std::size_t max_queued = 0;
@@ -274,6 +288,15 @@ CliOptions parse_options(const std::vector<std::string>& args,
       opts.config_flags.push_back(a);
     } else if (a == "--workers") {
       opts.workers = static_cast<unsigned>(parse_int(need_value(i++)));
+    } else if (a == "--cache-budget-bytes") {
+      opts.cache_budget.total_bytes =
+          static_cast<std::uint64_t>(parse_int(need_value(i++)));
+    } else if (a == "--cache-budget-image-bytes") {
+      opts.cache_budget.image_bytes =
+          static_cast<std::uint64_t>(parse_int(need_value(i++)));
+    } else if (a == "--cache-budget-frontier-bytes") {
+      opts.cache_budget.frontier_bytes =
+          static_cast<std::uint64_t>(parse_int(need_value(i++)));
     } else if (a == "--max-queued") {
       opts.max_queued = static_cast<std::size_t>(parse_int(need_value(i++)));
     } else if (a == "--batch-cells") {
@@ -472,11 +495,13 @@ int cmd_cfg(const std::string& path) {
   return 0;
 }
 
-/// ServiceOptions carrying just a pool width -- the subcommands take
-/// every other Service knob at its default.
-serving::ServiceOptions pool_options(unsigned workers) {
+/// ServiceOptions carrying the server-side knobs every Service-backed
+/// subcommand shares: pool width and the artifact-cache byte budget.
+/// (serve adds its admission limits on top.)
+serving::ServiceOptions service_options(const CliOptions& opts) {
   serving::ServiceOptions options;
-  options.workers = workers;
+  options.workers = opts.workers;
+  options.cache_budget = opts.cache_budget;
   return options;
 }
 
@@ -484,7 +509,7 @@ int cmd_sim(const std::string& spec, const CliOptions& opts) {
   reject_wire_flag("sim", opts);
   reject_max_queued("sim", opts);
   reject_batch_cells("sim", opts);
-  serving::Service service(pool_options(opts.workers));
+  serving::Service service(service_options(opts));
   WorkloadDirectory directory(service);
   const auto id = directory.id_for(spec);
   const auto handle = service.submit(
@@ -497,7 +522,7 @@ int cmd_sweep(const std::string& spec, const CliOptions& opts) {
   reject_wire_flag("sweep", opts);
   reject_max_queued("sweep", opts);
   reject_grid_overrides("sweep", opts);
-  serving::Service service(pool_options(opts.workers));
+  serving::Service service(service_options(opts));
   WorkloadDirectory directory(service);
   const auto id = directory.id_for(spec);
   serving::SweepJob job{
@@ -513,7 +538,7 @@ int cmd_suite(const CliOptions& opts) {
   reject_wire_flag("suite", opts);
   reject_max_queued("suite", opts);
   reject_batch_cells("suite", opts);
-  serving::Service service(pool_options(opts.workers));
+  serving::Service service(service_options(opts));
   WorkloadDirectory directory(service);
   // Submit every workload's run job before waiting on any: the whole
   // suite is in flight on the shared pool at once.
@@ -537,7 +562,7 @@ int cmd_campaign(const CliOptions& opts) {
   reject_wire_flag("campaign", opts);
   reject_max_queued("campaign", opts);
   reject_grid_overrides("campaign", opts);
-  serving::Service service(pool_options(opts.workers));
+  serving::Service service(service_options(opts));
   WorkloadDirectory directory(service);
   serving::CampaignJob job;
   for (const auto kind : workloads::all_workload_kinds()) {
@@ -615,7 +640,7 @@ int cmd_batch(const std::string& path, const CliOptions& global) {
   // tail overlaps the next job's cells, workloads shared between
   // records hit the same cached artifacts, and the per-record QoS
   // (priority, max-workers) decides who gets the pool first.
-  serving::Service service(pool_options(global.workers));
+  serving::Service service(service_options(global));
   WorkloadDirectory directory(service);
   std::vector<BatchJob> jobs;
   for (serving::JobSpec& spec : parsed) {
@@ -697,13 +722,8 @@ int cmd_batch(const std::string& path, const CliOptions& global) {
     std::cout << '\n';
   }
   const auto stats = service.cache_stats();
-  std::cerr << "batch: " << jobs.size() << " job(s); artifact cache: "
-            << stats.images_built << " image(s) built ("
-            << human_bytes(stats.image_bytes) << "), " << stats.image_borrows
-            << " borrowed; " << stats.frontiers_built
-            << " frontier cache(s) built ("
-            << human_bytes(stats.frontier_bytes) << "), "
-            << stats.frontier_borrows << " borrowed\n";
+  std::cerr << "batch: " << jobs.size() << " job(s)\n"
+            << serving::format_cache_stats(stats);
   return 0;
 }
 
@@ -731,10 +751,9 @@ int cmd_serve(const CliOptions& opts) {
   sigaction(SIGINT, &drain, nullptr);
   sigaction(SIGTERM, &drain, nullptr);
 
-  serving::ServiceOptions service_options;
-  service_options.workers = opts.workers;
-  service_options.limits.max_queued_jobs = opts.max_queued;
-  serving::Service service(service_options);
+  serving::ServiceOptions options = service_options(opts);
+  options.limits.max_queued_jobs = opts.max_queued;
+  serving::Service service(options);
   WorkloadDirectory directory(service);
 
   /// One stream slot, in submission order. An invalid handle means the

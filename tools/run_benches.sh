@@ -15,7 +15,10 @@
 #                          geometry)
 #   BENCH_service.json  -- serving::Service submit latency (direct
 #                          one-shot vs cold vs warm artifact cache,
-#                          per-engine vs batched warm sweeps)
+#                          per-engine vs batched warm sweeps) + the
+#                          cache-budget thrash series (warm sweeps at
+#                          25/50/100% of the working set, eviction
+#                          counters included)
 #
 # --quick is the CI smoke mode: benches shrink their scales (via
 # APCC_BENCH_QUICK) and google-benchmark runs minimal repetitions, so the
@@ -83,9 +86,18 @@ echo "== campaign throughput -> ${OUT_DIR}/BENCH_campaign.json"
 echo "== service submit latency -> ${OUT_DIR}/BENCH_service.json"
 "${BUILD_DIR}/bench_service" \
     ${QUICK_ARGS[@]+"${QUICK_ARGS[@]}"} \
-    --benchmark_filter='bm_(direct_run|service_cold_run|service_warm_run|service_warm_sweep)' \
+    --benchmark_filter='bm_(direct_run|service_cold_run|service_warm_run|service_warm_sweep|service_thrash)' \
     --benchmark_format=json \
     --benchmark_out="${OUT_DIR}/BENCH_service.json" \
     --benchmark_out_format=json
+
+# The thrash series must carry its eviction counters -- that is the CI
+# proof the cache-budget machinery ran, not just that the bench binary
+# linked. A missing counter means the series silently degraded.
+if ! grep -q '"evictions"' "${OUT_DIR}/BENCH_service.json"; then
+  echo "error: BENCH_service.json has no eviction counters" >&2
+  echo "       (bm_service_thrash should emit them per run)" >&2
+  exit 1
+fi
 
 echo "done."
