@@ -1,0 +1,98 @@
+#include "net/framer.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace apcc::net {
+
+using serving::wire::RawRecord;
+using serving::wire::WireError;
+
+void RecordFramer::feed(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+std::optional<std::string> RecordFramer::take_line() {
+  const std::size_t nl = buffer_.find('\n');
+  if (nl == std::string::npos) {
+    if (buffer_.size() > options_.max_record_bytes) {
+      throw WireError("line exceeds the record size limit (" +
+                          std::to_string(options_.max_record_bytes) +
+                          " bytes)",
+                      line_ + 1, buffer_.substr(0, 64));
+    }
+    return std::nullopt;
+  }
+  std::string line = buffer_.substr(0, nl);
+  buffer_.erase(0, nl + 1);
+  ++line_;
+  return line;
+}
+
+std::optional<RawRecord> RecordFramer::next() {
+  for (;;) {
+    std::optional<std::string> line = take_line();
+    if (!line) {
+      if (finished_) {
+        if (record_first_line_ != 0) {
+          throw WireError("unterminated record (missing 'end')",
+                          record_first_line_, record_.substr(0, 64));
+        }
+        if (!buffer_.empty()) {
+          throw WireError("stream ends mid-line (no trailing newline)",
+                          line_ + 1, buffer_.substr(0, 64));
+        }
+      }
+      return std::nullopt;
+    }
+    const std::string_view content = trim(*line);
+    if (record_first_line_ == 0) {
+      // Between records: skip separators, demand a known header --
+      // the same three rules RecordReader::next applies.
+      if (content.empty() || content[0] == '#') continue;
+      if (!starts_with(content, "apcc.job") &&
+          !starts_with(content, "apcc.result")) {
+        throw WireError(
+            "expected an 'apcc.job' or 'apcc.result' record header", line_,
+            std::string(content));
+      }
+      record_first_line_ = line_;
+      record_is_result_ = starts_with(content, "apcc.result");
+      record_.clear();
+    }
+    record_ += *line;
+    record_ += '\n';
+    if (record_.size() > options_.max_record_bytes) {
+      throw WireError("record exceeds the size limit (" +
+                          std::to_string(options_.max_record_bytes) +
+                          " bytes)",
+                      record_first_line_, record_.substr(0, 64));
+    }
+    if (trim(*line) != "end") continue;
+
+    // A complete record: run it through the real RecordReader so the
+    // socket path shares the stdin path's framing code exactly (the
+    // reader re-checks the header and the 'end' we just found), then
+    // rebase its slice-relative first_line onto this stream's.
+    std::istringstream slice(record_);
+    serving::wire::RecordReader reader(slice);
+    std::optional<RawRecord> record = reader.next();
+    APCC_CHECK(record.has_value() && record->is_result == record_is_result_,
+               "framer/reader disagreement on a complete record");
+    record->first_line = record_first_line_;
+    record_.clear();
+    record_first_line_ = 0;
+    return record;
+  }
+}
+
+void RecordFramer::finish() {
+  // Only mark: complete lines may still sit in the buffer, so the
+  // truncation checks belong in next(), which drains them first --
+  // finish() then next()-until-nullopt is correct in any feed order.
+  finished_ = true;
+}
+
+}  // namespace apcc::net

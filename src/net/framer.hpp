@@ -1,0 +1,77 @@
+// RecordFramer: the length-tolerant per-connection framing stage
+// between raw socket reads and the wire codec.
+//
+// TCP delivers byte chunks at arbitrary boundaries; serving::wire's
+// RecordReader wants a stream it can getline() from. The framer
+// bridges the two without inventing a second grammar: feed() buffers
+// whatever read() produced, next() cuts one *complete* record's text
+// (header line through its "end" line, exactly RecordReader's framing
+// rules: blank and '#'-comment lines between records are skipped, a
+// record opens with an apcc.job/apcc.result header) -- and then hands
+// that text to the real serving::wire::RecordReader, so the socket
+// path parses byte-for-byte like the stdin path. The chunked-input
+// differential in tests pins exactly that: any split of a stream into
+// feed() chunks yields the same records as one whole-stream read.
+//
+// Absolute line numbers are tracked across the connection's lifetime,
+// so a WireError from record 400 points at the 400th record's real
+// line, not line 1 of its slice.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "serving/wire.hpp"
+
+namespace apcc::net {
+
+/// Framing limits. A record larger than max_record_bytes (or a single
+/// line longer than the same bound) is a protocol error -- the one
+/// DoS-shaped guard a length-tolerant text protocol needs.
+struct FramerOptions {
+  std::size_t max_record_bytes = 1 << 20;
+};
+
+class RecordFramer {
+ public:
+  explicit RecordFramer(FramerOptions options = {}) : options_(options) {}
+
+  /// Append raw socket bytes (any chunking, including one byte at a
+  /// time).
+  void feed(std::string_view bytes);
+
+  /// The next complete record, or nullopt until more bytes arrive.
+  /// Throws serving::wire::WireError (absolute line numbers) on
+  /// framing errors: garbage between records, an oversized record, or
+  /// -- after finish() -- a truncated one.
+  [[nodiscard]] std::optional<serving::wire::RawRecord> next();
+
+  /// The peer half-closed its write side: no more bytes will ever
+  /// arrive. Marks the stream; keep calling next() -- it drains any
+  /// still-buffered complete records, then throws WireError if the
+  /// stream ended mid-line or mid-record (a truncated record is a
+  /// protocol error, exactly like RecordReader's missing-'end' case).
+  /// A clean end-of-stream -- between records, last line terminated --
+  /// just yields nullopt.
+  void finish();
+
+  /// 1-based number of the last line consumed (diagnostics).
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  /// Consume one complete line (without its '\n') from buffer_;
+  /// nullopt when no full line is buffered yet.
+  [[nodiscard]] std::optional<std::string> take_line();
+
+  FramerOptions options_;
+  std::string buffer_;       // bytes fed, not yet cut into lines
+  std::string record_;       // lines of the record being assembled
+  std::size_t record_first_line_ = 0;  // 0 = not inside a record
+  bool record_is_result_ = false;
+  std::size_t line_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace apcc::net

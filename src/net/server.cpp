@@ -1,0 +1,323 @@
+#include "net/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serving/wire.hpp"
+#include "support/assert.hpp"
+
+namespace apcc::net {
+
+namespace {
+
+/// Session-fatal framing diagnostics carry the connection-absolute
+/// line, in the same shape cmd_serve's stdin diagnostics use.
+std::string framing_message(const serving::wire::WireError& error) {
+  return "tcp:" + std::to_string(error.line()) + ": " + error.what();
+}
+
+}  // namespace
+
+Server::Server(serving::Service& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  listen_ = listen_tcp(options_.host, options_.port, &port_);
+  int pipe_fds[2] = {-1, -1};
+  APCC_CHECK(::pipe(pipe_fds) == 0,
+             std::string("pipe: ") + std::strerror(errno));
+  wake_read_ = Fd(pipe_fds[0]);
+  wake_write_ = Fd(pipe_fds[1]);
+  // Both ends nonblocking: the IO thread drains without stalling, and
+  // a pool thread's nudge into a full pipe just returns EAGAIN (the
+  // pipe being full already guarantees a wakeup).
+  set_nonblocking(wake_read_.get());
+  set_nonblocking(wake_write_.get());
+}
+
+Server::~Server() {
+  // Any armed on_ready callback captures `this`; draining the service
+  // fires the last of them before the members go away. A no-op when
+  // run() completed its drain (the common path).
+  service_.drain();
+}
+
+std::string Server::address() const {
+  return options_.host + ":" + std::to_string(port_);
+}
+
+void Server::request_stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  const char byte = 1;
+  // The byte is only a wakeup; EAGAIN means the pipe already has one.
+  (void)!::write(wake_write_.get(), &byte, 1);
+}
+
+void Server::notify_ready(std::uint64_t session_id) {
+  {
+    const std::lock_guard<std::mutex> lock(ready_mutex_);
+    ready_.push_back(session_id);
+  }
+  const char byte = 1;
+  (void)!::write(wake_write_.get(), &byte, 1);
+}
+
+void Server::begin_drain() {
+  draining_ = true;
+  listen_.reset();  // no new connections
+  // The stdin SIGTERM semantics over live sockets: stop admitting,
+  // in-flight jobs finish, still-queued jobs resolve `status
+  // cancelled`. Blocks this (the IO) thread -- nothing is read while
+  // draining anyway, and completion callbacks only queue nudges, so
+  // once shutdown returns every accepted job's record is ready to
+  // serialize and flush below.
+  service_.shutdown();
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    Fd client = accept_client(listen_.get());
+    if (!client.valid()) return;
+    const std::uint64_t id = ++next_session_;
+    Session session;
+    session.fd = std::move(client);
+    session.id = id;
+    session.tag = "conn-" + std::to_string(id);
+    session.framer = RecordFramer(FramerOptions{options_.max_record_bytes});
+    sessions_.emplace(id, std::move(session));
+  }
+}
+
+void Server::submit_record(Session& session,
+                           const serving::wire::RawRecord& raw) {
+  Slot slot;
+  slot.seq = ++session.seq;
+  slot.client = session.tag;
+  if (raw.is_result) {
+    // Same non-fatal contract as stdin serve: the slot becomes a
+    // status-error record and the session keeps going.
+    slot.error = "expected a job record, got a result record";
+  } else {
+    try {
+      serving::JobSpec spec =
+          serving::wire::parse_job(raw.text, raw.first_line);
+      // The per-client submission context: untagged records inherit
+      // the connection's tag, so admission limits and fair share see
+      // one tenant per connection by default. The echo below reports
+      // the tag actually used.
+      if (spec.client.empty()) spec.client = session.tag;
+      slot.client = spec.client;
+      if (options_.prepare) options_.prepare(spec);
+      serving::JobHandle<serving::JobResult> handle =
+          service_.submit(std::move(spec));
+      const std::uint64_t sid = session.id;
+      handle.on_ready([this, sid] { notify_ready(sid); });
+      slot.handle = std::move(handle);
+    } catch (const serving::wire::WireError& e) {
+      slot.error = framing_message(e);
+    } catch (const std::exception& e) {
+      slot.error = e.what();
+    }
+  }
+  session.inflight.push_back(std::move(slot));
+}
+
+void Server::pump_records(Session& session) {
+  try {
+    while (const auto record = session.framer.next()) {
+      submit_record(session, *record);
+    }
+  } catch (const serving::wire::WireError& e) {
+    // Framing errors are session-fatal (the stream position is lost):
+    // one final error record explains it, accepted jobs still deliver,
+    // then flush-and-close.
+    Slot slot;
+    slot.seq = ++session.seq;
+    slot.client = session.tag;
+    slot.error = framing_message(e);
+    session.inflight.push_back(std::move(slot));
+    session.read_done = true;
+  }
+}
+
+bool Server::read_ready(Session& session) {
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::recv(session.fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      session.framer.feed(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      // Peer half-close (shutdown(SHUT_WR)) or full close: no more
+      // jobs from this session; results for accepted ones still flow.
+      session.read_done = true;
+      session.framer.finish();
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // connection reset: nobody left to answer
+  }
+  pump_records(session);
+  collect_finished(session);
+  return write_ready(session);
+}
+
+void Server::collect_finished(Session& session) {
+  while (!session.inflight.empty()) {
+    Slot& slot = session.inflight.front();
+    if (slot.handle.valid() && !slot.handle.ready()) break;
+    serving::wire::ResultRecord record;
+    record.job = slot.seq;
+    record.client = slot.client;
+    if (slot.handle.valid()) {
+      try {
+        // ready() above: wait() returns immediately. Rejected /
+        // cancelled / deadline-exceeded come back as structured
+        // results (wait() only throws for kError).
+        const serving::JobResult& result = slot.handle.wait();
+        record.status = result.status;
+        if (result.ok()) {
+          record.result = result;
+        } else {
+          record.error = result.error;
+        }
+      } catch (const std::exception& e) {
+        record.status = serving::JobStatus::kError;
+        record.error = e.what();
+      }
+    } else {
+      record.status = serving::JobStatus::kError;
+      record.error = slot.error;
+    }
+    session.out += serving::wire::serialize_result(record);
+    session.inflight.pop_front();
+  }
+}
+
+bool Server::write_ready(Session& session) {
+  while (!session.out.empty()) {
+    const ssize_t n = ::send(session.fd.get(), session.out.data(),
+                             session.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      session.out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;  // EPIPE and friends: the reader is gone
+  }
+  return true;
+}
+
+bool Server::done_sending(const Session& session) const {
+  return (session.read_done || draining_) && session.inflight.empty() &&
+         session.out.empty();
+}
+
+void Server::drop_session(std::uint64_t id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  // Cancel what is still unfinished: nobody is left to read the
+  // results, and a disconnected tenant should not keep eating pool
+  // time. Completed slots just vanish with the session.
+  for (Slot& slot : it->second.inflight) {
+    if (slot.handle.valid() && !slot.handle.ready()) slot.handle.cancel();
+  }
+  sessions_.erase(it);
+}
+
+void Server::run() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> owners;  // 0 = wake pipe / listener
+  for (;;) {
+    if (!draining_ &&
+        (stop_requested_.load(std::memory_order_relaxed) ||
+         (options_.interrupted && options_.interrupted()))) {
+      begin_drain();
+    }
+    if (draining_) {
+      // Every handle resolved in begin_drain: serialize and flush what
+      // remains, shed finished sessions, and poll only for writability.
+      std::vector<std::uint64_t> finished;
+      for (auto& [id, session] : sessions_) {
+        collect_finished(session);
+        if (!write_ready(session) || done_sending(session)) {
+          finished.push_back(id);
+        }
+      }
+      for (const std::uint64_t id : finished) drop_session(id);
+      if (sessions_.empty()) return;
+    }
+
+    fds.clear();
+    owners.clear();
+    fds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
+    owners.push_back(0);
+    if (!draining_ && listen_.valid()) {
+      fds.push_back(pollfd{listen_.get(), POLLIN, 0});
+      owners.push_back(0);
+    }
+    for (auto& [id, session] : sessions_) {
+      short events = 0;
+      if (!draining_ && !session.read_done) events |= POLLIN;
+      if (!session.out.empty()) events |= POLLOUT;
+      // A session waiting only on job completions has no events: the
+      // self-pipe wakes us for it.
+      if (events == 0) continue;
+      fds.push_back(pollfd{session.fd.get(), events, 0});
+      owners.push_back(id);
+    }
+
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;  // signal: re-check interrupted()
+      APCC_CHECK(false, std::string("poll: ") + std::strerror(errno));
+    }
+
+    if (fds[0].revents != 0) {
+      char drain[256];
+      while (::read(wake_read_.get(), drain, sizeof(drain)) > 0) {
+      }
+      std::vector<std::uint64_t> ready;
+      {
+        const std::lock_guard<std::mutex> lock(ready_mutex_);
+        ready.swap(ready_);
+      }
+      for (const std::uint64_t id : ready) {
+        const auto it = sessions_.find(id);
+        if (it == sessions_.end()) continue;  // dropped meanwhile
+        collect_finished(it->second);
+        if (!write_ready(it->second) || done_sending(it->second)) {
+          drop_session(id);
+        }
+      }
+    }
+
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (owners[i] == 0) {
+        accept_ready();
+        continue;
+      }
+      const auto it = sessions_.find(owners[i]);
+      if (it == sessions_.end()) continue;  // dropped by the pipe pass
+      Session& session = it->second;
+      bool alive = true;
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0 &&
+          !session.read_done) {
+        alive = read_ready(session);
+      }
+      if (alive && (fds[i].revents & POLLOUT) != 0) {
+        alive = write_ready(session);
+      }
+      if (!alive || done_sending(session)) drop_session(owners[i]);
+    }
+  }
+}
+
+}  // namespace apcc::net

@@ -1,0 +1,176 @@
+// net::Server -- the concurrent TCP front door over serving::Service.
+//
+// `apcc_cli serve --listen <port>` promotes the stdin/stdout wire
+// stream to a socket: any number of clients connect, each connection
+// is one *session* speaking exactly the stdin protocol -- wire job
+// records in, wire result records out -- with the same statuses
+// (ok / error / rejected / cancelled / deadline-exceeded) unchanged on
+// the wire. Structure:
+//
+//  * **One IO thread.** run() owns a poll() loop over the listener,
+//    every session socket, and a self-pipe. All session state is
+//    touched only from that thread; the only cross-thread structure is
+//    the completion queue the self-pipe drains. (TSan runs the whole
+//    loopback suite; keeping the server single-threaded is what makes
+//    that cheap.) Sockets are nonblocking throughout -- a slow client
+//    never stalls the loop, let alone another client.
+//  * **Per-session ordering.** Each session numbers its jobs 1,2,...
+//    in arrival order and emits exactly one result record per job *in
+//    that order*, each the moment its job retires (and every earlier
+//    record is out) -- the stdin contract, per connection. Jobs from
+//    different sessions interleave freely: ordering is a session
+//    property, never a server-wide barrier.
+//  * **Per-client submission contexts.** A record that carries no
+//    client tag inherits the session's tag ("conn-<n>"), so admission
+//    (ServiceLimits::max_queued_per_client) and the pool's weighted
+//    fair share see one tenant per connection by default; an explicit
+//    `client` line overrides (several connections may share a tenant).
+//    Result records echo the tag that was actually used.
+//  * **Event-driven write-back.** JobHandle::on_ready callbacks (fired
+//    on pool threads) enqueue the session id and nudge the self-pipe;
+//    the IO thread then drains each nudged session's in-order prefix
+//    of finished jobs. No thread ever blocks in wait().
+//  * **Errors.** A record that parses but cannot run (unknown
+//    workload, invalid spec) occupies its slot with a `status error`
+//    record -- the session keeps going, exactly like stdin serve. A
+//    *framing* error (garbage between records, oversized or truncated
+//    record) is fatal to that session only: one final `status error`
+//    record explains it, accepted jobs still deliver their results,
+//    then the server closes the connection. Disconnects cancel the
+//    session's unfinished jobs (nobody is left to read the results).
+//  * **Drain.** request_stop() -- or the interrupted() hook, polled
+//    after every wakeup so a SIGTERM'd poll() reacts immediately --
+//    stops accept and reads, drains the service (in-flight jobs
+//    finish, still-queued ones resolve cancelled -- the stdin SIGTERM
+//    semantics, over live sockets), flushes every session's remaining
+//    records, then run() returns. Every accepted job gets exactly one
+//    record.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/framer.hpp"
+#include "net/socket.hpp"
+#include "serving/service.hpp"
+
+namespace apcc::net {
+
+struct ServerOptions {
+  /// IPv4 dotted quad to bind; loopback by default (exposing the front
+  /// door beyond the host is an explicit decision).
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Per-session framing bound (see FramerOptions).
+  std::size_t max_record_bytes = 1 << 20;
+  /// Called on the IO thread for every parsed job record before
+  /// submit(): resolve workload references (register them with the
+  /// Service), apply server-side policy. A throw resolves the record
+  /// as a `status error` result. Null = submit specs as-is.
+  std::function<void(serving::JobSpec&)> prepare;
+  /// Polled after every poll() wakeup: true begins the graceful drain.
+  /// The hook is how a signal handler's flag reaches the loop (the
+  /// handler itself can only set the flag; EINTR does the waking).
+  std::function<bool()> interrupted;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (throws CheckError on failure);
+  /// serving starts when run() is called.
+  Server(serving::Service& service, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the kernel's pick when options.port was 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// "host:port", as printed by `serve --listen`.
+  [[nodiscard]] std::string address() const;
+
+  /// Serve until a graceful drain completes. Blocking: the calling
+  /// thread becomes the IO thread. Call once.
+  void run();
+
+  /// Begin the graceful drain from any thread (idempotent,
+  /// non-blocking; run() returns once the drain finishes). Not
+  /// async-signal-safe -- from a signal handler, set a flag and let
+  /// options.interrupted report it.
+  void request_stop();
+
+ private:
+  /// One job slot of a session, in submission order. An invalid handle
+  /// means the job never reached the pool (parse / prepare / submit
+  /// error); `error` holds the record's message instead.
+  struct Slot {
+    std::uint64_t seq = 0;
+    std::string client;
+    serving::JobHandle<serving::JobResult> handle;
+    std::string error;
+  };
+
+  /// One connection's state. Only the IO thread touches it.
+  struct Session {
+    Fd fd;
+    std::uint64_t id = 0;
+    std::string tag;  // default client tag: "conn-<id>"
+    RecordFramer framer;
+    std::uint64_t seq = 0;  // per-session submission sequence numbers
+    std::deque<Slot> inflight;
+    std::string out;  // serialized records not yet written
+    /// Read side is done: peer half-closed (shutdown(SHUT_WR)) or a
+    /// fatal framing error. Remaining slots still resolve and flush;
+    /// the fd closes once nothing is left to send.
+    bool read_done = false;
+  };
+
+  void accept_ready();
+  /// Drain readable bytes into the session's framer and submit every
+  /// complete record. Returns false when the session died (peer reset)
+  /// and must be dropped.
+  [[nodiscard]] bool read_ready(Session& session);
+  /// Cut and submit records the framer has complete. A framing error
+  /// appends one final `status error` slot and marks the read side
+  /// done (the session switches to flush-then-close).
+  void pump_records(Session& session);
+  /// Submit one raw record into a slot (never throws: every failure
+  /// becomes the slot's error record).
+  void submit_record(Session& session, const serving::wire::RawRecord& raw);
+  /// Serialize the in-order prefix of finished slots into `out`.
+  void collect_finished(Session& session);
+  /// Nonblocking flush of `out`. Returns false when the session died.
+  [[nodiscard]] bool write_ready(Session& session);
+  /// Cancel unfinished jobs and erase the session.
+  void drop_session(std::uint64_t id);
+  /// True when the session has nothing more to send and never will.
+  [[nodiscard]] bool done_sending(const Session& session) const;
+  void begin_drain();
+  /// Completion-queue push (any thread) + self-pipe nudge.
+  void notify_ready(std::uint64_t session_id);
+
+  serving::Service& service_;
+  const ServerOptions options_;
+  Fd listen_;
+  std::uint16_t port_ = 0;
+  Fd wake_read_;
+  Fd wake_write_;
+  std::atomic<bool> stop_requested_{false};
+  bool draining_ = false;
+  std::uint64_t next_session_ = 0;
+  std::map<std::uint64_t, Session> sessions_;
+
+  /// Sessions whose jobs resolved since the last drain of the pipe.
+  /// The one structure shared with pool threads.
+  std::mutex ready_mutex_;
+  std::vector<std::uint64_t> ready_;
+};
+
+}  // namespace apcc::net

@@ -81,41 +81,13 @@ struct ArtifactStats {
   std::size_t entries = 0;        // resident artifacts (query time)
 };
 
-/// Artifact-cache observability, one ArtifactStats per kind. The PR 4-7
-/// flat field names (images_built, frontier_bytes, ...) survive as
-/// accessors -- a one-release deprecation shim so existing callers
-/// migrate to the per-kind structs deliberately, not silently.
+/// Artifact-cache observability, one ArtifactStats per kind. (The PR
+/// 4-7 flat spellings -- images_built(), frontier_bytes(), ... -- were
+/// a one-release deprecation shim, removed in PR 9: spell them
+/// stats.images.built / stats.frontiers.bytes.)
 struct CacheStats {
   ArtifactStats images;
   ArtifactStats frontiers;
-
-  // -- deprecation shim: the flat PR 4-7 spellings ---------------------
-  [[nodiscard]] std::size_t images_built() const { return images.built; }
-  [[nodiscard]] std::size_t image_borrows() const { return images.borrows; }
-  [[nodiscard]] std::size_t image_hits() const { return images.hits; }
-  [[nodiscard]] std::size_t image_misses() const { return images.misses; }
-  [[nodiscard]] std::size_t image_rebuilds() const { return images.rebuilds; }
-  [[nodiscard]] std::uint64_t image_bytes() const { return images.bytes; }
-  [[nodiscard]] std::size_t image_entries() const { return images.entries; }
-  [[nodiscard]] std::size_t frontiers_built() const {
-    return frontiers.built;
-  }
-  [[nodiscard]] std::size_t frontier_borrows() const {
-    return frontiers.borrows;
-  }
-  [[nodiscard]] std::size_t frontier_hits() const { return frontiers.hits; }
-  [[nodiscard]] std::size_t frontier_misses() const {
-    return frontiers.misses;
-  }
-  [[nodiscard]] std::size_t frontier_rebuilds() const {
-    return frontiers.rebuilds;
-  }
-  [[nodiscard]] std::uint64_t frontier_bytes() const {
-    return frontiers.bytes;
-  }
-  [[nodiscard]] std::size_t frontier_entries() const {
-    return frontiers.entries;
-  }
 };
 
 /// One resident artifact, as the eviction policy sees it: how big it

@@ -102,13 +102,15 @@ struct Service::Registered {
 
 Service::Service(ServiceOptions options)
     : limits_(options.limits),
+      client_weights_(std::move(options.client_weights)),
       budget_(options.cache_budget),
       faults_(std::move(options.faults)) {
   unsigned workers = options.workers != 0
                          ? options.workers
                          : std::thread::hardware_concurrency();
   if (workers == 0) workers = 1;
-  pool_ = std::make_shared<sweep::Pool>(workers);
+  pool_ = std::make_shared<sweep::Pool>(
+      sweep::PoolOptions{workers, options.fair_share});
 }
 
 Service::~Service() { shutdown(std::nullopt); }
@@ -525,6 +527,9 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
   sweep::SubmitOptions options;
   options.priority = ctx->spec.priority;
   options.max_workers = ctx->spec.max_workers;
+  options.client = client;
+  const auto weight = client_weights_.find(client);
+  if (weight != client_weights_.end()) options.weight = weight->second;
   options.cancel = state->token;
   const std::uint64_t deadline_ms = ctx->spec.deadline_ms != 0
                                         ? ctx->spec.deadline_ms
@@ -702,6 +707,7 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
   const JobId id = pool_->submit(
       total, std::move(item),
       [this, ctx, state, client](const sweep::FinalizeInfo& info) {
+        std::function<void()> callback;
         {
           // Job accounting first, so a waiter that wakes on this job
           // can immediately submit into the freed queue slot.
@@ -756,8 +762,13 @@ JobHandle<JobResult> Service::submit(JobSpec spec) {
               break;
           }
           state->done = true;
+          callback = std::move(state->callback);
         }
         state->cv.notify_all();
+        // Outside the state mutex: the callback may take locks of its
+        // own (the net layer's completion queue) and must never
+        // deadlock against a concurrent ready()/wait().
+        if (callback) callback();
       },
       options);
 

@@ -52,6 +52,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -113,6 +114,16 @@ struct ServiceOptions {
   /// Deterministic fault injection (tests / soak runs); null -- the
   /// default -- costs one branch per fault point. See fault_plan.hpp.
   std::shared_ptr<const FaultPlan> faults;
+  /// Within-class pool scheduling: weighted fair share over
+  /// JobSpec::client tags (the default) vs the strict lowest-id order
+  /// -- the PR 5 reference the fairness differentials compare against.
+  /// Affects only when cells run, never any job outcome. See
+  /// sweep::PoolOptions::fair_share.
+  bool fair_share = true;
+  /// Server-side fair-share weights by client tag; absent tags weigh 1.
+  /// Weights are deployment policy, not job payload -- they never cross
+  /// the wire, so the wire format is unchanged.
+  std::map<std::string, unsigned> client_weights;
 };
 
 /// Simulate one workload's default trace under one configuration --
@@ -171,6 +182,10 @@ struct JobState {
   /// The pool the job runs on; weak so a handle outliving its Service
   /// degrades cancel() to a no-op instead of dangling.
   std::weak_ptr<sweep::Pool> pool;
+  /// Completion callback (at most one), armed via JobHandle::on_ready
+  /// and fired exactly once, outside this mutex, on whichever thread
+  /// resolves the job.
+  std::function<void()> callback;
 };
 
 /// Project the handle's static type out of the unified JobResult.
@@ -232,6 +247,25 @@ class JobHandle {
   /// (and tests) observe the request before the affected items retire.
   [[nodiscard]] bool cancel_requested() const {
     return state_ && state_->token && state_->token->cancelled();
+  }
+
+  /// Arm a completion callback: `fn` runs exactly once, after the job
+  /// resolves (the result is readable from inside it), on whichever
+  /// thread resolved the job -- or synchronously right here when it
+  /// already resolved (rejected-at-admission handles land this way).
+  /// One callback per job; arming again replaces an unfired callback.
+  /// `fn` must not block -- the net layer uses it to nudge an event
+  /// loop, nothing more.
+  void on_ready(std::function<void()> fn) const {
+    APCC_CHECK(state_ != nullptr, "on_ready() on an empty JobHandle");
+    {
+      const std::lock_guard<std::mutex> lock(state_->mutex);
+      if (!state_->done) {
+        state_->callback = std::move(fn);
+        return;
+      }
+    }
+    fn();
   }
 
   /// Block until the job retires; rethrows its first failure. May be
@@ -321,8 +355,8 @@ class Service {
   /// One serving::ArtifactStats per artifact kind -- see cache.hpp for
   /// the counter semantics (built/borrows vs hits/misses/rebuilds vs
   /// evictions/evicted_bytes, resident bytes/entries). The PR 4-7 flat
-  /// spellings (stats.image_hits -> stats.image_hits()) survive as
-  /// accessors on the returned struct for one release.
+  /// spellings (stats.image_hits and friends) are gone: spell them
+  /// stats.images.hits / stats.frontiers.hits.
   using CacheStats = serving::CacheStats;
   [[nodiscard]] CacheStats cache_stats() const;
 
@@ -435,6 +469,9 @@ class Service {
 
   // -- admission / lifecycle (guarded by mutex_) ----------------------
   const ServiceLimits limits_;
+  /// Fair-share weights by client tag (immutable deployment policy;
+  /// absent tags weigh 1).
+  const std::map<std::string, unsigned> client_weights_;
   const CacheBudget budget_;
   const std::shared_ptr<const FaultPlan> faults_;
   bool accepting_ = true;

@@ -13,8 +13,10 @@ const char* priority_name(Priority p) {
   return "?";
 }
 
-Pool::Pool(unsigned workers) {
-  const unsigned count = std::max(1u, workers);
+Pool::Pool(unsigned workers) : Pool(PoolOptions{workers, true}) {}
+
+Pool::Pool(PoolOptions options) : fair_share_(options.fair_share) {
+  const unsigned count = std::max(1u, options.workers);
   threads_.reserve(count);
   for (unsigned w = 0; w < count; ++w) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -24,21 +26,65 @@ Pool::Pool(unsigned workers) {
 Pool::~Pool() { stop(StopMode::kDrain); }
 
 std::shared_ptr<Pool::Job> Pool::claimable_locked() {
-  // queue_ is in submission (= ascending id) order, so the first hit
-  // within a priority class is the lowest id -- the deterministic
-  // tie-break. A cancelled job's remaining items are skipped without
-  // running, so the worker budget does not apply to them (holding them
-  // back would only delay the finalize).
+  // queue_ is in submission (= ascending id) order, so within an equal
+  // (class, account vtime, tag) the first hit is the lowest id -- the
+  // deterministic final tie-break. A cancelled job's remaining items
+  // are skipped without running, so the worker budget does not apply
+  // to them (holding them back would only delay the finalize).
   std::shared_ptr<Job> best;
+  std::uint64_t best_vtime = 0;
   for (const auto& job : queue_) {
     if (job->next >= job->total) continue;
     if (!job->cancelled && job->max_workers != 0 &&
         job->running >= job->max_workers) {
       continue;
     }
-    if (!best || job->priority < best->priority) best = job;
+    if (!best || job->priority < best->priority) {
+      best = job;
+      if (fair_share_) best_vtime = share_locked(job->client).vtime;
+      continue;
+    }
+    if (!fair_share_ || job->priority != best->priority) continue;
+    // Same class: the least-served account goes first, so a heavy
+    // tenant's backlog cannot starve a light one queued behind it.
+    const std::uint64_t vtime = share_locked(job->client).vtime;
+    if (vtime < best_vtime ||
+        (vtime == best_vtime && job->client < best->client)) {
+      best = job;
+      best_vtime = vtime;
+    }
   }
   return best;
+}
+
+Pool::ClientShare& Pool::share_locked(const std::string& tag) {
+  const auto it = shares_.find(tag);
+  if (it != shares_.end()) return it->second;
+  // Aging: a new (or returning) tag enters at the minimum vtime among
+  // live accounts, so it shares from now on instead of replaying the
+  // credit it banked while absent and monopolizing the pool.
+  std::uint64_t baseline = 0;
+  bool any = false;
+  for (const auto& entry : shares_) {
+    if (!any || entry.second.vtime < baseline) baseline = entry.second.vtime;
+    any = true;
+  }
+  ClientShare share;
+  share.vtime = baseline;
+  return shares_.emplace(tag, share).first->second;
+}
+
+void Pool::charge_locked(const Job& job) {
+  if (!fair_share_) return;
+  share_locked(job.client).vtime += kVtimeUnit / std::max(1u, job.weight);
+}
+
+void Pool::release_locked(const Job& job) {
+  if (!fair_share_) return;
+  const auto it = shares_.find(job.client);
+  if (it == shares_.end()) return;
+  if (it->second.live > 0) --it->second.live;
+  if (it->second.live == 0) shares_.erase(it);
 }
 
 void Pool::cancel_locked(Job& job, CancelCause cause) {
@@ -93,6 +139,8 @@ Pool::JobId Pool::submit(std::size_t total, ItemFn item, FinalizeFn finalize,
   job->finalize = std::move(finalize);
   job->priority = options.priority;
   job->max_workers = options.max_workers;
+  job->client = std::move(options.client);
+  job->weight = options.weight;
   job->token = std::move(options.cancel);
   job->deadline = options.deadline;
   bool dead = false;
@@ -100,7 +148,10 @@ Pool::JobId Pool::submit(std::size_t total, ItemFn item, FinalizeFn finalize,
     const std::lock_guard<std::mutex> lock(mutex_);
     job->id = next_id_++;
     dead = stopping_;
-    if (!dead && total > 0) queue_.push_back(job);
+    if (!dead && total > 0) {
+      queue_.push_back(job);
+      if (fair_share_) ++share_locked(job->client).live;
+    }
   }
   if (dead) {
     // The pool is stopping or stopped: never enqueue, but never stall
@@ -134,6 +185,7 @@ void Pool::finalize_unstarted_locked(std::unique_lock<std::mutex>& lock,
   job->next = job->total;
   job->done = job->total;
   queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+  release_locked(*job);
   const FinalizeFn finalize = std::move(job->finalize);
   const FinalizeInfo info = finalize_info(*job);
   lock.unlock();
@@ -187,7 +239,12 @@ void Pool::worker_loop() {
 
     const std::size_t index = job->next++;
     const bool skip = job->cancelled;
-    if (!skip) ++job->running;
+    if (!skip) {
+      ++job->running;
+      // Skipped items cost nothing: a cancelled backlog should not
+      // penalize its tenant's future share.
+      charge_locked(*job);
+    }
     lock.unlock();
 
     std::exception_ptr error;
@@ -224,6 +281,7 @@ void Pool::worker_loop() {
     ++job->done;
     if (job->done == job->total) {
       queue_.erase(std::find(queue_.begin(), queue_.end(), job));
+      release_locked(*job);
       const FinalizeFn finalize = std::move(job->finalize);
       const FinalizeInfo info = finalize_info(*job);
       lock.unlock();

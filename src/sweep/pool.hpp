@@ -14,14 +14,26 @@
 //    carry (job, index) so the scheduler can interleave jobs.
 //  * Scheduling is by strict priority class (high > normal > batch)
 //    with cross-job overflow: workers claim items from the
-//    highest-class job that still has unclaimed items, oldest job id
-//    first within a class, so job A's long tail overlaps job B's head
-//    instead of the pool draining and refilling per job. Priorities are
-//    strict -- a ready high-class item always beats a batch item -- and
-//    the lowest-id tie-break makes the claim order deterministic.
-//    Because every result is keyed by its item index and collected
-//    order-independently, scheduling affects only *when* an item runs,
-//    never what any job returns.
+//    highest-class job that still has unclaimed items, so job A's long
+//    tail overlaps job B's head instead of the pool draining and
+//    refilling per job. Priorities are strict -- a ready high-class
+//    item always beats a batch item. Because every result is keyed by
+//    its item index and collected order-independently, scheduling
+//    affects only *when* an item runs, never what any job returns.
+//  * **Within** a class the pick is weighted fair share keyed by the
+//    job's client tag (PR 9): every tag carries a virtual-time account,
+//    each dispatched item charges its account kVtimeUnit/weight, and
+//    the claimable tag with the smallest vtime goes first (ties break
+//    on the lexicographically smaller tag, then the lowest job id, so
+//    the claim order stays deterministic). A tag that goes idle and
+//    returns is aged forward to the busiest-minus-nothing baseline --
+//    max(own vtime, min active vtime) -- so it resumes sharing instead
+//    of monopolizing the pool to repay its idle time. Jobs that carry
+//    no tag all share the "" account, which degenerates to exactly the
+//    historical lowest-id-first order; PoolOptions::fair_share = false
+//    keeps that strict-FIFO pick as the live reference the
+//    differential tests compare against (scheduling may change when an
+//    item runs -- never any result).
 //  * A job's max_workers budget caps how many pool threads run its
 //    items concurrently (0 = no cap). A budget-capped job yields its
 //    surplus workers to lower-priority jobs instead of idling them.
@@ -71,9 +83,11 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -135,6 +149,15 @@ struct SubmitOptions {
   /// Max pool threads running this job's items concurrently; 0 = no
   /// cap. Affects scheduling only, never outcomes.
   unsigned max_workers = 0;
+  /// Fair-share account this job's items are charged to (the empty tag
+  /// is a real account -- the one untagged jobs share). Affects only
+  /// the within-class claim order, never outcomes.
+  std::string client;
+  /// Fair-share weight of this job's items: an item costs
+  /// kVtimeUnit/weight virtual time, so a weight-2 client sustains
+  /// twice the items of a weight-1 client under contention. 0 is
+  /// treated as 1.
+  unsigned weight = 1;
   /// Cooperative cancellation token. Optional: when null the job can
   /// still be cancelled via Pool::cancel(), but running items have no
   /// flag to poll. The pool also *reads* the token at every claim, so
@@ -146,9 +169,26 @@ struct SubmitOptions {
   std::optional<std::chrono::steady_clock::time_point> deadline;
 };
 
+/// Pool-wide construction knobs.
+struct PoolOptions {
+  /// Resident worker threads (clamped to at least 1).
+  unsigned workers = 1;
+  /// Within-class scheduling: true (the default) picks by weighted
+  /// fair share over client tags; false keeps the strict
+  /// lowest-id-first order -- the PR 5 reference the fairness
+  /// differentials compare against. With no distinct tags the two are
+  /// identical, so existing tag-less callers see no change either way.
+  bool fair_share = true;
+};
+
 class Pool {
  public:
   using JobId = std::uint64_t;
+
+  /// One dispatched item's virtual-time cost at weight 1 (divided by
+  /// the job's weight when charged). Large enough that integer
+  /// division keeps weights 1..kVtimeUnit distinguishable.
+  static constexpr std::uint64_t kVtimeUnit = 1u << 20;
 
   /// Item callback: called once per index in [0, total), possibly
   /// concurrently from several pool threads.
@@ -158,8 +198,11 @@ class Pool {
   /// says how the job ended and carries the first item failure.
   using FinalizeFn = std::function<void(const FinalizeInfo&)>;
 
-  /// Spin up `workers` resident threads (clamped to at least 1).
+  /// Spin up `workers` resident threads (clamped to at least 1),
+  /// fair-share scheduling on (see PoolOptions).
   explicit Pool(unsigned workers);
+
+  explicit Pool(PoolOptions options);
 
   /// Equivalent to stop(StopMode::kDrain): drains every submitted job
   /// (finalizers included), then joins.
@@ -220,6 +263,8 @@ class Pool {
     FinalizeFn finalize;
     Priority priority = Priority::kNormal;
     unsigned max_workers = 0;  // 0 = unbudgeted
+    std::string client;        // fair-share account (the empty tag is one)
+    unsigned weight = 1;       // item cost = kVtimeUnit / weight
     std::shared_ptr<CancelToken> token;  // may be null
     std::optional<std::chrono::steady_clock::time_point> deadline;
     std::size_t next = 0;     // next unclaimed index (guarded by mutex_)
@@ -232,11 +277,37 @@ class Pool {
 
   void worker_loop();
 
-  /// The best claimable job: highest priority class, then lowest id,
-  /// among queued jobs with an unclaimed item whose worker budget has a
-  /// free slot (cancelled jobs bypass the budget -- their items are
-  /// skipped, not run). nullptr when nothing is claimable.
+  /// The best claimable job among queued jobs with an unclaimed item
+  /// whose worker budget has a free slot (cancelled jobs bypass the
+  /// budget -- their items are skipped, not run): highest priority
+  /// class first; within the class, the minimum-vtime client tag (ties
+  /// to the lexicographically smaller tag), then the lowest job id --
+  /// or plain lowest id when fair_share is off. nullptr when nothing
+  /// is claimable.
   [[nodiscard]] std::shared_ptr<Job> claimable_locked();
+
+  /// Per-tag fair-share account. `live` counts queued (not yet
+  /// retired) jobs under the tag; the account is erased when it drops
+  /// to zero, so a returning tag re-enters at the active baseline (the
+  /// aging rule) instead of replaying banked idle time.
+  struct ClientShare {
+    std::uint64_t vtime = 0;
+    std::size_t live = 0;
+  };
+
+  /// The account for `tag`, created at the aging baseline
+  /// (max of 0 and the minimum vtime among live accounts) if absent.
+  /// Caller holds mutex_.
+  ClientShare& share_locked(const std::string& tag);
+
+  /// Charge one dispatched item of `job` to its account. Caller holds
+  /// mutex_.
+  void charge_locked(const Job& job);
+
+  /// Drop one live job from its account when it leaves queue_, erasing
+  /// the account at zero so a returning tag re-enters at the aging
+  /// baseline. Caller holds mutex_.
+  void release_locked(const Job& job);
 
   /// Mark a job cancelled (first cause wins), request its token, and
   /// wake budget-gated workers to drain the skipped tail. Caller holds
@@ -264,6 +335,9 @@ class Pool {
   std::condition_variable work_cv_;      // workers: new work or shutdown
   std::condition_variable finished_cv_;  // waiters: some job finalized
   std::deque<std::shared_ptr<Job>> queue_;  // submitted, not yet retired
+  const bool fair_share_;
+  /// Fair-share accounts of tags with live jobs (guarded by mutex_).
+  std::map<std::string, ClientShare> shares_;
   JobId next_id_ = 1;
   JobId retired_below_ = 1;  // every id < this has finalized
   std::vector<JobId> retired_;  // finalized ids >= retired_below_

@@ -8,14 +8,21 @@
 // group is only built when APCC_BUILD_TOOLS is on.
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "net/socket.hpp"
 
 namespace {
 
@@ -568,6 +575,87 @@ TEST(CliSmoke, ServeDrainsGracefullyOnSigterm) {
   EXPECT_EQ(count_occurrences(result.output, "status error"), 0u)
       << result.output;
   std::remove(jobfile.c_str());
+}
+
+TEST(CliSmoke, ServeListensOnTcpRejectsOverloadAndDrainsOnSigterm) {
+  // The TCP front door end-to-end: `serve --listen 0` binds an
+  // ephemeral port and announces it on stderr; a loopback client
+  // speaks the stdin wire protocol over the socket -- per-session
+  // submission order, --max-queued-per-client overflow resolving as a
+  // `status rejected` record -- and SIGTERM drains the server to exit
+  // 0 while the listener is live.
+  const std::string command =
+      std::string(kCliPath) +
+      " serve --listen 0 --workers 1 --max-queued-per-client 1"
+      " < /dev/null 2>&1 1>/dev/null"
+      " & pid=$!; echo pid=$pid; wait $pid; echo exit=$?";
+  FILE* pipe = popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  char buffer[512];
+  long pid = -1;
+  int port = 0;
+  while ((pid < 0 || port == 0) &&
+         fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    const std::string line(buffer);
+    if (line.rfind("pid=", 0) == 0) pid = std::stol(line.substr(4));
+    const std::string needle = "listening on 127.0.0.1:";
+    const std::size_t pos = line.find(needle);
+    if (pos != std::string::npos) {
+      port = std::stoi(line.substr(pos + needle.size()));
+    }
+  }
+  ASSERT_GT(pid, 0);
+  ASSERT_GT(port, 0);
+
+  // A slow job occupies the per-client slot; the run job right behind
+  // it on the same connection must come back rejected. Job 1 is a
+  // three-workload suite campaign (tens of ms of work on the single
+  // worker); job 2 reuses gsm-like, so its prepare is a dedup lookup
+  // and both submits happen back-to-back on the IO thread -- job 1 is
+  // still live at job 2's admission check unless the IO thread stalls
+  // for the whole campaign between two adjacent submits.
+  const std::string jobs =
+      "apcc.job v4\nkind campaign\nworkload gsm-like\n"
+      "workload crc-like\nworkload adpcm-like\n"
+      "grid strategy-k\nend\n"
+      "apcc.job v4\nkind run\nworkload gsm-like\nend\n";
+  std::string response;
+  {
+    const apcc::net::Fd client =
+        apcc::net::connect_tcp("127.0.0.1", static_cast<std::uint16_t>(port));
+    std::size_t sent = 0;
+    while (sent < jobs.size()) {
+      const ssize_t n =
+          ::send(client.get(), jobs.data() + sent, jobs.size() - sent, 0);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
+    ::shutdown(client.get(), SHUT_WR);  // half-close: results still flow
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(client.get(), chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      response.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+  const std::size_t first = response.find("apcc.result v4\njob 1\n");
+  const std::size_t second = response.find("apcc.result v4\njob 2\n");
+  ASSERT_NE(first, std::string::npos) << response;
+  ASSERT_NE(second, std::string::npos) << response;
+  EXPECT_LT(first, second);
+  EXPECT_NE(response.find("status ok"), std::string::npos) << response;
+  EXPECT_NE(response.find("status rejected"), std::string::npos) << response;
+
+  // SIGTERM with no client connected: the drain closes the listener
+  // and the process exits 0.
+  ASSERT_EQ(::kill(static_cast<pid_t>(pid), SIGTERM), 0);
+  std::string tail;
+  while (fgets(buffer, sizeof(buffer), pipe) != nullptr) tail += buffer;
+  pclose(pipe);
+  EXPECT_NE(tail.find("exit=0"), std::string::npos) << tail;
+
+  // --host is a --listen modifier: rejected on the stdin path.
+  EXPECT_EQ(run_cli("serve --host 10.0.0.1 < /dev/null").exit_code, 1);
 }
 
 TEST(CliSmoke, AsmAndCfgStillWork) {

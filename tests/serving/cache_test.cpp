@@ -143,24 +143,18 @@ TEST(CacheStatsFormat, RendersBothKindsWithEvictionCounters) {
   EXPECT_EQ(text.back(), '\n');
 }
 
-TEST(CacheStatsShim, FlatAccessorsMirrorNestedFields) {
+TEST(CacheStats, HoldsOneArtifactStatsPerKind) {
+  // The PR 8 flat-accessor shim (stats.image_hits() et al.) is gone;
+  // the per-kind structs are the only spelling.
   CacheStats stats;
   stats.images = ArtifactStats{1, 2, 3, 4, 5, 6, 7, 8, 9};
   stats.frontiers = ArtifactStats{11, 12, 13, 14, 15, 16, 17, 18, 19};
-  EXPECT_EQ(stats.images_built(), 1u);
-  EXPECT_EQ(stats.image_borrows(), 2u);
-  EXPECT_EQ(stats.image_hits(), 3u);
-  EXPECT_EQ(stats.image_misses(), 4u);
-  EXPECT_EQ(stats.image_rebuilds(), 5u);
-  EXPECT_EQ(stats.image_bytes(), 8u);
-  EXPECT_EQ(stats.image_entries(), 9u);
-  EXPECT_EQ(stats.frontiers_built(), 11u);
-  EXPECT_EQ(stats.frontier_borrows(), 12u);
-  EXPECT_EQ(stats.frontier_hits(), 13u);
-  EXPECT_EQ(stats.frontier_misses(), 14u);
-  EXPECT_EQ(stats.frontier_rebuilds(), 15u);
-  EXPECT_EQ(stats.frontier_bytes(), 18u);
-  EXPECT_EQ(stats.frontier_entries(), 19u);
+  EXPECT_EQ(stats.images.built, 1u);
+  EXPECT_EQ(stats.images.bytes, 8u);
+  EXPECT_EQ(stats.images.entries, 9u);
+  EXPECT_EQ(stats.frontiers.built, 11u);
+  EXPECT_EQ(stats.frontiers.bytes, 18u);
+  EXPECT_EQ(stats.frontiers.entries, 19u);
 }
 
 }  // namespace

@@ -245,6 +245,69 @@ TEST(JobSpec, MixedPriorityAndBudgetByteIdenticalToFifo) {
   }
 }
 
+TEST(JobSpec, FairShareWithWeightsByteIdenticalToFifo) {
+  // The PR 9 acceptance differential: an identical multi-tenant
+  // submission -- three client tags, server-side weights, mixed
+  // priorities -- once under the default weighted fair share and once
+  // on the strict lowest-id reference (fair_share off), at workers
+  // 1/2/4. The scheduler moves items *between tenants*; every result
+  // must be byte-identical (fair share changes when cells run, never
+  // what any job returns).
+  const auto grid = test_grid();
+  for (const unsigned workers : {1u, 2u, 4u}) {
+    SCOPED_TRACE(std::to_string(workers) + " workers");
+    ServiceOptions fair_options;
+    fair_options.workers = workers;
+    fair_options.client_weights = {{"latency-tier", 4}, {"nightly", 1}};
+    Fixture fair(std::move(fair_options));
+    ServiceOptions fifo_options;
+    fifo_options.workers = workers;
+    fifo_options.fair_share = false;  // tags become inert: lowest id wins
+    Fixture fifo(std::move(fifo_options));
+
+    auto j1 = run_spec("crc-like");
+    j1.priority = sweep::Priority::kHigh;
+    j1.client = "latency-tier";
+    auto j2 = sweep_spec("crc-like", grid);
+    j2.client = "nightly";
+    auto j3 = campaign_spec({"crc-like", "adpcm-like"}, grid);
+    j3.client = "analytics";  // no configured weight: defaults to 1
+    auto j4 = sweep_spec("adpcm-like", grid);
+    j4.client = "latency-tier";
+    j4.priority = sweep::Priority::kBatch;
+
+    // Submit everything before waiting on anything, both services.
+    std::vector<JobHandle<JobResult>> fair_handles;
+    std::vector<JobHandle<JobResult>> fifo_handles;
+    for (const auto* job : {&j1, &j2, &j3, &j4}) {
+      fair_handles.push_back(fair.service.submit(*job));
+      fifo_handles.push_back(fifo.service.submit(*job));
+    }
+
+    expect_identical(fair_handles[0].wait().run, fifo_handles[0].wait().run);
+    for (const std::size_t sweep_job : {std::size_t{1}, std::size_t{3}}) {
+      const auto& fs = fair_handles[sweep_job].wait().sweep;
+      const auto& rs = fifo_handles[sweep_job].wait().sweep;
+      ASSERT_EQ(fs.size(), rs.size());
+      for (std::size_t i = 0; i < rs.size(); ++i) {
+        expect_identical(rs[i], fs[i]);
+      }
+    }
+    const auto& fc = fair_handles[2].wait().campaign;
+    const auto& rc = fifo_handles[2].wait().campaign;
+    ASSERT_EQ(fc.size(), rc.size());
+    for (std::size_t w = 0; w < rc.size(); ++w) {
+      EXPECT_EQ(fc[w].workload, rc[w].workload);
+      ASSERT_EQ(fc[w].outcomes.size(), rc[w].outcomes.size());
+      for (std::size_t i = 0; i < rc[w].outcomes.size(); ++i) {
+        expect_identical(rc[w].outcomes[i], fc[w].outcomes[i]);
+      }
+    }
+    // And the FIFO reference is itself the direct sequential result.
+    expect_identical(fifo_handles[0].wait().run, reference_systems()[0].run());
+  }
+}
+
 TEST(JobSpec, ValidateRejectsMalformedSpecs) {
   Fixture fx(1);
   {

@@ -48,10 +48,6 @@ TEST(Service, RunJobMatchesDirectRunColdAndWarm) {
       } else {
         EXPECT_EQ(stats.frontiers.built, 0u);
       }
-      // The PR 4-7 flat spellings survive as accessors (deprecation
-      // shim); pin one per kind so the shim cannot silently drift.
-      EXPECT_EQ(stats.images_built(), stats.images.built);
-      EXPECT_EQ(stats.frontier_borrows(), stats.frontiers.borrows);
     }
   }
 }

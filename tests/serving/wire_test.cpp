@@ -8,8 +8,11 @@
 // JobSpec::kWireVersion deliberately.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
+#include <istream>
 #include <sstream>
+#include <streambuf>
 #include <string>
 #include <vector>
 
@@ -452,6 +455,69 @@ TEST(Wire, RecordReaderSplitsStreamsAndPositions) {
     EXPECT_EQ(e.snippet(), "apcc.job v4");
     EXPECT_EQ(e.line(), 1u);
   }
+}
+
+/// A streambuf that surfaces at most `chunk` bytes per underflow --
+/// the delivery shape a socket produces, where getline() must cross
+/// buffer refills mid-line.
+class ChunkedBuf : public std::streambuf {
+ public:
+  ChunkedBuf(std::string text, std::size_t chunk)
+      : text_(std::move(text)), chunk_(chunk) {}
+
+ protected:
+  int_type underflow() override {
+    if (pos_ >= text_.size()) return traits_type::eof();
+    const std::size_t n = std::min(chunk_, text_.size() - pos_);
+    char* base = text_.data() + pos_;
+    setg(base, base, base + n);
+    pos_ += n;
+    return traits_type::to_int_type(*base);
+  }
+
+ private:
+  std::string text_;
+  std::size_t chunk_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Wire, RecordReaderIsChunkingInvariant) {
+  // The stream split into records must not depend on how the bytes
+  // arrive: a reader fed 1..7 bytes per refill yields exactly the
+  // records (text, absolute line, header kind) of a whole-string pass.
+  const std::string text =
+      "# comment\n\n" + kJobHeader +
+      "\nkind run\nworkload gsm-like\nend\n\n" + kResultHeader +
+      "\njob 1\nstatus error\nerror boom\nend\n# trailing\n" + kJobHeader +
+      "\nkind sweep\nworkload gsm-like\n"
+      "task label=a strategy=on-demand kc=1 kd=1\nend\n";
+  std::istringstream whole(text);
+  RecordReader reference(whole);
+  std::vector<RawRecord> want;
+  while (auto record = reference.next()) want.push_back(*record);
+  ASSERT_EQ(want.size(), 3u);
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{3}, std::size_t{7}}) {
+    SCOPED_TRACE("chunk=" + std::to_string(chunk));
+    ChunkedBuf buf(text, chunk);
+    std::istream in(&buf);
+    RecordReader reader(in);
+    std::vector<RawRecord> got;
+    while (auto record = reader.next()) got.push_back(*record);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].text, want[i].text);
+      EXPECT_EQ(got[i].first_line, want[i].first_line);
+      EXPECT_EQ(got[i].is_result, want[i].is_result);
+    }
+  }
+
+  // Truncation is detected identically under chunked delivery.
+  ChunkedBuf truncated(kJobHeader + "\nkind run\n", 2);
+  std::istream in(&truncated);
+  RecordReader reader(in);
+  EXPECT_THROW({ (void)reader.next(); }, WireError);
 }
 
 TEST(Wire, GoldenFilesAreFixedPoints) {

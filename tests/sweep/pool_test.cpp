@@ -11,6 +11,7 @@
 // TSan CI job runs this binary.)
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -18,6 +19,7 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -464,6 +466,211 @@ TEST(Pool, SubmitAfterStopFinalizesAsCancelled) {
   EXPECT_TRUE(token->cancelled());
   EXPECT_EQ(ran.load(), 0u);
   pool.wait(id);  // the id is retired, so wait() returns at once
+}
+
+/// SubmitOptions carrying the fair-share fields the QoS tests vary.
+SubmitOptions tenant(const std::string& client, unsigned weight = 1,
+                     Priority priority = Priority::kNormal) {
+  SubmitOptions options;
+  options.priority = priority;
+  options.client = client;
+  options.weight = weight;
+  return options;
+}
+
+TEST(Pool, FairShareAlternatesEqualWeightTenants) {
+  // One worker parked while two equal-weight tenants queue six items
+  // each: the virtual-time pick must strictly alternate their items
+  // (ties break to the lexicographically smaller tag, so "heavy"
+  // leads), instead of draining the lower job id first.
+  Pool pool(1);
+  Gate gate;
+  pool.submit(1, [&](std::size_t) { gate.wait(); }, nullptr);
+  gate.await_arrivals(1);
+
+  std::mutex mutex;
+  std::vector<char> order;
+  const auto recorder = [&](char tag) {
+    return [&, tag](std::size_t) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(tag);
+    };
+  };
+  pool.submit(6, recorder('h'), nullptr, tenant("heavy"));
+  pool.submit(6, recorder('l'), nullptr, tenant("light"));
+  gate.release();
+  pool.drain();
+  EXPECT_EQ((std::vector<char>{'h', 'l', 'h', 'l', 'h', 'l', 'h', 'l',
+                               'h', 'l', 'h', 'l'}),
+            order);
+}
+
+TEST(Pool, LightTenantIsNotStarvedByAHeavyBacklog) {
+  // The acceptance scenario: one tenant has piled up three 8-item jobs
+  // when a second tenant submits four items. Fair share completes the
+  // light tenant's work interleaved with the backlog's head -- while
+  // the strict lowest-id reference (fair_share off) makes it wait out
+  // all 24 backlog items. Same items, same results, different *when*.
+  for (const bool fair : {true, false}) {
+    SCOPED_TRACE(fair ? "fair-share" : "fifo reference");
+    Pool pool(PoolOptions{1, fair});
+    Gate gate;
+    pool.submit(1, [&](std::size_t) { gate.wait(); }, nullptr);
+    gate.await_arrivals(1);
+
+    std::mutex mutex;
+    std::vector<char> order;
+    const auto recorder = [&](char tag) {
+      return [&, tag](std::size_t) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        order.push_back(tag);
+      };
+    };
+    for (int j = 0; j < 3; ++j) {
+      pool.submit(8, recorder('h'), nullptr, tenant("heavy"));
+    }
+    pool.submit(4, recorder('l'), nullptr, tenant("light"));
+    gate.release();
+    pool.drain();
+    ASSERT_EQ(order.size(), 28u);
+    const auto last_light =
+        std::find(order.rbegin(), order.rend(), 'l');
+    const auto last_index = static_cast<std::size_t>(
+        order.rend() - last_light - 1);
+    if (fair) {
+      // Strict alternation until the light tenant is done: its last
+      // item is the 8th dispatch, nowhere near the backlog's tail.
+      EXPECT_EQ(last_index, 7u);
+      for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(order[i], (i % 2 == 0) ? 'h' : 'l') << "position " << i;
+      }
+    } else {
+      // The reference: light was submitted last, so it runs last.
+      EXPECT_EQ(last_index, 27u);
+      EXPECT_EQ(order[23], 'h');
+      EXPECT_EQ(order[24], 'l');
+    }
+  }
+}
+
+TEST(Pool, WeightsSkewDispatchInProportion) {
+  // Weight 3 vs weight 1: the heavy-weighted tenant's items cost a
+  // third of the virtual time, so it sustains three dispatches per one
+  // of the other tenant's under contention -- 6 of the first 8 -- and
+  // the light-weighted tenant still finishes (weights shift share,
+  // they never starve).
+  Pool pool(1);
+  Gate gate;
+  pool.submit(1, [&](std::size_t) { gate.wait(); }, nullptr);
+  gate.await_arrivals(1);
+
+  std::mutex mutex;
+  std::vector<char> order;
+  const auto recorder = [&](char tag) {
+    return [&, tag](std::size_t) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(tag);
+    };
+  };
+  pool.submit(12, recorder('b'), nullptr, tenant("big", 3));
+  pool.submit(12, recorder('s'), nullptr, tenant("small", 1));
+  gate.release();
+  pool.drain();
+  ASSERT_EQ(order.size(), 24u);
+  EXPECT_EQ(std::count(order.begin(), order.begin() + 8, 'b'), 6);
+  EXPECT_EQ(order.back(), 's');  // big exhausted first, small completed
+}
+
+TEST(Pool, ReturningTenantResumesAtTheActiveBaseline) {
+  // The aging rule: a tenant that joins while another has been running
+  // enters at the active minimum virtual time -- it shares from now on
+  // instead of monopolizing the worker to repay the time it was absent.
+  Pool pool(1);
+  Gate midway;
+  std::mutex mutex;
+  std::vector<char> order;
+  pool.submit(
+      8,
+      [&](std::size_t i) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          order.push_back('b');
+        }
+        if (i == 4) midway.wait();  // five items charged, then park
+      },
+      nullptr, tenant("busy"));
+  midway.await_arrivals(1);
+  pool.submit(
+      2,
+      [&](std::size_t) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        order.push_back('i');
+      },
+      nullptr, tenant("idle"));
+  midway.release();
+  pool.drain();
+  // Tie at the baseline goes to "busy" (smaller tag), then the two
+  // tenants alternate: the newcomer does NOT run both items first,
+  // which is what a zero-entry (no aging) account would do.
+  EXPECT_EQ((std::vector<char>{'b', 'b', 'b', 'b', 'b', 'b', 'i', 'b',
+                               'i', 'b'}),
+            order);
+}
+
+TEST(Pool, UntaggedJobsKeepLowestIdOrderUnderFairShare) {
+  // Tag-less jobs all share the "" account, so fair share degenerates
+  // to the historical lowest-id-first order -- byte-identical claim
+  // sequences with the scheduler on or off (the no-tenants no-change
+  // pin for every existing Pool caller).
+  for (const bool fair : {true, false}) {
+    SCOPED_TRACE(fair ? "fair-share" : "fifo reference");
+    Pool pool(PoolOptions{1, fair});
+    Gate gate;
+    pool.submit(1, [&](std::size_t) { gate.wait(); }, nullptr);
+    gate.await_arrivals(1);
+
+    std::mutex mutex;
+    std::vector<char> order;
+    const auto recorder = [&](char tag) {
+      return [&, tag](std::size_t) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        order.push_back(tag);
+      };
+    };
+    pool.submit(2, recorder('a'), nullptr);
+    pool.submit(2, recorder('b'), nullptr);
+    pool.submit(2, recorder('c'), nullptr);
+    gate.release();
+    pool.drain();
+    EXPECT_EQ((std::vector<char>{'a', 'a', 'b', 'b', 'c', 'c'}), order);
+  }
+}
+
+TEST(Pool, StrictClassOrderTrumpsFairShare) {
+  // Priorities stay strict: a high-class job runs before a batch job
+  // even when the batch tenant's tag sorts first and both accounts sit
+  // at the same virtual time. Fair share only arbitrates *within* a
+  // class.
+  Pool pool(1);
+  Gate gate;
+  pool.submit(1, [&](std::size_t) { gate.wait(); }, nullptr);
+  gate.await_arrivals(1);
+
+  std::mutex mutex;
+  std::vector<char> order;
+  const auto recorder = [&](char tag) {
+    return [&, tag](std::size_t) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      order.push_back(tag);
+    };
+  };
+  pool.submit(2, recorder('a'), nullptr,
+              tenant("aaa", 1, Priority::kBatch));
+  pool.submit(2, recorder('z'), nullptr,
+              tenant("zzz", 1, Priority::kHigh));
+  gate.release();
+  pool.drain();
+  EXPECT_EQ((std::vector<char>{'z', 'z', 'a', 'a'}), order);
 }
 
 TEST(Pool, ParallelForIndexCoversAndRethrows) {

@@ -32,7 +32,15 @@
 //                                drains gracefully -- in-flight jobs
 //                                finish, queued jobs resolve `status
 //                                cancelled`, and every accepted job still
-//                                gets exactly one result record
+//                                gets exactly one result record.
+//                                --listen PORT serves the same protocol
+//                                over TCP instead: one session per
+//                                connection, per-session result ordering,
+//                                untagged jobs inherit the connection's
+//                                client tag ("conn-<n>"), and the same
+//                                drain semantics over live sockets. The
+//                                stdin/stdout mode stays the golden/human
+//                                path
 //   wire-roundtrip <file>        parse every record in a wire file and
 //                                re-serialize it canonically (the CI
 //                                golden round-trip gate)
@@ -79,6 +87,17 @@
 //                     are byte-identical either way)
 //   --max-queued N    serve: admission bound -- at most N jobs in flight,
 //                     over-limit submissions get `status rejected` records
+//   --max-queued-per-client N  serve: the same bound per client tag
+//   --listen PORT     serve: accept wire sessions over TCP on PORT
+//                     (0 = ephemeral; the bound address is printed to
+//                     stderr) instead of stdin/stdout
+//   --host ADDR       serve: bind ADDR (default 127.0.0.1; needs --listen)
+//   --client-weight TAG=W  serve: fair-share weight for a client tag
+//                     (repeatable; absent tags weigh 1). Server-side
+//                     policy -- never part of the wire records
+//   --no-fair-share   serve: strict lowest-id scheduling within each
+//                     priority class (the pre-fair-share reference);
+//                     outcomes are byte-identical either way
 //   --no-shared-frontiers   engines own their geometry (no borrowing)
 //   --csv             emit CSV instead of the text report
 //   --wire            batch: emit results as wire records
@@ -110,6 +129,7 @@
 #include "isa/assembler.hpp"
 #include "isa/disasm.hpp"
 #include "isa/interpreter.hpp"
+#include "net/server.hpp"
 #include "serving/service.hpp"
 #include "serving/wire.hpp"
 #include "support/strings.hpp"
@@ -167,13 +187,19 @@ constexpr const char* kToolVersion = "0.6.0";
       "\n"
       "options: --codec K --strategy S --predictor P --kc N --kd N\n"
       "         --budget BYTES --units N --workers N --max-queued N\n"
+      "         --max-queued-per-client N --listen PORT --host ADDR\n"
+      "         --client-weight TAG=W --no-fair-share\n"
       "         --cache-budget-bytes N --cache-budget-image-bytes N\n"
       "         --cache-budget-frontier-bytes N\n"
       "         --batch-cells N --no-shared-frontiers --csv --wire\n"
       "(sweep and campaign grid over strategy and k themselves:\n"
       " --strategy/--kc/--kd there is a usage error; batch and serve\n"
-      " take per-job configuration from the job records; --max-queued\n"
-      " bounds admission and is serve-only)\n";
+      " take per-job configuration from the job records; --max-queued,\n"
+      " --max-queued-per-client, --listen, --host, --client-weight, and\n"
+      " --no-fair-share are serve-only. serve --listen PORT speaks the\n"
+      " same wire protocol over TCP -- one session per connection,\n"
+      " results in per-session submission order, untagged jobs billed\n"
+      " to the connection's own client tag)\n";
   std::exit(message.empty() ? 0 : 1);
 }
 
@@ -233,6 +259,18 @@ struct CliOptions {
   /// serve-only admission bound (0 = unbounded): at most N jobs
   /// submitted-but-unfinished; over-limit jobs get rejected records.
   std::size_t max_queued = 0;
+  /// serve-only: the same bound per client tag (0 = unbounded).
+  std::size_t max_queued_per_client = 0;
+  /// serve-only: TCP mode -- accept wire sessions on this port instead
+  /// of reading stdin (0 = ephemeral). nullopt = stdin/stdout mode.
+  std::optional<std::uint16_t> listen;
+  /// serve-only: the address --listen binds (loopback unless asked).
+  std::string host = "127.0.0.1";
+  /// serve-only: per-tag fair-share weights (--client-weight TAG=W).
+  std::map<std::string, unsigned> client_weights;
+  /// serve-only: false = strict lowest-id scheduling within each
+  /// priority class (--no-fair-share, the differential reference).
+  bool fair_share = true;
   bool share_frontiers = true;
   /// Lockstep batch width for grid commands (sweep/campaign); 0 keeps
   /// the historical one-engine-per-cell path. Run-kind commands reject
@@ -299,6 +337,27 @@ CliOptions parse_options(const std::vector<std::string>& args,
           static_cast<std::uint64_t>(parse_int(need_value(i++)));
     } else if (a == "--max-queued") {
       opts.max_queued = static_cast<std::size_t>(parse_int(need_value(i++)));
+    } else if (a == "--max-queued-per-client") {
+      opts.max_queued_per_client =
+          static_cast<std::size_t>(parse_int(need_value(i++)));
+    } else if (a == "--listen") {
+      const std::int64_t port = parse_int(need_value(i++));
+      if (port < 0 || port > 65535) usage("--listen: port out of range");
+      opts.listen = static_cast<std::uint16_t>(port);
+    } else if (a == "--host") {
+      opts.host = need_value(i++);
+    } else if (a == "--client-weight") {
+      const std::string& value = need_value(i++);
+      const std::size_t eq = value.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        usage("--client-weight wants TAG=WEIGHT, got '" + value + "'");
+      }
+      const std::int64_t weight = parse_int(value.substr(eq + 1));
+      if (weight < 1) usage("--client-weight: weight must be >= 1");
+      opts.client_weights[value.substr(0, eq)] =
+          static_cast<unsigned>(weight);
+    } else if (a == "--no-fair-share") {
+      opts.fair_share = false;
     } else if (a == "--batch-cells") {
       opts.batch_cells =
           static_cast<std::uint32_t>(parse_int(need_value(i++)));
@@ -324,13 +383,20 @@ void reject_wire_flag(const std::string& command, const CliOptions& opts) {
         "for 'batch' (use 'serve' for a wire stream)");
 }
 
-/// --max-queued bounds a *stream* of jobs; everywhere but serve the job
-/// count is fixed by the command line / job file, so the flag would be
-/// silently ignored.
+/// The serve-only flags (--max-queued and friends bound or schedule a
+/// *stream* of jobs; --listen/--host open the TCP front door);
+/// everywhere else they would be silently ignored.
 void reject_max_queued(const std::string& command, const CliOptions& opts) {
-  if (opts.max_queued == 0) return;
-  usage("'" + command + "' submits a fixed set of jobs; --max-queued is "
-        "only meaningful for 'serve'");
+  std::string flag;
+  if (opts.max_queued != 0) flag = "--max-queued";
+  if (opts.max_queued_per_client != 0) flag = "--max-queued-per-client";
+  if (opts.listen) flag = "--listen";
+  if (opts.host != "127.0.0.1") flag = "--host";
+  if (!opts.client_weights.empty()) flag = "--client-weight";
+  if (!opts.fair_share) flag = "--no-fair-share";
+  if (flag.empty()) return;
+  usage("'" + command + "' submits a fixed set of jobs; " + flag +
+        " is only meaningful for 'serve'");
 }
 
 /// Run-kind commands (sim, suite) submit single-cell run jobs, where a
@@ -741,9 +807,13 @@ int cmd_serve(const CliOptions& opts) {
     usage("'serve' always emits wire records; --csv would be silently "
           "ignored and --wire is redundant");
   }
+  if (!opts.listen && opts.host != "127.0.0.1") {
+    usage("--host only applies to the TCP front door; add --listen PORT");
+  }
   // SIGINT/SIGTERM mean "drain": stop reading jobs, finish what was
   // accepted, emit every result record, exit 0. No SA_RESTART, so the
-  // blocked getline below fails with EINTR and the loop sees the flag.
+  // blocking read below (stdin getline or the TCP poll) fails with
+  // EINTR and the loop sees the flag.
   struct sigaction drain {};
   drain.sa_handler = apcc_cli_serve_signal;
   sigemptyset(&drain.sa_mask);
@@ -753,8 +823,34 @@ int cmd_serve(const CliOptions& opts) {
 
   serving::ServiceOptions options = service_options(opts);
   options.limits.max_queued_jobs = opts.max_queued;
+  options.limits.max_queued_per_client = opts.max_queued_per_client;
+  options.fair_share = opts.fair_share;
+  options.client_weights = opts.client_weights;
   serving::Service service(options);
   WorkloadDirectory directory(service);
+
+  if (opts.listen) {
+    // The TCP front door: same protocol, same statuses, one session
+    // per connection (net/server.hpp). The workload directory and the
+    // share-frontiers policy are applied per record by the prepare
+    // hook, exactly as the stdin loop below does inline.
+    net::ServerOptions server_options;
+    server_options.host = opts.host;
+    server_options.port = *opts.listen;
+    server_options.prepare = [&](serving::JobSpec& spec) {
+      spec.share_frontiers = spec.share_frontiers && opts.share_frontiers;
+      for (const std::string& ref : spec.workloads) {
+        (void)directory.id_for(ref);
+      }
+    };
+    server_options.interrupted = [] { return g_serve_shutdown != 0; };
+    net::Server server(service, std::move(server_options));
+    // The bound address on stderr (stdout stays a pure wire stream in
+    // both modes): how callers learn an ephemeral --listen 0 port.
+    std::cerr << "serve: listening on " << server.address() << std::endl;
+    server.run();
+    return 0;
+  }
 
   /// One stream slot, in submission order. An invalid handle means the
   /// job never reached the pool (parse/validation/registration error);

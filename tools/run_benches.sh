@@ -19,6 +19,10 @@
 #                          cache-budget thrash series (warm sweeps at
 #                          25/50/100% of the working set, eviction
 #                          counters included)
+#   BENCH_serve.json    -- TCP front-door sustained jobs/sec plus
+#                          p50/p99 latency counters under mixed-tenant
+#                          QoS (weighted fair share within the normal
+#                          class, strict classes across)
 #
 # --quick is the CI smoke mode: benches shrink their scales (via
 # APCC_BENCH_QUICK) and google-benchmark runs minimal repetitions, so the
@@ -42,7 +46,8 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-${BUILD_DIR}}"
 
 for bench in bench_e11_engine_throughput bench_e4_codecs \
-             bench_sweep_scaling bench_campaign bench_service; do
+             bench_sweep_scaling bench_campaign bench_service \
+             bench_serve; do
   if [[ ! -x "${BUILD_DIR}/${bench}" ]]; then
     echo "error: ${BUILD_DIR}/${bench} not built" >&2
     echo "hint: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
@@ -99,5 +104,24 @@ if ! grep -q '"evictions"' "${OUT_DIR}/BENCH_service.json"; then
   echo "       (bm_service_thrash should emit them per run)" >&2
   exit 1
 fi
+
+echo "== TCP serve mixed-QoS -> ${OUT_DIR}/BENCH_serve.json"
+"${BUILD_DIR}/bench_serve" \
+    ${QUICK_ARGS[@]+"${QUICK_ARGS[@]}"} \
+    --benchmark_filter='bm_serve' \
+    --benchmark_format=json \
+    --benchmark_out="${OUT_DIR}/BENCH_serve.json" \
+    --benchmark_out_format=json
+
+# The mixed-QoS series must carry its throughput + tail-latency
+# counters: sustained jobs/sec and the p50/p99 split are the acceptance
+# record for the TCP front door, so a missing counter fails the run.
+for counter in '"jobs_per_sec"' '"p50_ms"' '"p99_ms"'; do
+  if ! grep -q "${counter}" "${OUT_DIR}/BENCH_serve.json"; then
+    echo "error: BENCH_serve.json has no ${counter} counter" >&2
+    echo "       (bm_serve_mixed_qos should emit it per run)" >&2
+    exit 1
+  fi
+done
 
 echo "done."
