@@ -1,0 +1,105 @@
+#include "compress/adaptive.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace apcc::compress {
+
+std::vector<CodecKind> AdaptiveCodec::default_candidates() {
+  return {CodecKind::kNull, CodecKind::kSharedHuffman, CodecKind::kCodePack,
+          CodecKind::kFpc, CodecKind::kBdi};
+}
+
+AdaptiveCodec::AdaptiveCodec(std::span<const Bytes> training_blocks,
+                             std::vector<CodecKind> candidates)
+    : kinds_(std::move(candidates)) {
+  APCC_CHECK(!kinds_.empty(), "adaptive: candidate set is empty");
+  // Dispatch/tie-break order is the numeric codec id, whatever order
+  // the caller supplied -- the selection must not depend on list order.
+  std::sort(kinds_.begin(), kinds_.end(), [](CodecKind a, CodecKind b) {
+    return static_cast<std::uint8_t>(a) < static_cast<std::uint8_t>(b);
+  });
+  for (std::size_t i = 0; i < kinds_.size(); ++i) {
+    APCC_CHECK(kinds_[i] != CodecKind::kAdaptive,
+               "adaptive: cannot nest adaptive inside itself");
+    APCC_CHECK(i == 0 || kinds_[i] != kinds_[i - 1],
+               "adaptive: duplicate candidate codec");
+    candidates_.push_back(make_codec(kinds_[i], training_blocks));
+  }
+  wins_ = std::vector<std::atomic<std::uint64_t>>(kinds_.size());
+  in_bytes_ = std::vector<std::atomic<std::uint64_t>>(kinds_.size());
+  out_bytes_ = std::vector<std::atomic<std::uint64_t>>(kinds_.size());
+
+  // Cost model: the simulator charges one number per codec, but an
+  // adaptive image mixes winners, so decompress carries the *worst*
+  // candidate's per-byte rate plus a fixed header-dispatch tax -- a
+  // conservative bound (most blocks resolve to the cheap pattern
+  // codecs). Compress pays the sum: best-of runs every candidate.
+  CodecCosts costs{.decompress_cycles_per_byte = 0.0,
+                   .compress_cycles_per_byte = 0.0,
+                   .decompress_fixed_cycles = 0,
+                   .compress_fixed_cycles = 0};
+  for (const auto& c : candidates_) {
+    costs.decompress_cycles_per_byte =
+        std::max(costs.decompress_cycles_per_byte,
+                 c->costs().decompress_cycles_per_byte);
+    costs.compress_cycles_per_byte += c->costs().compress_cycles_per_byte;
+    costs.decompress_fixed_cycles = std::max(costs.decompress_fixed_cycles,
+                                             c->costs().decompress_fixed_cycles);
+    costs.compress_fixed_cycles += c->costs().compress_fixed_cycles;
+  }
+  costs.decompress_fixed_cycles += 4;  // header byte dispatch
+  costs_ = costs;
+}
+
+Bytes AdaptiveCodec::compress(ByteView input) const {
+  Bytes best;
+  std::size_t best_index = 0;
+  bool have_best = false;
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    Bytes encoded = candidates_[i]->compress(input);
+    // Strict improvement only: at equal size the lower codec id (the
+    // earlier candidate) keeps the block -- the documented tie-break.
+    if (!have_best || encoded.size() < best.size()) {
+      best = std::move(encoded);
+      best_index = i;
+      have_best = true;
+    }
+  }
+  Bytes out;
+  out.reserve(best.size() + 1);
+  out.push_back(static_cast<std::uint8_t>(kinds_[best_index]));
+  out.insert(out.end(), best.begin(), best.end());
+  wins_[best_index].fetch_add(1, std::memory_order_relaxed);
+  in_bytes_[best_index].fetch_add(input.size(), std::memory_order_relaxed);
+  out_bytes_[best_index].fetch_add(out.size(), std::memory_order_relaxed);
+  return out;
+}
+
+Bytes AdaptiveCodec::decompress(ByteView input,
+                                std::size_t original_size) const {
+  APCC_CHECK(!input.empty(), "adaptive: stream truncated (missing codec id)");
+  const std::uint8_t id = input[0];
+  for (std::size_t i = 0; i < kinds_.size(); ++i) {
+    if (static_cast<std::uint8_t>(kinds_[i]) == id) {
+      return candidates_[i]->decompress(input.subspan(1), original_size);
+    }
+  }
+  APCC_CHECK(false, "adaptive: codec id " + std::to_string(int{id}) +
+                        " is not in the candidate set (corrupt stream)");
+}
+
+std::vector<AdaptiveCodec::CandidateStats> AdaptiveCodec::selection_stats()
+    const {
+  std::vector<CandidateStats> out;
+  out.reserve(kinds_.size());
+  for (std::size_t i = 0; i < kinds_.size(); ++i) {
+    out.push_back({kinds_[i], wins_[i].load(std::memory_order_relaxed),
+                   in_bytes_[i].load(std::memory_order_relaxed),
+                   out_bytes_[i].load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+}  // namespace apcc::compress

@@ -1,0 +1,76 @@
+// Per-block adaptive best-of codec selection.
+//
+// No single codec wins on every basic block: FPC flattens zero/small-
+// literal words, BDI flattens narrow value ranges, the trained
+// dictionary/entropy codecs win on text-like instruction mixes, and
+// nothing beats raw on incompressible bytes. AdaptiveCodec makes the
+// choice *per block*: compress() runs every candidate codec on the
+// block, keeps the smallest encoding, and emits
+//
+//   byte 0    codec id: the winning candidate's CodecKind value
+//   byte 1..  the winner's stream, verbatim
+//
+// Ties resolve by codec-id order (the numeric CodecKind value), so the
+// output is a deterministic function of (input bytes, training bytes,
+// candidate set) -- never of thread schedule or candidate list order;
+// the candidate list is sorted by id at construction. decompress()
+// dispatches on the header byte; an id outside the candidate set is a
+// corrupt stream (CheckError).
+//
+// The candidate set is configurable; the default spans the design
+// space: null (raw floor), shared Huffman (entropy), CodePack
+// (dictionary), FPC and BDI (pattern). Per-candidate win counts and
+// byte totals are tracked for the fig3/e4 usage tables.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "compress/codec.hpp"
+
+namespace apcc::compress {
+
+class AdaptiveCodec final : public Codec {
+ public:
+  /// {kNull, kSharedHuffman, kCodePack, kFpc, kBdi} -- one codec per
+  /// family, in id order.
+  [[nodiscard]] static std::vector<CodecKind> default_candidates();
+
+  /// Build each candidate via make_codec (trained candidates consult
+  /// `training_blocks`). Candidates must be non-empty, unique, and may
+  /// not include kAdaptive itself.
+  explicit AdaptiveCodec(std::span<const Bytes> training_blocks,
+                         std::vector<CodecKind> candidates =
+                             default_candidates());
+
+  [[nodiscard]] std::string_view name() const override { return "adaptive"; }
+  [[nodiscard]] Bytes compress(ByteView input) const override;
+  [[nodiscard]] Bytes decompress(ByteView input,
+                                 std::size_t original_size) const override;
+
+  /// The candidate kinds, in dispatch (= tie-break) order.
+  [[nodiscard]] const std::vector<CodecKind>& candidate_kinds() const {
+    return kinds_;
+  }
+
+  /// One candidate's cumulative selection record. Counters are relaxed
+  /// atomics (a shared instance may compress from several threads) and
+  /// never influence the output bytes.
+  struct CandidateStats {
+    CodecKind kind{};
+    std::uint64_t wins = 0;            // blocks this candidate encoded
+    std::uint64_t input_bytes = 0;     // original bytes of those blocks
+    std::uint64_t output_bytes = 0;    // emitted bytes incl. the header
+  };
+  [[nodiscard]] std::vector<CandidateStats> selection_stats() const;
+
+ private:
+  std::vector<CodecKind> kinds_;
+  std::vector<std::unique_ptr<Codec>> candidates_;
+  mutable std::vector<std::atomic<std::uint64_t>> wins_;
+  mutable std::vector<std::atomic<std::uint64_t>> in_bytes_;
+  mutable std::vector<std::atomic<std::uint64_t>> out_bytes_;
+};
+
+}  // namespace apcc::compress

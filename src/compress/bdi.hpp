@@ -1,0 +1,57 @@
+// Base-delta-immediate (BDI) compression.
+//
+// Models Pekhimenko et al.: values inside a small chunk tend to sit in
+// a narrow numeric range, so a chunk can be stored as one full-width
+// base plus a packed array of narrow deltas. The "immediate" half of
+// the name is the second, implicit base of zero: each word either
+// deltas off the chunk base or off zero (small constants and pointers
+// coexist in one chunk), selected by a per-word mask bit.
+//
+// The input is split into fixed 32-byte chunks (the last chunk may be
+// short); each chunk is encoded independently as a 1-byte mode header
+// plus the mode's payload:
+//
+//   mode 0  zeros     chunk is all zero bytes            (payload: none)
+//   mode 1  b8-d1     8-byte base, 1-byte deltas
+//   mode 2  b8-d2     8-byte base, 2-byte deltas
+//   mode 3  b8-d4     8-byte base, 4-byte deltas
+//   mode 4  b4-d1     4-byte base, 1-byte deltas
+//   mode 5  b4-d2     4-byte base, 2-byte deltas
+//   mode 6  b2-d1     2-byte base, 1-byte deltas
+//   mode 7  raw       chunk bytes verbatim (uncompressed fallback)
+//
+// Delta-mode payload: base (LE) + mask (one bit per word, LSB-first;
+// 1 = delta from base, 0 = delta from zero) + one LE two's-complement
+// delta per word. The base is the first word whose delta from zero
+// does not fit -- deterministic, no search. Per chunk the encoder
+// tries every mode in id order and keeps the smallest valid encoding
+// (strict improvement, so ties resolve to the lowest mode id); mode 7
+// is always valid, so decompress(compress(x), n) == x holds for every
+// input. Decode is a header dispatch plus word-at-a-time base+delta
+// adds -- no bit-granular extraction at all, the cheapest real decode
+// loop in the codec family.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "compress/codec.hpp"
+
+namespace apcc::compress {
+
+class BdiCodec final : public Codec {
+ public:
+  BdiCodec();
+
+  [[nodiscard]] std::string_view name() const override { return "bdi"; }
+  [[nodiscard]] Bytes compress(ByteView input) const override;
+  [[nodiscard]] Bytes decompress(ByteView input,
+                                 std::size_t original_size) const override;
+
+  static constexpr std::size_t kChunkBytes = 32;
+  static constexpr std::size_t kNumModes = 8;
+
+  [[nodiscard]] static const char* mode_name(std::size_t mode);
+};
+
+}  // namespace apcc::compress

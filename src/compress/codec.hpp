@@ -15,6 +15,13 @@
 //                  classes + raw escape), trained over the image
 //   kFieldSplit    per-byte-lane canonical Huffman (instruction field
 //                  separation), trained over the image
+//   kFpc           frequent-pattern compression: 3-bit prefix per 32-bit
+//                  word (zero runs, sign-extended literals, repeated
+//                  halfwords, raw), word-at-a-time decode
+//   kBdi           base-delta-immediate: per-chunk base + packed narrow
+//                  deltas with a zero-immediate second base
+//   kAdaptive      per-block best-of meta-codec: 1-byte codec-id header
+//                  + the smallest candidate encoding (compress/adaptive.hpp)
 //
 // Codecs carry a cycle cost model consumed by the simulator; costs scale
 // with the *original* byte count, matching how decompressors are bounded
@@ -24,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -75,6 +83,9 @@ enum class CodecKind : std::uint8_t {
   kLzss,
   kCodePack,
   kFieldSplit,
+  kFpc,
+  kBdi,
+  kAdaptive,
 };
 
 [[nodiscard]] const char* codec_kind_name(CodecKind kind);
@@ -88,5 +99,12 @@ enum class CodecKind : std::uint8_t {
 /// Sum of compressed sizes divided by sum of original sizes (< 1 is good).
 [[nodiscard]] double compression_ratio(const Codec& codec,
                                        std::span<const Bytes> blocks);
+
+/// Multi-line usage summary for codecs that track per-pattern or
+/// per-candidate statistics (FpcCodec's pattern counts, AdaptiveCodec's
+/// selection distribution -- populated by prior compress() calls, e.g.
+/// a compression_ratio() pass); empty string for every other codec.
+/// The fig3/e4 tables print this under their ratio rows.
+[[nodiscard]] std::string usage_summary(const Codec& codec);
 
 }  // namespace apcc::compress

@@ -1,0 +1,178 @@
+#include "compress/fpc.hpp"
+
+#include "support/assert.hpp"
+#include "support/bitstream.hpp"
+
+namespace apcc::compress {
+
+namespace {
+
+constexpr unsigned kPrefixBits = 3;
+constexpr unsigned kRunBits = 3;  // encodes (run - 1): 1..8 zero words
+constexpr std::size_t kMaxZeroRun = 1u << kRunBits;
+
+/// True when `word` round-trips through a `bits`-wide sign-extended
+/// literal, i.e. every bit above bit (bits-1) equals the sign bit.
+constexpr bool fits_signed(std::uint32_t word, unsigned bits) {
+  const std::uint32_t shifted =
+      static_cast<std::uint32_t>(static_cast<std::int32_t>(word << (32 - bits)) >>
+                                 (32 - bits));
+  return shifted == word;
+}
+
+/// Expand the low `bits` of `payload` by sign extension.
+constexpr std::uint32_t sign_extend(std::uint32_t payload, unsigned bits) {
+  return static_cast<std::uint32_t>(
+      static_cast<std::int32_t>(payload << (32 - bits)) >> (32 - bits));
+}
+
+constexpr std::uint32_t load_word_le(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | std::uint32_t{p[1]} << 8 |
+         std::uint32_t{p[2]} << 16 | std::uint32_t{p[3]} << 24;
+}
+
+}  // namespace
+
+FpcCodec::FpcCodec() {
+  // Word-at-a-time decode: one 3-bit dispatch plus a shift/mask expand
+  // per 4 original bytes (~4 cycles/word). Cheaper than CodePack's
+  // per-halfword dictionary lookups (1.2 cyc/B), costlier than a bare
+  // memcpy. Encode classifies each word against the pattern ladder
+  // (a handful of mask compares), roughly twice the decode work.
+  costs_ = CodecCosts{.decompress_cycles_per_byte = 1.0,
+                      .compress_cycles_per_byte = 2.0,
+                      .decompress_fixed_cycles = 16,
+                      .compress_fixed_cycles = 16};
+}
+
+const char* FpcCodec::pattern_name(std::size_t pattern) {
+  switch (pattern) {
+    case kZeroRun: return "zero-run";
+    case kSigned4: return "signed-4";
+    case kSigned8: return "signed-8";
+    case kSigned16: return "signed-16";
+    case kRepeatedHalf: return "repeated-half";
+    case kRaw: return "raw";
+  }
+  return "?";
+}
+
+std::array<std::uint64_t, FpcCodec::kNumPatterns> FpcCodec::pattern_counts()
+    const {
+  std::array<std::uint64_t, kNumPatterns> out{};
+  for (std::size_t i = 0; i < kNumPatterns; ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Bytes FpcCodec::compress(ByteView input) const {
+  BitWriter writer;
+  const std::size_t words = input.size() / 4;
+  std::array<std::uint64_t, kNumPatterns> counts{};
+  std::size_t i = 0;
+  while (i < words) {
+    const std::uint32_t word = load_word_le(&input[i * 4]);
+    if (word == 0) {
+      std::size_t run = 1;
+      while (i + run < words && run < kMaxZeroRun &&
+             load_word_le(&input[(i + run) * 4]) == 0) {
+        ++run;
+      }
+      writer.write_bits(kZeroRun, kPrefixBits);
+      writer.write_bits(static_cast<std::uint32_t>(run - 1), kRunBits);
+      ++counts[kZeroRun];
+      i += run;
+      continue;
+    }
+    if (fits_signed(word, 4)) {
+      writer.write_bits(kSigned4, kPrefixBits);
+      writer.write_bits(word & 0xfu, 4);
+      ++counts[kSigned4];
+    } else if (fits_signed(word, 8)) {
+      writer.write_bits(kSigned8, kPrefixBits);
+      writer.write_bits(word & 0xffu, 8);
+      ++counts[kSigned8];
+    } else if (fits_signed(word, 16)) {
+      writer.write_bits(kSigned16, kPrefixBits);
+      writer.write_bits(word & 0xffffu, 16);
+      ++counts[kSigned16];
+    } else if ((word >> 16) == (word & 0xffffu)) {
+      writer.write_bits(kRepeatedHalf, kPrefixBits);
+      writer.write_bits(word & 0xffffu, 16);
+      ++counts[kRepeatedHalf];
+    } else {
+      writer.write_bits(kRaw, kPrefixBits);
+      writer.write_bits(word, 32);
+      ++counts[kRaw];
+    }
+    ++i;
+  }
+  // Tail bytes (input not a multiple of 4): raw, prefix-free -- the
+  // decoder derives the tail length from original_size.
+  for (std::size_t t = words * 4; t < input.size(); ++t) {
+    writer.write_byte(input[t]);
+  }
+  for (std::size_t p = 0; p < kNumPatterns; ++p) {
+    if (counts[p] != 0) {
+      counts_[p].fetch_add(counts[p], std::memory_order_relaxed);
+    }
+  }
+  return writer.take();
+}
+
+Bytes FpcCodec::decompress(ByteView input, std::size_t original_size) const {
+  BitReader reader(input);
+  Bytes out;
+  out.reserve(original_size);
+  const std::size_t words = original_size / 4;
+  auto push_word = [&out](std::uint32_t word) {
+    out.push_back(static_cast<std::uint8_t>(word));
+    out.push_back(static_cast<std::uint8_t>(word >> 8));
+    out.push_back(static_cast<std::uint8_t>(word >> 16));
+    out.push_back(static_cast<std::uint8_t>(word >> 24));
+  };
+  std::size_t decoded = 0;
+  while (decoded < words) {
+    const std::uint32_t prefix = reader.read_bits(kPrefixBits);
+    switch (prefix) {
+      case kZeroRun: {
+        const std::size_t run = std::size_t{reader.read_bits(kRunBits)} + 1;
+        APCC_CHECK(decoded + run <= words, "fpc: zero run overruns stream");
+        for (std::size_t r = 0; r < run; ++r) push_word(0);
+        decoded += run;
+        break;
+      }
+      case kSigned4:
+        push_word(sign_extend(reader.read_bits(4), 4));
+        ++decoded;
+        break;
+      case kSigned8:
+        push_word(sign_extend(reader.read_bits(8), 8));
+        ++decoded;
+        break;
+      case kSigned16:
+        push_word(sign_extend(reader.read_bits(16), 16));
+        ++decoded;
+        break;
+      case kRepeatedHalf: {
+        const std::uint32_t half = reader.read_bits(16);
+        push_word(half | half << 16);
+        ++decoded;
+        break;
+      }
+      case kRaw:
+        push_word(reader.read_bits(32));
+        ++decoded;
+        break;
+      default:
+        APCC_CHECK(false, "fpc: reserved pattern prefix (corrupt stream)");
+    }
+  }
+  for (std::size_t t = words * 4; t < original_size; ++t) {
+    out.push_back(reader.read_byte());
+  }
+  return out;
+}
+
+}  // namespace apcc::compress

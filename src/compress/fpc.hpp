@@ -1,0 +1,71 @@
+// Frequent-pattern compression (FPC), word-at-a-time.
+//
+// Models Alameldeen & Wood's significance-based scheme (as carried in
+// the DisaggregatedSystemsResearch / gpgpusim compression models): the
+// input is scanned as 32-bit little-endian words and each word is
+// classified against a small, fixed pattern set -- the statically
+// frequent shapes of instruction and data words -- then emitted as a
+// 3-bit pattern prefix plus only the significant payload bits:
+//
+//   prefix 000  zero run          3-bit (run-1): 1..8 zero words
+//   prefix 001  4-bit literal     sign-extended from 4 payload bits
+//   prefix 010  8-bit literal     sign-extended from 8 payload bits
+//   prefix 011  16-bit literal    sign-extended from 16 payload bits
+//   prefix 100  repeated halfword both 16-bit halves equal; 16 payload bits
+//   prefix 101  raw               32 payload bits (incompressible word)
+//
+// Prefixes 110/111 are reserved; seeing one on decode is a corrupt
+// stream (CheckError). A trailing 1-3 bytes (inputs are byte strings,
+// not word strings) are emitted raw, 8 bits each, with no prefix --
+// the decoder knows the original size, so the tail length is implied.
+// Patterns are matched in prefix order, so encoding is deterministic.
+//
+// Unlike the trained codecs there is no dictionary and no header: the
+// pattern table *is* the model, shared by construction. Decode is one
+// 3-bit dispatch per word with shift/mask payload expansion --
+// near-branchless and word-at-a-time, the cheap-decompress end of the
+// design space the paper's memory-constrained targets care about.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+
+#include "compress/codec.hpp"
+
+namespace apcc::compress {
+
+class FpcCodec final : public Codec {
+ public:
+  FpcCodec();
+
+  [[nodiscard]] std::string_view name() const override { return "fpc"; }
+  [[nodiscard]] Bytes compress(ByteView input) const override;
+  [[nodiscard]] Bytes decompress(ByteView input,
+                                 std::size_t original_size) const override;
+
+  /// The pattern classes, in prefix (= match-priority) order.
+  enum Pattern : std::uint8_t {
+    kZeroRun = 0,
+    kSigned4 = 1,
+    kSigned8 = 2,
+    kSigned16 = 3,
+    kRepeatedHalf = 4,
+    kRaw = 5,
+  };
+  static constexpr std::size_t kNumPatterns = 6;
+
+  [[nodiscard]] static const char* pattern_name(std::size_t pattern);
+
+  /// Cumulative per-pattern encode counts (one count per prefix
+  /// emitted; a zero *run* counts once, however many words it covers).
+  /// Counters are relaxed atomics so a shared codec instance may be
+  /// exercised from several threads; they never influence the output
+  /// bytes.
+  [[nodiscard]] std::array<std::uint64_t, kNumPatterns> pattern_counts() const;
+
+ private:
+  mutable std::array<std::atomic<std::uint64_t>, kNumPatterns> counts_{};
+};
+
+}  // namespace apcc::compress

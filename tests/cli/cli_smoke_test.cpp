@@ -125,6 +125,20 @@ TEST(CliSmoke, SimCsvHasStableHeaderAndOneRow) {
   EXPECT_EQ(count_fields(lines[1]), count_fields(lines[0]));
 }
 
+TEST(CliSmoke, SimAcceptsThePatternCodecFamily) {
+  // The codec option covers the whole registry; the pattern family and
+  // the adaptive meta-codec run end to end through the CLI path.
+  for (const char* codec : {"fpc", "bdi", "adaptive", "field-split"}) {
+    const auto result =
+        run_cli("sim " + workload_path() + " --codec " + codec + " --csv");
+    ASSERT_EQ(result.exit_code, 0) << codec;
+    const auto lines = lines_of(result.output);
+    ASSERT_EQ(lines.size(), 2u) << codec;
+    EXPECT_EQ(lines[0], kCsvHeader) << codec;
+  }
+  EXPECT_EQ(run_cli("sim " + workload_path() + " --codec fpcx").exit_code, 1);
+}
+
 TEST(CliSmoke, SweepCsvHasFullGridInTaskOrder) {
   const auto result =
       run_cli("sweep " + workload_path() + " --csv --workers 2");

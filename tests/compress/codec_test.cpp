@@ -115,7 +115,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(CodecKind::kNull, CodecKind::kMtfRle,
                       CodecKind::kHuffman, CodecKind::kSharedHuffman,
                       CodecKind::kLzss, CodecKind::kCodePack,
-                      CodecKind::kFieldSplit),
+                      CodecKind::kFieldSplit, CodecKind::kFpc,
+                      CodecKind::kBdi, CodecKind::kAdaptive),
     [](const ::testing::TestParamInfo<CodecKind>& info) {
       std::string name = codec_kind_name(info.param);
       for (auto& ch : name) {
@@ -129,9 +130,13 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(CodecFactory, NamesMatchKinds) {
   EXPECT_STREQ(codec_kind_name(CodecKind::kNull), "null");
   EXPECT_STREQ(codec_kind_name(CodecKind::kLzss), "lzss");
+  EXPECT_STREQ(codec_kind_name(CodecKind::kFpc), "fpc");
+  EXPECT_STREQ(codec_kind_name(CodecKind::kBdi), "bdi");
+  EXPECT_STREQ(codec_kind_name(CodecKind::kAdaptive), "adaptive");
   for (const CodecKind kind :
        {CodecKind::kNull, CodecKind::kMtfRle, CodecKind::kHuffman,
-        CodecKind::kSharedHuffman, CodecKind::kLzss, CodecKind::kCodePack}) {
+        CodecKind::kSharedHuffman, CodecKind::kLzss, CodecKind::kCodePack,
+        CodecKind::kFpc, CodecKind::kBdi, CodecKind::kAdaptive}) {
     const auto c = make_codec(kind, instruction_training_data());
     EXPECT_FALSE(c->name().empty());
   }
@@ -178,7 +183,8 @@ TEST(CorruptStreams, TruncatedStreamsThrowNotCrash) {
   const auto training = instruction_training_data();
   for (const CodecKind kind :
        {CodecKind::kMtfRle, CodecKind::kHuffman, CodecKind::kSharedHuffman,
-        CodecKind::kLzss, CodecKind::kCodePack, CodecKind::kFieldSplit}) {
+        CodecKind::kLzss, CodecKind::kCodePack, CodecKind::kFieldSplit,
+        CodecKind::kFpc, CodecKind::kBdi, CodecKind::kAdaptive}) {
     const auto c = make_codec(kind, training);
     const Bytes input(64, 0x3c);
     Bytes compressed = c->compress(input);

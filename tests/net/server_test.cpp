@@ -143,7 +143,9 @@ TEST(NetServer, RoundTripsOneJobWithTheSessionTag) {
 }
 
 TEST(NetServer, ResultsComeBackInSubmissionOrder) {
-  LoopbackFixture fx(serving::ServiceOptions{.workers = 4});
+  serving::ServiceOptions options;
+  options.workers = 4;
+  LoopbackFixture fx(options);
   const auto results = parse_results(
       round_trip(fx.server->port(), run_job() + run_job() + run_job()));
   ASSERT_EQ(results.size(), 3u);
@@ -226,7 +228,9 @@ TEST(NetServer, PerClientAdmissionLimitRejectsAsAStructuredRecord) {
 }
 
 TEST(NetServer, SessionsInterleaveWithIndependentSequences) {
-  LoopbackFixture fx(serving::ServiceOptions{.workers = 2});
+  serving::ServiceOptions options;
+  options.workers = 2;
+  LoopbackFixture fx(options);
   // Both connections live at once, each with its own tag and its own
   // job numbering starting at 1.
   const Fd a = connect_tcp("127.0.0.1", fx.server->port());

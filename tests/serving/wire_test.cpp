@@ -530,6 +530,7 @@ TEST(Wire, GoldenFilesAreFixedPoints) {
       "result_run.wire",   "result_sweep.wire",  "result_campaign.wire",
       "result_error.wire", "result_rejected.wire",
       "result_cancelled.wire", "jobs_mixed.wire",
+      "job_pattern_codecs.wire",
   };
   for (const std::string& name : goldens) {
     const std::string path = std::string(APCC_WIRE_DATA_DIR) + "/" + name;

@@ -67,7 +67,8 @@
 // a snippet of the offending text.
 //
 // options:
-//   --codec null|mtf-rle|huffman|huffman-shared|lzss|codepack
+//   --codec null|mtf-rle|huffman|huffman-shared|lzss|codepack|
+//           field-split|fpc|bdi|adaptive
 //   --strategy on-demand|pre-all|pre-single   (sim/run only)
 //   --predictor profile|static|oracle
 //   --kc N            compression-side k (default 2; sim/run only)
@@ -231,6 +232,10 @@ compress::CodecKind parse_codec(const std::string& name) {
   if (name == "huffman-shared") return compress::CodecKind::kSharedHuffman;
   if (name == "lzss") return compress::CodecKind::kLzss;
   if (name == "codepack") return compress::CodecKind::kCodePack;
+  if (name == "field-split") return compress::CodecKind::kFieldSplit;
+  if (name == "fpc") return compress::CodecKind::kFpc;
+  if (name == "bdi") return compress::CodecKind::kBdi;
+  if (name == "adaptive") return compress::CodecKind::kAdaptive;
   usage("unknown codec '" + name + "'");
 }
 
